@@ -1,0 +1,322 @@
+package costar
+
+// Benchmark suite: one benchmark per paper table/figure (run the printable
+// versions with cmd/costar-bench), plus the DESIGN.md §5 ablations.
+//
+//	go test -bench=. -benchmem
+//
+// Figure 9  → BenchmarkFig9*   (CoStar parse time per language; ns/token)
+// Figure 10 → BenchmarkFig10*  (verified engine vs imperative baseline)
+// Figure 11 → BenchmarkFig11*  (baseline cold vs warm prediction cache)
+// Figure 8 is a static table (BenchmarkFig8Corpus times corpus+lexing).
+
+import (
+	"testing"
+
+	"costar/internal/allstar"
+	"costar/internal/avl"
+	"costar/internal/bench"
+	"costar/internal/grammar"
+	"costar/internal/machine"
+	"costar/internal/parser"
+	"costar/internal/prediction"
+)
+
+// corpusFile returns a ~tokens-sized token word for the named language.
+func corpusFile(b *testing.B, name string, tokens int) (bench.Lang, []grammar.Token, string) {
+	b.Helper()
+	for _, l := range bench.Languages() {
+		if l.Name != name {
+			continue
+		}
+		src := l.Generate(42, tokens)
+		toks, err := l.Tokenize(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return l, toks, src
+	}
+	b.Fatalf("unknown language %s", name)
+	panic("unreachable")
+}
+
+func reportPerToken(b *testing.B, tokens int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tokens), "ns/token")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: corpus generation + lexing cost
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig8Corpus(b *testing.B) {
+	for _, l := range bench.Languages() {
+		l := l
+		b.Run(l.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := l.Generate(7, 2000)
+				if _, err := l.Tokenize(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: CoStar parse time per language (session cache, pre-tokenized)
+// ---------------------------------------------------------------------------
+
+func benchFig9(b *testing.B, lang string) {
+	l, toks, _ := corpusFile(b, lang, 4000)
+	p := parser.MustNew(l.Grammar, parser.Options{})
+	p.Parse(toks) // prime analyses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := p.Parse(toks); res.Kind != machine.Unique {
+			b.Fatal(res.Reason)
+		}
+	}
+	reportPerToken(b, len(toks))
+}
+
+func BenchmarkFig9JSON(b *testing.B)   { benchFig9(b, "json") }
+func BenchmarkFig9XML(b *testing.B)    { benchFig9(b, "xml") }
+func BenchmarkFig9DOT(b *testing.B)    { benchFig9(b, "dot") }
+func BenchmarkFig9Python(b *testing.B) { benchFig9(b, "python") }
+
+// ---------------------------------------------------------------------------
+// Figure 10: verified engine vs imperative baseline (and the lexer side)
+// ---------------------------------------------------------------------------
+
+func benchFig10(b *testing.B, lang string) {
+	l, toks, src := corpusFile(b, lang, 4000)
+	b.Run("costar", func(b *testing.B) {
+		p := parser.MustNew(l.Grammar, parser.Options{})
+		p.Parse(toks)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := p.Parse(toks); res.Kind != machine.Unique {
+				b.Fatal(res.Reason)
+			}
+		}
+		reportPerToken(b, len(toks))
+	})
+	b.Run("baseline", func(b *testing.B) {
+		p := allstar.MustNew(l.Grammar, allstar.Options{})
+		p.Parse(toks)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := p.Parse(toks); res.Kind != machine.Unique {
+				b.Fatal(res.Reason)
+			}
+		}
+		reportPerToken(b, len(toks))
+	})
+	b.Run("lexer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Tokenize(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPerToken(b, len(toks))
+	})
+}
+
+func BenchmarkFig10JSON(b *testing.B)   { benchFig10(b, "json") }
+func BenchmarkFig10XML(b *testing.B)    { benchFig10(b, "xml") }
+func BenchmarkFig10DOT(b *testing.B)    { benchFig10(b, "dot") }
+func BenchmarkFig10Python(b *testing.B) { benchFig10(b, "python") }
+
+// ---------------------------------------------------------------------------
+// Figure 11: baseline prediction-cache warm-up (Python)
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig11ColdCache(b *testing.B) {
+	l, toks, _ := corpusFile(b, "python", 3000)
+	p := allstar.MustNew(l.Grammar, allstar.Options{FreshCachePerParse: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := p.Parse(toks); res.Kind != machine.Unique {
+			b.Fatal(res.Reason)
+		}
+	}
+	reportPerToken(b, len(toks))
+}
+
+func BenchmarkFig11WarmCache(b *testing.B) {
+	l, toks, _ := corpusFile(b, "python", 3000)
+	p := allstar.MustNew(l.Grammar, allstar.Options{})
+	p.WarmUp(toks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := p.Parse(toks); res.Kind != machine.Unique {
+			b.Fatal(res.Reason)
+		}
+	}
+	reportPerToken(b, len(toks))
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationSLLCache: adaptivePredict with the SLL DFA versus pure
+// LL prediction on every decision.
+func BenchmarkAblationSLLCache(b *testing.B) {
+	l, toks, _ := corpusFile(b, "json", 2500)
+	for _, cfg := range []struct {
+		name string
+		opts parser.Options
+	}{
+		{"sll+cache", parser.Options{}},
+		{"ll-only", parser.Options{DisableSLL: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			p := parser.MustNew(l.Grammar, cfg.opts)
+			p.Parse(toks)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := p.Parse(toks); res.Kind != machine.Unique {
+					b.Fatal(res.Reason)
+				}
+			}
+			reportPerToken(b, len(toks))
+		})
+	}
+}
+
+// BenchmarkAblationCacheReuse: session cache kept across parses versus a
+// fresh cache per parse (the verified engine's Figure 11 analogue; the
+// paper notes CoStar could not reuse caches across inputs — the session
+// API adds that, and this measures its value).
+func BenchmarkAblationCacheReuse(b *testing.B) {
+	l, toks, _ := corpusFile(b, "python", 2000)
+	for _, cfg := range []struct {
+		name string
+		opts parser.Options
+	}{
+		{"reuse", parser.Options{}},
+		{"fresh", parser.Options{FreshCachePerParse: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			p := parser.MustNew(l.Grammar, cfg.opts)
+			p.Parse(toks)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := p.Parse(toks); res.Kind != machine.Unique {
+					b.Fatal(res.Reason)
+				}
+			}
+			reportPerToken(b, len(toks))
+		})
+	}
+}
+
+// BenchmarkAblationInvariants: cost of checking the Figure 4 stack
+// well-formedness invariant on every machine step.
+func BenchmarkAblationInvariants(b *testing.B) {
+	l, toks, _ := corpusFile(b, "json", 1500)
+	for _, cfg := range []struct {
+		name string
+		opts parser.Options
+	}{
+		{"off", parser.Options{}},
+		{"on", parser.Options{CheckInvariants: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			p := parser.MustNew(l.Grammar, cfg.opts)
+			p.Parse(toks)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := p.Parse(toks); res.Kind != machine.Unique {
+					b.Fatal(res.Reason)
+				}
+			}
+			reportPerToken(b, len(toks))
+		})
+	}
+}
+
+// BenchmarkAblationMaps: the Coq-style persistent AVL map (what the
+// verified engine uses for visited sets; Section 6.1 blames its comparisons
+// for Python's slowness) versus Go's native hash map.
+func BenchmarkAblationMaps(b *testing.B) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = grammar.NT("NT_" + string(rune('A'+i%26)) + string(rune('0'+i/26))).Name
+	}
+	b.Run("avl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var s avl.Set
+			for _, k := range keys {
+				s = s.Add(k)
+			}
+			for _, k := range keys {
+				if !s.Contains(k) {
+					b.Fatal("missing key")
+				}
+			}
+		}
+	})
+	b.Run("gomap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := make(map[string]bool, len(keys))
+			for _, k := range keys {
+				s[k] = true
+			}
+			for _, k := range keys {
+				if !s[k] {
+					b.Fatal("missing key")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStacks: the functional persistent machine versus the
+// imperative baseline on identical input — the "cost of the verified
+// style" headline, isolated from lexing.
+func BenchmarkAblationStacks(b *testing.B) {
+	l, toks, _ := corpusFile(b, "dot", 2500)
+	b.Run("persistent", func(b *testing.B) {
+		p := parser.MustNew(l.Grammar, parser.Options{})
+		p.Parse(toks)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Parse(toks)
+		}
+		reportPerToken(b, len(toks))
+	})
+	b.Run("mutable", func(b *testing.B) {
+		p := allstar.MustNew(l.Grammar, allstar.Options{})
+		p.Parse(toks)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Parse(toks)
+		}
+		reportPerToken(b, len(toks))
+	})
+}
+
+// BenchmarkPrediction isolates adaptivePredict on the paper's non-LL(k)
+// XML decision with a long attribute prefix.
+func BenchmarkPrediction(b *testing.B) {
+	g := MustParseBNF(`S -> X c | X d ; X -> a X | b`)
+	var w []grammar.Token
+	for i := 0; i < 60; i++ {
+		w = append(w, grammar.Tok("a", "a"))
+	}
+	w = append(w, grammar.Tok("b", "b"), grammar.Tok("d", "d"))
+	ap := prediction.New(g, prediction.Options{})
+	st := machine.Init("S", w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ap.Predict("S", st.Suffix, w)
+		if p.Kind != machine.PredUnique {
+			b.Fatal("prediction failed")
+		}
+	}
+}

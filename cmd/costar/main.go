@@ -1,0 +1,174 @@
+// Command costar parses input with the CoStar ALL(*) engine.
+//
+// Usage:
+//
+//	costar -lang json file.json           # built-in benchmark language
+//	costar -g4 mygrammar.g4 input.txt     # ANTLR-style grammar + lexer
+//	costar -bnf grammar.bnf -tokens "a b d"  # BNF grammar, pre-tokenized word
+//
+// Flags:
+//
+//	-tree      print the parse tree (s-expression)
+//	-pretty    print the parse tree (indented)
+//	-stats     print prediction statistics
+//	-check     enable machine invariant checking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costar"
+	"costar/internal/grammar"
+	"costar/internal/gviz"
+	"costar/internal/languages/dotlang"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/pylang"
+	"costar/internal/languages/xmllang"
+)
+
+func main() {
+	var (
+		langName = flag.String("lang", "", "built-in language: json, xml, dot, python")
+		g4Path   = flag.String("g4", "", "path to an ANTLR-style .g4 grammar")
+		bnfPath  = flag.String("bnf", "", "path to a BNF grammar file")
+		tokens   = flag.String("tokens", "", "space-separated terminal names (with -bnf)")
+		showTree = flag.Bool("tree", false, "print the parse tree as an s-expression")
+		pretty   = flag.Bool("pretty", false, "print the parse tree indented")
+		stats    = flag.Bool("stats", false, "print prediction statistics")
+		check    = flag.Bool("check", false, "check machine invariants on every step")
+		dot      = flag.Bool("dot", false, "print the parse tree as a Graphviz DOT document")
+	)
+	flag.Parse()
+	if err := run(*langName, *g4Path, *bnfPath, *tokens, *showTree, *pretty, *stats, *check, *dot, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "costar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(langName, g4Path, bnfPath, tokens string, showTree, pretty, stats, check, dot bool, args []string) error {
+	g, toks, err := loadInput(langName, g4Path, bnfPath, tokens, args)
+	if err != nil {
+		return err
+	}
+	p, err := costar.NewParser(g, costar.Options{CheckInvariants: check})
+	if err != nil {
+		return err
+	}
+	if lr := p.LeftRecursiveNTs(); len(lr) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: grammar is left-recursive in %v; parsing will report an error\n", lr)
+	}
+	res := p.Parse(toks)
+	switch res.Kind {
+	case costar.Unique:
+		fmt.Printf("Unique parse: %d tokens, %d machine steps\n", len(toks), res.Steps)
+	case costar.Ambig:
+		fmt.Printf("AMBIGUOUS input: returning one of several parse trees (%d tokens)\n", len(toks))
+	case costar.Reject:
+		return fmt.Errorf("input rejected: %s", res.Reason)
+	default:
+		return fmt.Errorf("parse error: %v", res.Err)
+	}
+	if showTree {
+		fmt.Println(res.Tree)
+	}
+	if pretty {
+		fmt.Print(res.Tree.Pretty())
+	}
+	if dot {
+		fmt.Print(gviz.TreeDOT(res.Tree))
+	}
+	if stats {
+		s := res.Stats
+		fmt.Printf("prediction: %d SLL decisions, %d LL fallbacks, %d trivial, cache %d hits / %d misses, max lookahead %d (%s)\n",
+			s.SLLCalls, s.LLFallbacks, s.TrivialCalls, s.CacheHits, s.CacheMisses, s.MaxLookahead, s.MaxLookaheadNT)
+	}
+	return nil
+}
+
+func loadInput(langName, g4Path, bnfPath, tokens string, args []string) (*costar.Grammar, []costar.Token, error) {
+	switch {
+	case langName != "":
+		src, err := readArg(args)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch langName {
+		case "json":
+			toks, err := jsonlang.Tokenize(src)
+			return jsonlang.Grammar(), toks, err
+		case "xml":
+			toks, err := xmllang.Tokenize(src)
+			return xmllang.Grammar(), toks, err
+		case "dot":
+			toks, err := dotlang.Tokenize(src)
+			return dotlang.Grammar(), toks, err
+		case "python":
+			toks, err := pylang.Tokenize(src)
+			return pylang.Grammar(), toks, err
+		default:
+			return nil, nil, fmt.Errorf("unknown language %q (json, xml, dot, python)", langName)
+		}
+	case g4Path != "":
+		gsrc, err := os.ReadFile(g4Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, lex, err := costar.LoadG4(string(gsrc))
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := readArg(args)
+		if err != nil {
+			return nil, nil, err
+		}
+		toks, err := lex.Tokenize(src)
+		return g, toks, err
+	case bnfPath != "":
+		gsrc, err := os.ReadFile(bnfPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := costar.ParseBNF(string(gsrc))
+		if err != nil {
+			return nil, nil, err
+		}
+		var names []string
+		if tokens != "" {
+			names = strings.Fields(tokens)
+		} else {
+			src, err := readArg(args)
+			if err != nil {
+				return nil, nil, err
+			}
+			names = strings.Fields(src)
+		}
+		w := make([]grammar.Token, len(names))
+		for i, n := range names {
+			w[i] = grammar.Tok(n, n)
+		}
+		return g, w, nil
+	default:
+		return nil, nil, fmt.Errorf("one of -lang, -g4, -bnf is required (see -h)")
+	}
+}
+
+// readArg reads the input: a file path argument, or stdin when absent.
+func readArg(args []string) (string, error) {
+	if len(args) >= 1 {
+		b, err := os.ReadFile(args[0])
+		return string(b), err
+	}
+	var sb strings.Builder
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := os.Stdin.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadInputLang(t *testing.T) {
+	f := write(t, "t.json", `{"a": [1, true]}`)
+	g, toks, err := loadInput("json", "", "", "", []string{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "json" || len(toks) != 9 { // { STRING : [ NUM , true ] }
+		t.Errorf("start=%q tokens=%d", g.Start, len(toks))
+	}
+	if _, _, err := loadInput("klingon", "", "", "", []string{f}); err == nil {
+		t.Error("unknown language accepted")
+	}
+}
+
+func TestLoadInputG4(t *testing.T) {
+	gf := write(t, "calc.g4", `
+		grammar Calc;
+		e : NUM ('+' NUM)* ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`)
+	inf := write(t, "in.txt", "1 + 2 + 3")
+	g, toks, err := loadInput("", gf, "", "", []string{inf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "e" || len(toks) != 5 {
+		t.Errorf("start=%q tokens=%d", g.Start, len(toks))
+	}
+}
+
+func TestLoadInputBNF(t *testing.T) {
+	bf := write(t, "g.bnf", "S -> a S | b")
+	g, toks, err := loadInput("", "", bf, "a a b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "S" || len(toks) != 3 || toks[0].Terminal != "a" {
+		t.Errorf("start=%q toks=%v", g.Start, toks)
+	}
+	if _, _, err := loadInput("", "", "", "", nil); err == nil {
+		t.Error("missing mode flag accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	f := write(t, "t.json", `{"k": null}`)
+	if err := run("json", "", "", "", true, true, true, true, true, []string{f}); err != nil {
+		t.Fatal(err)
+	}
+	bad := write(t, "bad.json", `{"k": }`)
+	err := run("json", "", "", "", false, false, false, false, false, []string{bad})
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunLeftRecursionWarning(t *testing.T) {
+	bf := write(t, "lr.bnf", "E -> E plus n | n")
+	err := run("", "", bf, "n", false, false, false, false, false, nil)
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+// Command grammar-convert is the paper's grammar-conversion tool (Section
+// 6.1): it reads a grammar in the supported ANTLR-4-like syntax, desugars
+// the EBNF operators into plain BNF (generating fresh nonterminals), and
+// prints the result in the BNF text format the costar command consumes.
+//
+// Usage:
+//
+//	grammar-convert grammar.g4           # print desugared BNF
+//	grammar-convert -stats grammar.g4    # also print |T|, |N|, |P|
+//	grammar-convert -lexer grammar.g4    # also list the lexer rules
+//	grammar-convert -check grammar.g4    # report left recursion & LL(1) status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"costar/internal/analysis"
+	"costar/internal/ebnf"
+	"costar/internal/g4"
+	"costar/internal/ll1"
+	"costar/internal/transform"
+)
+
+func main() {
+	var (
+		stats    = flag.Bool("stats", false, "print grammar size statistics")
+		lexRules = flag.Bool("lexer", false, "list the lexer rules")
+		check    = flag.Bool("check", false, "report left recursion and LL(1) conflicts")
+		fix      = flag.Bool("fix", false, "eliminate left recursion (Paull's algorithm) before printing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: grammar-convert [flags] grammar.g4")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *stats, *lexRules, *check, *fix); err != nil {
+		fmt.Fprintln(os.Stderr, "grammar-convert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, stats, lexRules, check, fix bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	f, err := g4.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	g, err := ebnf.Desugar(f.Parser)
+	if err != nil {
+		return err
+	}
+	if fix {
+		g, err = transform.EliminateLeftRecursion(g)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("# grammar %s, desugared to BNF (start: %s)\n", f.Name, g.Start)
+	fmt.Print(g.String())
+	if stats {
+		nT, nN, nP := g.Stats()
+		fmt.Printf("\n# |T| = %d, |N| = %d, |P| = %d, max RHS length = %d\n",
+			nT, nN, nP, g.MaxRhsLen())
+	}
+	if lexRules {
+		fmt.Println("\n# lexer rules (priority order):")
+		for _, r := range f.Lexer.Rules {
+			skip := ""
+			if r.Skip {
+				skip = "   -> skip"
+			}
+			fmt.Printf("#   %-16s %s%s\n", r.Name, r.Pattern, skip)
+		}
+	}
+	if check {
+		if lr := analysis.FindLeftRecursion(g); len(lr) > 0 {
+			fmt.Printf("\n# LEFT-RECURSIVE nonterminals: %v\n", lr)
+			a := analysis.New(g)
+			for _, nt := range lr {
+				fmt.Printf("#   cycle: %v\n", a.LeftRecursionCycle(nt))
+			}
+		} else {
+			fmt.Println("\n# no left recursion")
+		}
+		if _, conflicts := ll1.Generate(g); len(conflicts) > 0 {
+			fmt.Printf("# not LL(1): %d conflicts (ALL(*) required); first: %s\n",
+				len(conflicts), conflicts[0])
+		} else {
+			fmt.Println("# grammar is LL(1)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunConvert(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "calc.g4")
+	src := `
+		grammar Calc;
+		e : t ('+' t)* ;
+		t : NUM ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, true, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(dir, "missing.g4"), false, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.g4")
+	os.WriteFile(bad, []byte("nonsense"), 0o644)
+	if err := run(bad, false, false, false, false); err == nil {
+		t.Error("bad grammar accepted")
+	}
+}
+
+func TestRunConvertFixesLeftRecursion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lr.g4")
+	src := `
+		grammar LR;
+		e : e '+' t | t ;
+		t : NUM ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`
+	os.WriteFile(path, []byte(src), 0o644)
+	if err := run(path, false, false, true, true); err != nil {
+		t.Fatalf("fix failed: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package costar is a Go implementation of CoStar, the verified ALL(*)
+// parser of Lasser, Casinghino, Fisher & Roux (PLDI 2021). It re-exports
+// the public surface of the internal packages as one coherent API:
+//
+//	g := costar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+//	p := costar.MustNewParser(g, costar.Options{})
+//	res := p.Parse(costar.Words("a", "b", "d"))
+//	switch res.Kind {
+//	case costar.Unique: fmt.Println("one tree:", res.Tree)
+//	case costar.Ambig:  fmt.Println("ambiguous; one of the trees:", res.Tree)
+//	case costar.Reject: fmt.Println("not in the language:", res.Reason)
+//	case costar.Error:  fmt.Println("left recursion or internal error:", res.Err)
+//	}
+//
+// The parser is an interpreter: it takes any BNF grammar at run time (no
+// code generation), handles every context-free grammar without left
+// recursion, detects ambiguity, and — unlike its Coq-verified ancestor —
+// carries its correctness argument as an executable test suite
+// (differential testing against an Earley oracle, machine-checked
+// invariants, and the paper's termination measure as assertions).
+//
+// Grammars can be written in three forms: programmatically
+// (grammar.Builder), in plain BNF text (ParseBNF), or in an ANTLR-4-like
+// syntax with EBNF operators and lexer rules (LoadG4), which is desugared
+// to BNF exactly as the paper's grammar-conversion tool does.
+package costar
+
+import (
+	"costar/internal/ebnf"
+	"costar/internal/g4"
+	"costar/internal/grammar"
+	"costar/internal/lexer"
+	"costar/internal/parser"
+	"costar/internal/transform"
+	"costar/internal/tree"
+)
+
+// Core re-exported types.
+type (
+	// Grammar is a BNF grammar (see internal/grammar).
+	Grammar = grammar.Grammar
+	// Production is one grammar rule X → γ.
+	Production = grammar.Production
+	// Symbol is a terminal or nonterminal occurrence.
+	Symbol = grammar.Symbol
+	// Token is a (terminal, literal) input pair.
+	Token = grammar.Token
+	// Tree is a parse tree.
+	Tree = tree.Tree
+	// Parser is a reusable parsing session with a persistent SLL cache.
+	Parser = parser.Parser
+	// Options configures a Parser.
+	Options = parser.Options
+	// Result is a parse outcome: Unique(tree), Ambig(tree), Reject, Error.
+	Result = parser.Result
+	// Lexer is a compiled lexical specification.
+	Lexer = lexer.Lexer
+)
+
+// Result kinds.
+const (
+	// Unique: the returned tree is the sole derivation of the input.
+	Unique = parser.Unique
+	// Ambig: the input has several derivations; one tree is returned.
+	Ambig = parser.Ambig
+	// Reject: the input is not in the grammar's language.
+	Reject = parser.Reject
+	// Error: left recursion was detected (or an internal invariant broke,
+	// which the test suite shows cannot happen for well-formed grammars).
+	Error = parser.Error
+)
+
+// T constructs a terminal symbol.
+func T(name string) Symbol { return grammar.T(name) }
+
+// NT constructs a nonterminal symbol.
+func NT(name string) Symbol { return grammar.NT(name) }
+
+// Tok constructs a token.
+func Tok(terminal, literal string) Token { return grammar.Tok(terminal, literal) }
+
+// Words builds a token word whose literals equal the terminal names —
+// convenient for toy grammars and tests.
+func Words(terminals ...string) []Token {
+	w := make([]Token, len(terminals))
+	for i, t := range terminals {
+		w[i] = grammar.Tok(t, t)
+	}
+	return w
+}
+
+// NewGrammar builds a grammar from productions (call Validate, or use
+// NewParser which validates).
+func NewGrammar(start string, prods []Production) *Grammar {
+	return grammar.New(start, prods)
+}
+
+// ParseBNF reads a grammar from BNF text ("S -> A c | A d ; A -> a A | b").
+func ParseBNF(src string) (*Grammar, error) { return grammar.ParseBNF(src) }
+
+// MustParseBNF is ParseBNF panicking on error.
+func MustParseBNF(src string) *Grammar { return grammar.MustParseBNF(src) }
+
+// NewParser validates g and builds a parsing session.
+func NewParser(g *Grammar, opts Options) (*Parser, error) { return parser.New(g, opts) }
+
+// MustNewParser is NewParser panicking on error.
+func MustNewParser(g *Grammar, opts Options) *Parser { return parser.MustNew(g, opts) }
+
+// Parse is the one-shot API of the paper's Section 3.1: parse w from start
+// in g.
+func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, start, w) }
+
+// LoadG4 compiles a grammar in the ANTLR-4-like syntax (parser rules with
+// EBNF operators, lexer rules with -> skip): it returns the desugared BNF
+// grammar and the compiled lexer — the paper's grammar-conversion pipeline.
+func LoadG4(src string) (*Grammar, *Lexer, error) {
+	f, err := g4.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := ebnf.Desugar(f.Parser)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := lexer.New(f.Lexer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, l, nil
+}
+
+// MustLoadG4 is LoadG4 panicking on error.
+func MustLoadG4(src string) (*Grammar, *Lexer) {
+	g, l, err := LoadG4(src)
+	if err != nil {
+		panic(err)
+	}
+	return g, l
+}
+
+// ValidateTree checks that v is a correct derivation of w from start in g —
+// the executable derivation relation of the paper's Figure 3. The parser's
+// soundness theorem says returned trees always pass; this lets applications
+// double-check untrusted trees too.
+func ValidateTree(g *Grammar, start string, v *Tree, w []Token) error {
+	return tree.Validate(g, grammar.NT(start), v, w)
+}
+
+// EliminateLeftRecursion rewrites g into an equivalent grammar without
+// left recursion (Paull's algorithm) so that ALL(*) can parse it — the
+// grammar-rewriting step ANTLR performs implicitly and the paper defers to
+// future work (Section 4.1). Grammars whose left recursion is entangled
+// with ε (nullable or hidden left recursion, unit cycles) are refused with
+// an explanatory error rather than rewritten incorrectly.
+func EliminateLeftRecursion(g *Grammar) (*Grammar, error) {
+	return transform.EliminateLeftRecursion(g)
+}

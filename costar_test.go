@@ -1,0 +1,92 @@
+package costar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	p := MustNewParser(g, Options{})
+	res := p.Parse(Words("a", "b", "d"))
+	if res.Kind != Unique {
+		t.Fatalf("result = %s", res)
+	}
+	if err := ValidateTree(g, "S", res.Tree, Words("a", "b", "d")); err != nil {
+		t.Error(err)
+	}
+	if res := p.Parse(Words("a", "b")); res.Kind != Reject {
+		t.Errorf("result = %s", res)
+	}
+}
+
+func TestFacadeOneShot(t *testing.T) {
+	g := MustParseBNF(`S -> x`)
+	if res := Parse(g, "S", Words("x")); res.Kind != Unique {
+		t.Errorf("result = %s", res)
+	}
+	if res := Parse(g, "S", Words("y")); res.Kind != Reject {
+		t.Errorf("result = %s", res)
+	}
+}
+
+func TestFacadeAmbiguityAndError(t *testing.T) {
+	amb := MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	if res := Parse(amb, "S", Words("a")); res.Kind != Ambig {
+		t.Errorf("result = %s", res)
+	}
+	lr := MustParseBNF(`E -> E plus n | n`)
+	if res := Parse(lr, "E", Words("n")); res.Kind != Error {
+		t.Errorf("result = %s", res)
+	}
+}
+
+func TestFacadeG4(t *testing.T) {
+	g, l := MustLoadG4(`
+		grammar Calc;
+		expr : term (('+' | '-') term)* ;
+		term : NUM | '(' expr ')' ;
+		NUM : [0-9]+ ;
+		WS : [ \t\r\n]+ -> skip ;
+	`)
+	toks, err := l.Tokenize("1 + (2 - 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustNewParser(g, Options{})
+	res := p.Parse(toks)
+	if res.Kind != Unique {
+		t.Fatalf("result = %s", res)
+	}
+	if y := res.Tree.Yield(); len(y) != 7 || y[0].Literal != "1" {
+		t.Errorf("yield = %v", y)
+	}
+}
+
+func TestFacadeG4Errors(t *testing.T) {
+	if _, _, err := LoadG4("bogus"); err == nil {
+		t.Error("LoadG4 accepted garbage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLoadG4 should panic")
+		}
+	}()
+	MustLoadG4("bogus")
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	g := NewGrammar("S", []Production{
+		{Lhs: "S", Rhs: []Symbol{T("a"), NT("B")}},
+		{Lhs: "B", Rhs: []Symbol{T("b")}},
+	})
+	if _, err := NewParser(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if Tok("a", "x").Terminal != "a" {
+		t.Error("Tok broken")
+	}
+	if !strings.Contains(g.String(), "S -> a B") {
+		t.Errorf("grammar = %s", g)
+	}
+}

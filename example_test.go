@@ -1,0 +1,82 @@
+package costar_test
+
+import (
+	"fmt"
+
+	"costar"
+)
+
+// The paper's Figure 2 grammar, parsed through the high-level API.
+func Example() {
+	g := costar.MustParseBNF(`
+		S -> A c | A d ;
+		A -> a A | b
+	`)
+	p := costar.MustNewParser(g, costar.Options{})
+	res := p.Parse(costar.Words("a", "b", "d"))
+	fmt.Println(res.Kind)
+	fmt.Println(res.Tree)
+	// Output:
+	// Unique
+	// (S (A a:"a" (A b:"b")) d:"d")
+}
+
+// Ambiguity is detected, reported, and resolved to the lowest alternative.
+func ExampleParse_ambiguous() {
+	g := costar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	res := costar.Parse(g, "S", costar.Words("a"))
+	fmt.Println(res.Kind)
+	fmt.Println(res.Tree)
+	// Output:
+	// Ambig
+	// (S (X a:"a"))
+}
+
+// Invalid input is rejected with the position and the expected tokens.
+func ExampleParser_Parse_reject() {
+	g := costar.MustParseBNF(`S -> a S | b`)
+	p := costar.MustNewParser(g, costar.Options{})
+	res := p.Parse(costar.Words("a", "a"))
+	fmt.Println(res.Kind)
+	fmt.Println(res.Reason)
+	// Output:
+	// Reject
+	// no viable right-hand side for nonterminal S (after 2 of 2 tokens); expected one of: a, b
+}
+
+// An ANTLR-style grammar with EBNF operators and lexer rules compiles to
+// BNF plus a lexer in one call.
+func ExampleLoadG4() {
+	g, lex, err := costar.LoadG4(`
+		grammar List;
+		list : '[' (NUM (',' NUM)*)? ']' ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`)
+	if err != nil {
+		panic(err)
+	}
+	toks, _ := lex.Tokenize("[1, 22, 333]")
+	res := costar.MustNewParser(g, costar.Options{}).Parse(toks)
+	fmt.Println(res.Kind, len(toks), "tokens")
+	// Output:
+	// Unique 7 tokens
+}
+
+// Left-recursive grammars are rejected with a named nonterminal, and can be
+// rewritten automatically.
+func ExampleEliminateLeftRecursion() {
+	g := costar.MustParseBNF(`E -> E plus n | n`)
+	res := costar.Parse(g, "E", costar.Words("n", "plus", "n"))
+	fmt.Println(res.Kind)
+
+	fixed, err := costar.EliminateLeftRecursion(g)
+	if err != nil {
+		panic(err)
+	}
+	res = costar.Parse(fixed, "E", costar.Words("n", "plus", "n"))
+	fmt.Println(res.Kind)
+	// Output:
+	// Error
+	// Unique
+}

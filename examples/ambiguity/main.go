@@ -1,0 +1,74 @@
+// ambiguity: CoStar's ambiguity detection in action — the paper's Figure 6
+// grammar, and the classic dangling-else. Per Theorems 5.6/5.12, ambiguous
+// inputs yield one correct tree labeled Ambig (grammar debugging aid), and
+// unambiguous inputs on the same grammar stay Unique.
+package main
+
+import (
+	"fmt"
+
+	"costar"
+)
+
+func main() {
+	// Figure 6: S → X | Y, X → a, Y → a. The word "a" has two trees.
+	fig6 := costar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	p := costar.MustNewParser(fig6, costar.Options{})
+	res := p.Parse(costar.Words("a"))
+	fmt.Printf("Figure 6 grammar on \"a\": %s\n", res.Kind)
+	fmt.Printf("  chosen tree (lowest alternative, as ANTLR does): %s\n", res.Tree)
+
+	// The classic dangling-else ambiguity.
+	dangling := costar.MustParseBNF(`
+		Stmt -> if b then Stmt
+		      | if b then Stmt else Stmt
+		      | s
+	`)
+	dp := costar.MustNewParser(dangling, costar.Options{})
+	amb := costar.Words("if", "b", "then", "if", "b", "then", "s", "else", "s")
+	res = dp.Parse(amb)
+	fmt.Printf("\ndangling else on %q-shaped input: %s\n", "if b then if b then s else s", res.Kind)
+	fmt.Println("  one of the valid trees:")
+	fmt.Print(indent(res.Tree.Pretty()))
+
+	// Unambiguous inputs on the SAME grammar still come back Unique.
+	res = dp.Parse(costar.Words("if", "b", "then", "s"))
+	fmt.Printf("\nsimple if on the same grammar: %s\n", res.Kind)
+
+	// Fixing the grammar (matched/unmatched split) removes the ambiguity.
+	fixed := costar.MustParseBNF(`
+		Stmt -> Matched | Unmatched ;
+		Matched -> if b then Matched else Matched | s ;
+		Unmatched -> if b then Stmt | if b then Matched else Unmatched
+	`)
+	fp := costar.MustNewParser(fixed, costar.Options{})
+	res = fp.Parse(amb)
+	fmt.Printf("\nafter the matched/unmatched refactoring: %s\n", res.Kind)
+	fmt.Println("(this is the grammar-debugging workflow Section 3.5 describes:")
+	fmt.Println(" detect the ambiguity, fix the grammar, confirm it is gone)")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

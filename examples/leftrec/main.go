@@ -1,0 +1,115 @@
+// leftrec: CoStar and left recursion. ALL(*) cannot parse left-recursive
+// grammars; CoStar (unlike ANTLR, which silently rewrites some of them)
+// detects the situation two ways: statically, with the decision procedure
+// the paper lists as future work (Section 8), and dynamically, with the
+// visited-set check of Section 4.1 whose soundness is Lemma 5.10 — a
+// reported LeftRecursive(X) always names a genuinely left-recursive X.
+package main
+
+import (
+	"fmt"
+
+	"costar"
+	"costar/internal/analysis"
+	"costar/internal/machine"
+)
+
+func main() {
+	// The textbook left-recursive expression grammar.
+	direct := costar.MustParseBNF(`
+		E -> E plus T | T ;
+		T -> T star F | F ;
+		F -> num | lparen E rparen
+	`)
+	report("direct (E → E + T)", direct)
+
+	// Indirect and nullable-hidden left recursion are caught too.
+	indirect := costar.MustParseBNF(`
+		A -> B x | a ;
+		B -> C y | b ;
+		C -> A z | c
+	`)
+	report("indirect (A → B → C → A)", indirect)
+
+	hidden := costar.MustParseBNF(`
+		A -> N A x | a ;
+		N -> %empty | n
+	`)
+	report("hidden by a nullable prefix (A → N A x, N ⇒ ε)", hidden)
+
+	// Or let the library do the refactoring: EliminateLeftRecursion is the
+	// rewrite ANTLR applies implicitly (and the paper defers to future work).
+	fixed2, err := costar.EliminateLeftRecursion(direct)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("automatic elimination of the direct grammar:")
+	fmt.Print(indentG(fixed2.String()))
+	p2 := costar.MustNewParser(fixed2, costar.Options{})
+	res2 := p2.Parse(costar.Words("num", "plus", "num", "star", "num"))
+	fmt.Printf("  parse of num+num*num with the rewritten grammar: %s\n\n", res2.Kind)
+
+	// The standard right-recursive refactoring is accepted.
+	fixed := costar.MustParseBNF(`
+		E -> T Etail ;
+		Etail -> plus T Etail | %empty ;
+		T -> F Ttail ;
+		Ttail -> star F Ttail | %empty ;
+		F -> num | lparen E rparen
+	`)
+	report("right-recursive refactoring", fixed)
+	p := costar.MustNewParser(fixed, costar.Options{})
+	res := p.Parse(costar.Words("num", "plus", "num", "star", "num"))
+	fmt.Printf("  parse of num+num*num: %s\n", res.Kind)
+}
+
+func report(name string, g *costar.Grammar) {
+	fmt.Printf("%s:\n", name)
+	an := analysis.New(g)
+	if lr := an.LeftRecursiveNTs(); len(lr) > 0 {
+		fmt.Printf("  static detector: left-recursive in %v\n", lr)
+		for _, nt := range lr {
+			fmt.Printf("    witness: %v\n", an.LeftRecursionCycle(nt))
+		}
+		// Dynamic detection: the parser halts with LeftRecursive(X) instead
+		// of looping (error-free termination holds only without LR).
+		p := costar.MustNewParser(g, costar.Options{})
+		res := p.Parse(costar.Words("num"))
+		if res.Kind == costar.Error {
+			if merr, ok := res.Err.(*machine.Error); ok && merr.Kind == machine.ErrLeftRecursive {
+				fmt.Printf("  dynamic detector: LeftRecursive(%s) — %s\n", merr.NT, merr.Msg)
+			} else {
+				fmt.Printf("  dynamic detector: %v\n", res.Err)
+			}
+		} else {
+			fmt.Printf("  dynamic detector: %s on this input (the loop was not reached)\n", res.Kind)
+		}
+	} else {
+		fmt.Println("  static detector: no left recursion")
+	}
+}
+
+func indentG(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

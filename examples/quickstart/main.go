@@ -1,0 +1,61 @@
+// Quickstart: the paper's Figure 2 walked end to end — define the toy
+// grammar, parse the word "a b d", print the machine's execution trace
+// (push/push/consume/push/consume/return/... exactly as in the figure),
+// and show the resulting parse tree.
+package main
+
+import (
+	"fmt"
+
+	"costar"
+	"costar/internal/machine"
+	"costar/internal/prediction"
+)
+
+func main() {
+	// Figure 2's grammar:
+	//   (1) S → A c   (2) S → A d   (3) A → a A   (4) A → b
+	g := costar.MustParseBNF(`
+		S -> A c | A d ;
+		A -> a A | b
+	`)
+	word := costar.Words("a", "b", "d")
+
+	// High-level API.
+	p := costar.MustNewParser(g, costar.Options{})
+	res := p.Parse(word)
+	fmt.Printf("result: %s\n", res.Kind)
+	fmt.Printf("tree:   %s\n", res.Tree)
+	fmt.Println("pretty:")
+	fmt.Print(res.Tree.Pretty())
+
+	// The same parse again, stepping the Section 3 stack machine by hand to
+	// reproduce the Figure 2 trace (σ0 … σ7).
+	fmt.Println("machine trace:")
+	pred := prediction.New(g, prediction.Options{})
+	step := 0
+	machine.Multistep(g, pred, machine.Init("S", word), machine.Options{
+		OnStep: func(before *machine.State, op machine.OpKind, after *machine.State) {
+			fmt.Printf("  σ%d %-8s %s\n", step, op, before)
+			step++
+		},
+	})
+
+	// Decision procedure for language membership (Theorem 5.8 + soundness
+	// + completeness): Accepts never errors on this grammar.
+	for _, w := range [][]costar.Token{
+		costar.Words("b", "c"),
+		costar.Words("a", "a", "b", "d"),
+		costar.Words("a", "b"),
+	} {
+		fmt.Printf("accepts %-12v = %v\n", terminals(w), p.Accepts(w))
+	}
+}
+
+func terminals(w []costar.Token) []string {
+	out := make([]string, len(w))
+	for i, t := range w {
+		out[i] = t.Terminal
+	}
+	return out
+}

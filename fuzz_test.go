@@ -1,0 +1,157 @@
+package costar
+
+// Fuzz targets: robustness of the text front ends and the engine. Under
+// plain `go test` only the seed corpus runs; use `go test -fuzz=FuzzX` for
+// open-ended fuzzing. The invariant in every target is "no panic, and
+// anything accepted is internally consistent" — the Theorem 5.8 discipline
+// extended to hostile inputs.
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/earley"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/pylang"
+	"costar/internal/rx"
+)
+
+func FuzzParseBNF(f *testing.F) {
+	seeds := []string{
+		`S -> A c | A d ; A -> a A | b`,
+		`%start B  A -> a ; B -> A b`,
+		`S -> 'quoted \' lit' | %empty`,
+		`S :`, "S -> |", "->", "# only a comment", `S ::= a ; T : b`,
+		"S -> ε | eps", "S -> S S | x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseBNF(src)
+		if err != nil {
+			return
+		}
+		// Accepted grammars must be internally consistent and parseable.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ParseBNF returned an invalid grammar: %v\nsource: %q", err, src)
+		}
+		g2, err := ParseBNF(g.String())
+		if err != nil {
+			t.Fatalf("printed grammar does not reparse: %v\n%s", err, g)
+		}
+		if g2.Start != g.Start {
+			t.Fatalf("round-trip changed the start symbol")
+		}
+	})
+}
+
+func FuzzRxParse(f *testing.F) {
+	seeds := []string{
+		`a(b|c)*d`, `[a-z0-9_]+`, `[^"\\]*`, `A+`, `(()|())*`, `a**`, `[]`, `(((`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pat string) {
+		n, err := rx.Parse(pat)
+		if err != nil {
+			return
+		}
+		d := rx.Compile(n)
+		m := d.Minimize()
+		for _, s := range []string{"", "a", "ab", "zzz", pat} {
+			if d.Match(s) != m.Match(s) {
+				t.Fatalf("minimization changed %q on %q", pat, s)
+			}
+		}
+	})
+}
+
+func FuzzJSONPipeline(f *testing.F) {
+	seeds := []string{
+		`{"a": [1, true, null]}`, `[]`, `{`, `{"a"`, `"lone"`, `[1,]`,
+		`{"A": 1e9}`, strings.Repeat("[", 50) + strings.Repeat("]", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := MustNewParser(jsonlang.Grammar(), Options{MaxSteps: 100000})
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := jsonlang.Tokenize(src)
+		if err != nil {
+			return
+		}
+		res := p.Parse(toks)
+		switch res.Kind {
+		case Unique, Ambig:
+			if err := ValidateTree(jsonlang.Grammar(), "json", res.Tree, toks); err != nil {
+				t.Fatalf("accepted an invalid tree for %q: %v", src, err)
+			}
+			if !earley.RecognizeTokens(jsonlang.Grammar(), "json", toks) {
+				t.Fatalf("accepted a non-member: %q", src)
+			}
+		case Error:
+			t.Fatalf("error on non-left-recursive grammar (Thm 5.8): %v for %q", res.Err, src)
+		}
+	})
+}
+
+func FuzzPythonLayout(f *testing.F) {
+	seeds := []string{
+		"def f(x):\n    return x\n",
+		"if a:\n\tpass\n", // tabs in indentation
+		"x = (\n1,\n)\n",
+		"\n\n# nothing\n",
+		"if a:\n        b\n   c\n", // bad dedent
+		"while x:\n pass\n  pass\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := MustNewParser(pylang.Grammar(), Options{MaxSteps: 200000})
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := pylang.Tokenize(src)
+		if err != nil {
+			return // layout/lex errors are fine; panics are not
+		}
+		res := p.Parse(toks)
+		if res.Kind == Error {
+			t.Fatalf("error on non-left-recursive grammar: %v for %q", res.Err, src)
+		}
+	})
+}
+
+func FuzzG4(f *testing.F) {
+	seeds := []string{
+		"grammar G; s : 'a' ;",
+		"grammar G; s : X* ; X : [a-z]+ -> skip ;", // skip rule referenced: must fail cleanly
+		"grammar G; s : ( 'a' | ) + ;",
+		"grammar G; /* c */ s : A ; A : 'x'..'z' ;",
+		"grammar G; fragment F : . ; s : T ; T : ~F ;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		g, lex, err := LoadG4(src)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("LoadG4 returned an invalid grammar: %v\nsource: %q", err, src)
+		}
+		if _, err := lex.Tokenize("aa bb"); err != nil {
+			return // lexing may fail; must not panic
+		}
+	})
+}

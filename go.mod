@@ -1,0 +1,3 @@
+module costar
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package allstar is the performance baseline of the evaluation: an
+// imperative ALL(*) engine in the style of ANTLR 4, playing the role the
+// Java ANTLR runtime plays in the paper's Figures 10 and 11.
+//
+// Where the verified-style engine (internal/machine + internal/prediction)
+// is purely functional, this one uses every optimization Section 3.5 lists
+// as present in ANTLR but absent from CoStar:
+//
+//   - interned integer symbols and grammar positions (no string
+//     comparisons on the hot path — the compareNT cost of Section 6.1);
+//   - a hash-consed graph-structured stack (GSS) for subparsers, so
+//     configurations are comparable integers and identical stacks merge;
+//   - mutable parser and subparser state (no persistent structures);
+//   - early ambiguity detection via conflicting configurations (same GSS
+//     node, different alternatives) instead of scanning to end of input;
+//   - a DFA cache that persists across inputs by default.
+//
+// Results are bit-compatible with the verified engine on unambiguous
+// inputs (the differential tests check tree equality), which is what makes
+// the Figure 10 slowdown comparison meaningful.
+package allstar
+
+import (
+	"fmt"
+
+	"costar/internal/grammar"
+)
+
+// igrammar is a grammar with interned symbols: terminals and nonterminals
+// are dense non-negative ints, productions are int32 arrays, and every
+// per-symbol table is a slice indexed by id.
+type igrammar struct {
+	src *grammar.Grammar
+
+	termID map[string]int32 // terminal name → id
+	ntID   map[string]int32 // nonterminal name → id
+	ntName []string
+
+	// prods[p] = right-hand side; symbols encoded as: t >= 0 terminal id,
+	// nt encoded as ^id (negative, bit-complement).
+	prods   [][]int32
+	prodLhs []int32   // nonterminal id per production
+	ntProds [][]int32 // production indices per nonterminal id
+	start   int32
+	maxRhs  int
+	// callSites[nt] = encoded positions (prod<<16|dot+1) after occurrences
+	// of nt; used by SLL pops. canFinish[nt]: a pop chain can end the parse.
+	callSites [][]int32
+	canFinish []bool
+}
+
+func encNT(id int32) int32 { return ^id }
+func isNT(sym int32) bool  { return sym < 0 }
+func ntOf(sym int32) int32 { return ^sym }
+
+// pos encodes a grammar position (production, dot) in one int32.
+func pos(prod, dot int32) int32 { return prod<<16 | dot }
+func posProd(p int32) int32     { return p >> 16 }
+func posDot(p int32) int32      { return p & 0xffff }
+
+// intern builds the interned form of g for start symbol start.
+func intern(g *grammar.Grammar, start string) (*igrammar, error) {
+	ig := &igrammar{
+		src:    g,
+		termID: make(map[string]int32),
+		ntID:   make(map[string]int32),
+	}
+	for _, nt := range g.Nonterminals() {
+		ig.ntID[nt] = int32(len(ig.ntName))
+		ig.ntName = append(ig.ntName, nt)
+	}
+	sid, ok := ig.ntID[start]
+	if !ok {
+		return nil, fmt.Errorf("allstar: start symbol %q has no productions", start)
+	}
+	ig.start = sid
+	for _, t := range g.Terminals() {
+		ig.termID[t] = int32(len(ig.termID))
+	}
+	ig.ntProds = make([][]int32, len(ig.ntName))
+	for pi, p := range g.Prods {
+		lhs := ig.ntID[p.Lhs]
+		rhs := make([]int32, len(p.Rhs))
+		for i, s := range p.Rhs {
+			if s.IsT() {
+				id, ok := ig.termID[s.Name]
+				if !ok {
+					id = int32(len(ig.termID))
+					ig.termID[s.Name] = id
+				}
+				rhs[i] = id
+			} else {
+				id, ok := ig.ntID[s.Name]
+				if !ok {
+					return nil, fmt.Errorf("allstar: undefined nonterminal %q", s.Name)
+				}
+				rhs[i] = encNT(id)
+			}
+		}
+		if len(rhs) > ig.maxRhs {
+			ig.maxRhs = len(rhs)
+		}
+		if len(rhs) >= 1<<16 {
+			return nil, fmt.Errorf("allstar: right-hand side too long")
+		}
+		ig.prods = append(ig.prods, rhs)
+		ig.prodLhs = append(ig.prodLhs, lhs)
+		ig.ntProds[lhs] = append(ig.ntProds[lhs], int32(pi))
+	}
+	ig.computeCallSites()
+	ig.computeCanFinish()
+	return ig, nil
+}
+
+// computeCallSites mirrors analysis.NewTargets on the interned form:
+// positions after each occurrence, chased transitively through empty
+// remainders.
+func (ig *igrammar) computeCallSites() {
+	ig.callSites = make([][]int32, len(ig.ntName))
+	for nt := range ig.ntName {
+		seenNT := map[int32]bool{int32(nt): true}
+		dedup := map[int32]bool{}
+		var out []int32
+		var visit func(target int32)
+		visit = func(target int32) {
+			for pi, rhs := range ig.prods {
+				for dot, sym := range rhs {
+					if !isNT(sym) || ntOf(sym) != target {
+						continue
+					}
+					if dot+1 == len(rhs) {
+						lhs := ig.prodLhs[pi]
+						if !seenNT[lhs] {
+							seenNT[lhs] = true
+							visit(lhs)
+						}
+						continue
+					}
+					p := pos(int32(pi), int32(dot+1))
+					if !dedup[p] {
+						dedup[p] = true
+						out = append(out, p)
+					}
+				}
+			}
+		}
+		visit(int32(nt))
+		ig.callSites[nt] = out
+	}
+}
+
+func (ig *igrammar) computeCanFinish() {
+	ig.canFinish = make([]bool, len(ig.ntName))
+	for nt := range ig.ntName {
+		seen := map[int32]bool{}
+		var visit func(target int32) bool
+		visit = func(target int32) bool {
+			if target == ig.start {
+				return true
+			}
+			if seen[target] {
+				return false
+			}
+			seen[target] = true
+			for pi, rhs := range ig.prods {
+				if len(rhs) > 0 && isNT(rhs[len(rhs)-1]) && ntOf(rhs[len(rhs)-1]) == target {
+					if visit(ig.prodLhs[pi]) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		ig.canFinish[nt] = visit(int32(nt))
+	}
+}
+
+// internWord converts a token word to terminal ids; unknown terminals map
+// to -1 (they can never match, which yields a Reject).
+func (ig *igrammar) internWord(w []grammar.Token) []int32 {
+	out := make([]int32, len(w))
+	for i, t := range w {
+		if id, ok := ig.termID[t.Terminal]; ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

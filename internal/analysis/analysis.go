@@ -1,0 +1,371 @@
+// Package analysis computes static grammar facts used by the CoStar parser
+// and its baselines:
+//
+//   - NULLABLE, FIRST, and FOLLOW fixpoints;
+//   - the static left-recursion decision procedure (the paper's Section 8
+//     lists "implement and verify a decision procedure" for the no-left-
+//     recursion property as future work; this package supplies it, with
+//     cycle witnesses);
+//   - call sites per nonterminal, the static information behind the
+//     "stable return frames" that CoStar's SLL mode returns into when a
+//     subparser stack empties (Section 3.5);
+//   - reachability and productivity (useless-symbol detection).
+package analysis
+
+import (
+	"sort"
+
+	"costar/internal/grammar"
+)
+
+// EOF is the pseudo-terminal that FOLLOW sets use to mark "end of input".
+// It never appears in grammars or token words.
+const EOF = "$$EOF$$"
+
+// CallSite identifies an occurrence of a nonterminal in a right-hand side:
+// grammar production Prod, position Pos (Rhs[Pos] is the occurrence).
+type CallSite struct {
+	Prod int
+	Pos  int
+}
+
+// Analysis holds the computed facts for one grammar. Construct with New;
+// the zero value is not usable. An Analysis is immutable after construction
+// and safe for concurrent use.
+type Analysis struct {
+	G *grammar.Grammar
+
+	nullable  map[string]bool
+	first     map[string]map[string]bool
+	follow    map[string]map[string]bool
+	callSites map[string][]CallSite
+	leftRec   map[string]bool
+	cycles    map[string][]string // witness cycle per left-recursive NT
+}
+
+// New computes all analyses for g. Cost is polynomial in grammar size; the
+// result should be cached alongside the grammar (parser sessions do this).
+func New(g *grammar.Grammar) *Analysis {
+	a := &Analysis{
+		G:         g,
+		nullable:  make(map[string]bool),
+		first:     make(map[string]map[string]bool),
+		follow:    make(map[string]map[string]bool),
+		callSites: make(map[string][]CallSite),
+		leftRec:   make(map[string]bool),
+		cycles:    make(map[string][]string),
+	}
+	a.computeNullable()
+	a.computeFirst()
+	a.computeFollow()
+	a.computeCallSites()
+	a.computeLeftRecursion()
+	return a
+}
+
+// Nullable reports whether nt derives the empty word.
+func (a *Analysis) Nullable(nt string) bool { return a.nullable[nt] }
+
+// NullableForm reports whether every symbol of the sentential form is
+// nullable (terminals never are).
+func (a *Analysis) NullableForm(form []grammar.Symbol) bool {
+	for _, s := range form {
+		if s.IsT() || !a.nullable[s.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns FIRST(nt): the terminals that can begin a word derived from
+// nt. The returned map must not be modified.
+func (a *Analysis) First(nt string) map[string]bool { return a.first[nt] }
+
+// FirstOfForm computes FIRST of a sentential form (terminals that can begin
+// a word derived from it), allocating a fresh set.
+func (a *Analysis) FirstOfForm(form []grammar.Symbol) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range form {
+		if s.IsT() {
+			out[s.Name] = true
+			return out
+		}
+		for t := range a.first[s.Name] {
+			out[t] = true
+		}
+		if !a.nullable[s.Name] {
+			return out
+		}
+	}
+	return out
+}
+
+// Follow returns FOLLOW(nt): terminals that can appear immediately after nt
+// in a sentential form derived from the start symbol, plus EOF when nt can
+// end such a form. The returned map must not be modified.
+func (a *Analysis) Follow(nt string) map[string]bool { return a.follow[nt] }
+
+// CallSites returns the occurrences of nt in right-hand sides, in grammar
+// order. The returned slice must not be modified.
+func (a *Analysis) CallSites(nt string) []CallSite { return a.callSites[nt] }
+
+// LeftRecursive reports whether nt is left-recursive: there is a derivation
+// nt ⇒+ γ nt δ with γ nullable (a "nullable path" from nt back to itself in
+// the terminology of Section 5.4.2).
+func (a *Analysis) LeftRecursive(nt string) bool { return a.leftRec[nt] }
+
+// LeftRecursiveNTs returns the sorted left-recursive nonterminals.
+func (a *Analysis) LeftRecursiveNTs() []string {
+	var out []string
+	for nt, yes := range a.leftRec {
+		if yes {
+			out = append(out, nt)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeftRecursionCycle returns a witness cycle [nt, ..., nt] of nullable-path
+// steps for a left-recursive nt, or nil if nt is not left-recursive.
+func (a *Analysis) LeftRecursionCycle(nt string) []string { return a.cycles[nt] }
+
+// HasLeftRecursion reports whether any nonterminal is left-recursive.
+func (a *Analysis) HasLeftRecursion() bool { return len(a.cycles) > 0 }
+
+// FindLeftRecursion is a convenience wrapper: it returns the sorted
+// left-recursive nonterminals of g (empty means the grammar satisfies the
+// "no left recursion" assumption of the CoStar correctness theorems).
+func FindLeftRecursion(g *grammar.Grammar) []string {
+	return New(g).LeftRecursiveNTs()
+}
+
+func (a *Analysis) computeNullable() {
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range a.G.Prods {
+			if a.nullable[p.Lhs] {
+				continue
+			}
+			if a.NullableForm(p.Rhs) {
+				a.nullable[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *Analysis) computeFirst() {
+	for _, nt := range a.G.Nonterminals() {
+		a.first[nt] = make(map[string]bool)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range a.G.Prods {
+			set := a.first[p.Lhs]
+			for _, s := range p.Rhs {
+				if s.IsT() {
+					if !set[s.Name] {
+						set[s.Name] = true
+						changed = true
+					}
+					break
+				}
+				for t := range a.first[s.Name] {
+					if !set[t] {
+						set[t] = true
+						changed = true
+					}
+				}
+				if !a.nullable[s.Name] {
+					break
+				}
+			}
+		}
+	}
+}
+
+func (a *Analysis) computeFollow() {
+	for _, nt := range a.G.Nonterminals() {
+		a.follow[nt] = make(map[string]bool)
+	}
+	if set, ok := a.follow[a.G.Start]; ok {
+		set[EOF] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range a.G.Prods {
+			for i, s := range p.Rhs {
+				if !s.IsNT() {
+					continue
+				}
+				set := a.follow[s.Name]
+				rest := p.Rhs[i+1:]
+				for t := range a.FirstOfForm(rest) {
+					if !set[t] {
+						set[t] = true
+						changed = true
+					}
+				}
+				if a.NullableForm(rest) {
+					for t := range a.follow[p.Lhs] {
+						if !set[t] {
+							set[t] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *Analysis) computeCallSites() {
+	for i, p := range a.G.Prods {
+		for j, s := range p.Rhs {
+			if s.IsNT() {
+				a.callSites[s.Name] = append(a.callSites[s.Name], CallSite{Prod: i, Pos: j})
+			}
+		}
+	}
+}
+
+// computeLeftRecursion builds the "nullable-left-corner" graph — an edge
+// X → Y exists when some production X → αYβ has nullable α — and marks every
+// nonterminal that lies on a cycle through itself, recording a witness.
+func (a *Analysis) computeLeftRecursion() {
+	edges := make(map[string][]string)
+	for _, p := range a.G.Prods {
+		for i, s := range p.Rhs {
+			if s.IsT() {
+				break
+			}
+			edges[p.Lhs] = append(edges[p.Lhs], s.Name)
+			if !a.NullableForm(p.Rhs[i : i+1]) {
+				break
+			}
+		}
+	}
+	for _, nt := range a.G.Nonterminals() {
+		if cycle := findCycle(edges, nt); cycle != nil {
+			a.leftRec[nt] = true
+			a.cycles[nt] = cycle
+		}
+	}
+}
+
+// findCycle searches for a path start → ... → start in edges, returning it
+// (with start at both ends) or nil.
+func findCycle(edges map[string][]string, start string) []string {
+	// DFS from each successor of start, looking for start.
+	type frame struct {
+		node string
+		next int
+	}
+	seen := map[string]bool{}
+	var stack []frame
+	push := func(n string) { stack = append(stack, frame{node: n}) }
+	parent := map[string]string{}
+	for _, succ := range edges[start] {
+		if succ == start {
+			return []string{start, start}
+		}
+		if !seen[succ] {
+			seen[succ] = true
+			parent[succ] = start
+			push(succ)
+		}
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succs := edges[top.node]
+		if top.next >= len(succs) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		n := succs[top.next]
+		top.next++
+		if n == start {
+			// Reconstruct start → ... → top.node → start.
+			var rev []string
+			for cur := top.node; cur != start; cur = parent[cur] {
+				rev = append(rev, cur)
+			}
+			path := []string{start}
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			return append(path, start)
+		}
+		if !seen[n] {
+			seen[n] = true
+			parent[n] = top.node
+			push(n)
+		}
+	}
+	return nil
+}
+
+// Reachable returns the nonterminals reachable from the start symbol.
+func (a *Analysis) Reachable() map[string]bool {
+	out := map[string]bool{}
+	if !a.G.HasNT(a.G.Start) {
+		return out
+	}
+	work := []string{a.G.Start}
+	out[a.G.Start] = true
+	for len(work) > 0 {
+		nt := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, rhs := range a.G.RhssFor(nt) {
+			for _, s := range rhs {
+				if s.IsNT() && !out[s.Name] {
+					out[s.Name] = true
+					work = append(work, s.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Productive returns the nonterminals that derive at least one (finite)
+// terminal word.
+func (a *Analysis) Productive() map[string]bool {
+	out := map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range a.G.Prods {
+			if out[p.Lhs] {
+				continue
+			}
+			ok := true
+			for _, s := range p.Rhs {
+				if s.IsNT() && !out[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// SortedSet renders a terminal set deterministically, for tests and
+// diagnostics.
+func SortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"costar/internal/grammar"
+)
+
+// ReturnTarget is a static continuation an SLL subparser may return into
+// when its local stack empties at nonterminal X: the remainder Rest of some
+// production of Lhs after an occurrence of X (chased transitively through
+// empty remainders). Rest is always non-empty.
+//
+// This is the Section 3.5 "stable return frames" idea: rather than tracking
+// the true caller (which SLL, by design, does not know), the subparser
+// simulates a return into every statically possible continuation.
+type ReturnTarget struct {
+	Lhs  string
+	Rest []grammar.Symbol
+}
+
+// String renders the target as "Lhs: rest…".
+func (rt ReturnTarget) String() string {
+	return rt.Lhs + ": " + grammar.SymbolsString(rt.Rest)
+}
+
+// Targets holds, for every nonterminal, its stable return targets and
+// whether a pop chain from it can reach the end of the whole parse.
+// Construct with NewTargets.
+type Targets struct {
+	byNT      map[string][]ReturnTarget
+	canFinish map[string]bool
+}
+
+// NewTargets computes stable return targets for every nonterminal of g,
+// with g.Start as the parse's start symbol.
+func NewTargets(g *grammar.Grammar) *Targets {
+	return NewTargetsFor(g, g.Start)
+}
+
+// NewTargetsFor is NewTargets with an explicit start symbol (the start
+// symbol determines which pop chains can finish the parse).
+func NewTargetsFor(g *grammar.Grammar, start string) *Targets {
+	t := &Targets{
+		byNT:      make(map[string][]ReturnTarget),
+		canFinish: make(map[string]bool),
+	}
+	for _, nt := range g.Nonterminals() {
+		t.byNT[nt] = computeTargets(g, nt)
+		t.canFinish[nt] = computeCanFinish(g, nt, start)
+	}
+	return t
+}
+
+// For returns the stable return targets of nt. The slice must not be
+// modified.
+func (t *Targets) For(nt string) []ReturnTarget { return t.byNT[nt] }
+
+// CanFinish reports whether an SLL pop chain from nt can reach the bottom
+// of the parse — i.e. some derivation from the start symbol ends exactly
+// with nt (possibly through trailing occurrences chained transitively).
+// A subparser whose stack empties at such an nt may legitimately stop at
+// end of input.
+func (t *Targets) CanFinish(nt string) bool { return t.canFinish[nt] }
+
+// computeTargets chases call sites of x; occurrences with an empty
+// remainder delegate transitively to the call sites of the enclosing
+// left-hand side. Cycles of empty remainders are cut with a seen set.
+func computeTargets(g *grammar.Grammar, x string) []ReturnTarget {
+	var out []ReturnTarget
+	dedup := make(map[string]bool)
+	seen := map[string]bool{x: true}
+	var visit func(nt string)
+	visit = func(nt string) {
+		for i, p := range g.Prods {
+			for j, s := range p.Rhs {
+				if !s.IsNT() || s.Name != nt {
+					continue
+				}
+				rest := p.Rhs[j+1:]
+				if len(rest) == 0 {
+					if !seen[p.Lhs] {
+						seen[p.Lhs] = true
+						visit(p.Lhs)
+					}
+					continue
+				}
+				key := fmt.Sprintf("%s@%d.%d", p.Lhs, i, j)
+				if !dedup[key] {
+					dedup[key] = true
+					out = append(out, ReturnTarget{Lhs: p.Lhs, Rest: rest})
+				}
+			}
+		}
+	}
+	visit(x)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lhs != out[j].Lhs {
+			return out[i].Lhs < out[j].Lhs
+		}
+		return grammar.SymbolsString(out[i].Rest) < grammar.SymbolsString(out[j].Rest)
+	})
+	return out
+}
+
+func computeCanFinish(g *grammar.Grammar, x, start string) bool {
+	seen := map[string]bool{}
+	var visit func(nt string) bool
+	visit = func(nt string) bool {
+		if nt == start {
+			return true
+		}
+		if seen[nt] {
+			return false
+		}
+		seen[nt] = true
+		for _, p := range g.Prods {
+			for j, s := range p.Rhs {
+				if s.IsNT() && s.Name == nt && j == len(p.Rhs)-1 {
+					if visit(p.Lhs) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return visit(x)
+}
+
+// DebugString renders all targets, for golden tests.
+func (t *Targets) DebugString() string {
+	nts := make([]string, 0, len(t.byNT))
+	for nt := range t.byNT {
+		nts = append(nts, nt)
+	}
+	sort.Strings(nts)
+	var b strings.Builder
+	for _, nt := range nts {
+		fmt.Fprintf(&b, "%s (finish=%v):", nt, t.canFinish[nt])
+		for _, rt := range t.byNT[nt] {
+			fmt.Fprintf(&b, " [%s]", rt)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

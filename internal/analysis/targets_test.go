@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+)
+
+func TestTargetsFig2(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	tg := NewTargets(g)
+	// A occurs before c, before d, and at the end of "a A"; the trailing
+	// occurrence chases S's call sites (none) — so exactly two targets.
+	got := tg.For("A")
+	if len(got) != 2 {
+		t.Fatalf("targets(A) = %v", got)
+	}
+	if got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "c" {
+		t.Errorf("targets(A)[0] = %v", got[0])
+	}
+	if got[1].Lhs != "S" || grammar.SymbolsString(got[1].Rest) != "d" {
+		t.Errorf("targets(A)[1] = %v", got[1])
+	}
+	// A at the end of "a A" chains to A's enclosing lhs A (already seen)
+	// and to S; S never occurs in an RHS, so A cannot finish... except via
+	// the chain A ← end of A ← ... S is the start: the trailing A in
+	// "a A" belongs to A itself, and S -> A c ends with c, so no.
+	if tg.CanFinish("A") {
+		t.Error("A should not be able to finish the parse (c/d always follow)")
+	}
+	if !tg.CanFinish("S") {
+		t.Error("the start symbol can always finish")
+	}
+	if tg.For("S") != nil && len(tg.For("S")) != 0 {
+		t.Errorf("targets(S) = %v, want none", tg.For("S"))
+	}
+}
+
+func TestTargetsEmptyRemainderChaining(t *testing.T) {
+	// X ends P's rule; P ends Q's rule; Q occurs before t in S.
+	g := grammar.MustParseBNF(`
+		S -> Q t ;
+		Q -> a P ;
+		P -> b X ;
+		X -> x
+	`)
+	tg := NewTargets(g)
+	got := tg.For("X")
+	if len(got) != 1 || got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "t" {
+		t.Fatalf("targets(X) = %v, want [S: t]", got)
+	}
+	if tg.CanFinish("X") {
+		t.Error("X cannot finish: t always follows via the chain")
+	}
+}
+
+func TestCanFinishChain(t *testing.T) {
+	g := grammar.MustParseBNF(`
+		S -> a Q ;
+		Q -> b P ;
+		P -> x
+	`)
+	tg := NewTargets(g)
+	for _, nt := range []string{"S", "Q", "P"} {
+		if !tg.CanFinish(nt) {
+			t.Errorf("CanFinish(%s) = false, want true", nt)
+		}
+	}
+}
+
+func TestTargetsCyclicEmptyRemainders(t *testing.T) {
+	// A ends B's rule and B ends A's rule: chasing must terminate and
+	// collect the non-empty continuations from both.
+	g := grammar.MustParseBNF(`
+		S -> A x | B y ;
+		A -> a B ;
+		B -> b A | c
+	`)
+	tg := NewTargets(g)
+	a := tg.For("A")
+	// A occurs: end of "b A" (chase B: B occurs before y in S, end of
+	// "a B" → chase A: A occurs before x in S). Targets: S:x, S:y.
+	var rendered []string
+	for _, rt := range a {
+		rendered = append(rendered, rt.String())
+	}
+	joined := strings.Join(rendered, "; ")
+	if !strings.Contains(joined, "S: x") || !strings.Contains(joined, "S: y") {
+		t.Errorf("targets(A) = %s", joined)
+	}
+	if tg.CanFinish("A") || tg.CanFinish("B") {
+		t.Error("neither A nor B can finish (x or y always follows)")
+	}
+	if !strings.Contains(tg.DebugString(), "A (finish=false)") {
+		t.Errorf("DebugString:\n%s", tg.DebugString())
+	}
+}
+
+func TestTargetsSelfRecursion(t *testing.T) {
+	// List -> Item List | ε-style right recursion: the trailing List
+	// occurrence chains to List's own call sites.
+	g := grammar.MustParseBNF(`
+		S -> '[' List ']' ;
+		List -> Item List | %empty ;
+		Item -> i
+	`)
+	tg := NewTargets(g)
+	got := tg.For("List")
+	if len(got) != 1 || got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "']'" {
+		t.Fatalf("targets(List) = %v", got)
+	}
+	item := tg.For("Item")
+	if len(item) != 1 || item[0].Lhs != "List" {
+		t.Fatalf("targets(Item) = %v", item)
+	}
+}

@@ -1,0 +1,253 @@
+// Package avl provides persistent (immutable) AVL-tree maps and sets with
+// string keys. They mirror the Coq Standard Library FMaps/FSets that the
+// CoStar development uses: O(log n) insert/lookup/delete where n is the
+// number of keys, with every operation returning a new version that shares
+// structure with the old one.
+//
+// Section 6.1 of the paper attributes CoStar's performance profile to these
+// comparison-based collections (compareNT alone is ~17% of Python parse
+// time). The parser uses this package for its visited sets, and the map
+// ablation benchmark (DESIGN.md §5) contrasts it with native Go maps.
+package avl
+
+import "strings"
+
+// node is an AVL tree node. Nodes are never mutated after creation.
+type node struct {
+	key         string
+	val         any
+	left, right *node
+	height      int8
+}
+
+func h(n *node) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func mk(key string, val any, l, r *node) *node {
+	ht := h(l)
+	if h(r) > ht {
+		ht = h(r)
+	}
+	return &node{key: key, val: val, left: l, right: r, height: ht + 1}
+}
+
+func balanceFactor(n *node) int8 { return h(n.left) - h(n.right) }
+
+// balance restores the AVL invariant at the root, assuming subtrees are
+// valid AVL trees whose heights differ by at most 2.
+func balance(key string, val any, l, r *node) *node {
+	bf := h(l) - h(r)
+	switch {
+	case bf > 1:
+		if balanceFactor(l) >= 0 { // left-left
+			return mk(l.key, l.val, l.left, mk(key, val, l.right, r))
+		}
+		// left-right
+		lr := l.right
+		return mk(lr.key, lr.val, mk(l.key, l.val, l.left, lr.left), mk(key, val, lr.right, r))
+	case bf < -1:
+		if balanceFactor(r) <= 0 { // right-right
+			return mk(r.key, r.val, mk(key, val, l, r.left), r.right)
+		}
+		// right-left
+		rl := r.left
+		return mk(rl.key, rl.val, mk(key, val, l, rl.left), mk(r.key, r.val, rl.right, r.right))
+	}
+	return mk(key, val, l, r)
+}
+
+func insert(n *node, key string, val any) *node {
+	if n == nil {
+		return mk(key, val, nil, nil)
+	}
+	switch strings.Compare(key, n.key) {
+	case -1:
+		return balance(n.key, n.val, insert(n.left, key, val), n.right)
+	case 1:
+		return balance(n.key, n.val, n.left, insert(n.right, key, val))
+	default:
+		return mk(key, val, n.left, n.right)
+	}
+}
+
+func lookup(n *node, key string) (any, bool) {
+	for n != nil {
+		switch strings.Compare(key, n.key) {
+		case -1:
+			n = n.left
+		case 1:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return nil, false
+}
+
+// removeMin removes the smallest node, returning it and the remainder.
+func removeMin(n *node) (minKey string, minVal any, rest *node) {
+	if n.left == nil {
+		return n.key, n.val, n.right
+	}
+	k, v, l := removeMin(n.left)
+	return k, v, balance(n.key, n.val, l, n.right)
+}
+
+func remove(n *node, key string) *node {
+	if n == nil {
+		return nil
+	}
+	switch strings.Compare(key, n.key) {
+	case -1:
+		return balance(n.key, n.val, remove(n.left, key), n.right)
+	case 1:
+		return balance(n.key, n.val, n.left, remove(n.right, key))
+	default:
+		if n.right == nil {
+			return n.left
+		}
+		if n.left == nil {
+			return n.right
+		}
+		k, v, r := removeMin(n.right)
+		return balance(k, v, n.left, r)
+	}
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + size(n.left) + size(n.right)
+}
+
+func each(n *node, fn func(string, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	return each(n.left, fn) && fn(n.key, n.val) && each(n.right, fn)
+}
+
+// Map is a persistent string-keyed map. The zero value is the empty map.
+// All operations are non-destructive; Map values may be shared freely
+// across goroutines.
+type Map struct{ root *node }
+
+// Insert returns a map with key bound to val (replacing any old binding).
+func (m Map) Insert(key string, val any) Map { return Map{insert(m.root, key, val)} }
+
+// Lookup returns the binding for key.
+func (m Map) Lookup(key string) (any, bool) { return lookup(m.root, key) }
+
+// Remove returns a map without key. Removing an absent key is a no-op.
+func (m Map) Remove(key string) Map { return Map{remove(m.root, key)} }
+
+// Contains reports whether key is bound.
+func (m Map) Contains(key string) bool {
+	_, ok := lookup(m.root, key)
+	return ok
+}
+
+// Len returns the number of bindings (O(n)).
+func (m Map) Len() int { return size(m.root) }
+
+// IsEmpty reports whether the map has no bindings.
+func (m Map) IsEmpty() bool { return m.root == nil }
+
+// Each visits bindings in ascending key order; fn returning false stops the
+// walk early.
+func (m Map) Each(fn func(key string, val any) bool) { each(m.root, fn) }
+
+// Keys returns the keys in ascending order.
+func (m Map) Keys() []string {
+	out := make([]string, 0, 8)
+	each(m.root, func(k string, _ any) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Height returns the AVL height (for tests).
+func (m Map) Height() int { return int(h(m.root)) }
+
+// Set is a persistent string set built on Map. The zero value is empty.
+type Set struct{ m Map }
+
+// Add returns a set including key.
+func (s Set) Add(key string) Set { return Set{s.m.Insert(key, nil)} }
+
+// Remove returns a set excluding key.
+func (s Set) Remove(key string) Set { return Set{s.m.Remove(key)} }
+
+// Contains reports membership.
+func (s Set) Contains(key string) bool { return s.m.Contains(key) }
+
+// Len returns the number of elements (O(n)).
+func (s Set) Len() int { return s.m.Len() }
+
+// IsEmpty reports whether the set is empty.
+func (s Set) IsEmpty() bool { return s.m.IsEmpty() }
+
+// Elems returns the elements in ascending order.
+func (s Set) Elems() []string { return s.m.Keys() }
+
+// Each visits elements in ascending order.
+func (s Set) Each(fn func(string) bool) {
+	s.m.Each(func(k string, _ any) bool { return fn(k) })
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	return "{" + strings.Join(s.Elems(), ", ") + "}"
+}
+
+// SetOf builds a set from elements.
+func SetOf(elems ...string) Set {
+	var s Set
+	for _, e := range elems {
+		s = s.Add(e)
+	}
+	return s
+}
+
+// checkInvariant verifies AVL balance and BST order; used by tests.
+func checkInvariant(n *node) (int8, bool) {
+	if n == nil {
+		return 0, true
+	}
+	lh, lok := checkInvariant(n.left)
+	rh, rok := checkInvariant(n.right)
+	if !lok || !rok {
+		return 0, false
+	}
+	if lh-rh > 1 || rh-lh > 1 {
+		return 0, false
+	}
+	if n.left != nil && n.left.key >= n.key {
+		return 0, false
+	}
+	if n.right != nil && n.right.key <= n.key {
+		return 0, false
+	}
+	got := lh
+	if rh > got {
+		got = rh
+	}
+	got++
+	return got, got == n.height
+}
+
+// Valid reports whether the map satisfies the AVL and BST invariants.
+// It exists for property-based tests.
+func (m Map) Valid() bool {
+	_, ok := checkInvariant(m.root)
+	return ok
+}
+
+// Valid reports whether the underlying tree is a valid AVL tree.
+func (s Set) Valid() bool { return s.m.Valid() }

@@ -1,0 +1,203 @@
+package avl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyMap(t *testing.T) {
+	var m Map
+	if !m.IsEmpty() || m.Len() != 0 || m.Height() != 0 {
+		t.Error("zero Map should be empty")
+	}
+	if _, ok := m.Lookup("x"); ok {
+		t.Error("lookup in empty map succeeded")
+	}
+	if m.Contains("x") {
+		t.Error("Contains in empty map")
+	}
+	if !m.Remove("x").IsEmpty() {
+		t.Error("Remove on empty map should stay empty")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	var m Map
+	m = m.Insert("b", 2).Insert("a", 1).Insert("c", 3)
+	for k, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		v, ok := m.Lookup(k)
+		if !ok || v.(int) != want {
+			t.Errorf("Lookup(%q) = %v, %v", k, v, ok)
+		}
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	// Replacement keeps size.
+	m2 := m.Insert("b", 20)
+	if v, _ := m2.Lookup("b"); v.(int) != 20 {
+		t.Error("replacement failed")
+	}
+	if v, _ := m.Lookup("b"); v.(int) != 2 {
+		t.Error("persistence violated: old version mutated")
+	}
+	if m2.Len() != 3 {
+		t.Errorf("replacement changed size: %d", m2.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var m Map
+	keys := []string{"d", "b", "f", "a", "c", "e", "g"}
+	for i, k := range keys {
+		m = m.Insert(k, i)
+	}
+	old := m
+	for _, k := range keys {
+		m = m.Remove(k)
+		if m.Contains(k) {
+			t.Errorf("key %q survives removal", k)
+		}
+		if !m.Valid() {
+			t.Fatalf("invariant broken after removing %q", k)
+		}
+	}
+	if !m.IsEmpty() {
+		t.Error("map not empty after removing all keys")
+	}
+	if old.Len() != len(keys) {
+		t.Error("persistence violated by Remove")
+	}
+}
+
+func TestEachOrderAndEarlyStop(t *testing.T) {
+	var m Map
+	for _, k := range []string{"q", "a", "z", "m"} {
+		m = m.Insert(k, k)
+	}
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"a", "m", "q", "z"}) {
+		t.Errorf("Keys = %v", got)
+	}
+	var visited []string
+	m.Each(func(k string, _ any) bool {
+		visited = append(visited, k)
+		return len(visited) < 2
+	})
+	if len(visited) != 2 {
+		t.Errorf("early stop failed: %v", visited)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf("b", "a", "b", "c")
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Contains("a") || s.Contains("x") {
+		t.Error("Contains wrong")
+	}
+	if got := s.String(); got != "{a, b, c}" {
+		t.Errorf("String = %q", got)
+	}
+	s2 := s.Remove("b")
+	if s2.Contains("b") || !s.Contains("b") {
+		t.Error("Remove not persistent")
+	}
+	var empty Set
+	if !empty.IsEmpty() || empty.String() != "{}" {
+		t.Error("empty set misbehaves")
+	}
+	var count int
+	s.Each(func(string) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("Each visited %d", count)
+	}
+}
+
+// TestBalancedHeight: inserting sorted keys must keep height logarithmic —
+// the property that distinguishes an AVL tree from a naive BST.
+func TestBalancedHeight(t *testing.T) {
+	var m Map
+	n := 1024
+	for i := 0; i < n; i++ {
+		m = m.Insert(fmt.Sprintf("%06d", i), i)
+	}
+	if !m.Valid() {
+		t.Fatal("invariant broken")
+	}
+	// 1.44*log2(1025) ≈ 14.4
+	if h := m.Height(); h > 15 {
+		t.Errorf("height %d too large for %d sorted inserts", h, n)
+	}
+	if m.Len() != n {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+// TestQuickAgainstGoMap drives random operation sequences and compares with
+// a built-in map, checking the AVL invariant throughout.
+func TestQuickAgainstGoMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map
+		ref := map[string]int{}
+		for op := 0; op < 300; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Intn(1000)
+				m = m.Insert(k, v)
+				ref[k] = v
+			case 1:
+				m = m.Remove(k)
+				delete(ref, k)
+			default:
+				v, ok := m.Lookup(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v.(int) != rv) {
+					return false
+				}
+			}
+			if !m.Valid() {
+				return false
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		return reflect.DeepEqual(m.Keys(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPersistenceSnapshots: every intermediate version remains intact.
+func TestPersistenceSnapshots(t *testing.T) {
+	var versions []Map
+	var m Map
+	for i := 0; i < 50; i++ {
+		m = m.Insert(fmt.Sprintf("%02d", i), i)
+		versions = append(versions, m)
+	}
+	for i, v := range versions {
+		if v.Len() != i+1 {
+			t.Fatalf("version %d has Len %d", i, v.Len())
+		}
+		if _, ok := v.Lookup(fmt.Sprintf("%02d", i)); !ok {
+			t.Fatalf("version %d lost its newest key", i)
+		}
+		if _, ok := v.Lookup(fmt.Sprintf("%02d", i+1)); ok {
+			t.Fatalf("version %d sees a future key", i)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package earley is an independent general-CFG parsing oracle used to test
+// CoStar's soundness, completeness, and ambiguity detection differentially
+// (the role the Coq proofs play in the original development).
+//
+// It provides two engines built from scratch:
+//
+//   - Recognize: a classic Earley recognizer (Earley 1970, with Aycock &
+//     Horspool's nullable fix). It handles every CFG, including
+//     left-recursive and cyclic ones, in O(n³).
+//   - CountTrees: a memoized span dynamic program that counts distinct
+//     parse trees up to a cap, giving ground truth for Unique vs. Ambig.
+//     Counting diverges exactly on grammars with derivation cycles
+//     (A ⇒+ A), which are left-recursive by the nullable-path definition;
+//     those return ErrCyclic.
+package earley
+
+import (
+	"errors"
+	"fmt"
+
+	"costar/internal/analysis"
+	"costar/internal/grammar"
+)
+
+// item is an Earley item: production Prod with the dot before Rhs[Dot],
+// started at input position Origin.
+type item struct {
+	prod   int
+	dot    int
+	origin int
+}
+
+// Recognize reports whether word (a sequence of terminal names) is derivable
+// from start in g.
+func Recognize(g *grammar.Grammar, start string, word []string) bool {
+	an := analysis.New(g)
+	n := len(word)
+	sets := make([]map[item]bool, n+1)
+	order := make([][]item, n+1) // insertion order worklists
+	for i := range sets {
+		sets[i] = make(map[item]bool)
+	}
+	add := func(i int, it item) {
+		if !sets[i][it] {
+			sets[i][it] = true
+			order[i] = append(order[i], it)
+		}
+	}
+	for _, pi := range g.ProductionIndices(start) {
+		add(0, item{prod: pi, origin: 0})
+	}
+	for i := 0; i <= n; i++ {
+		for k := 0; k < len(order[i]); k++ {
+			it := order[i][k]
+			rhs := g.Prods[it.prod].Rhs
+			if it.dot < len(rhs) {
+				s := rhs[it.dot]
+				if s.IsNT() {
+					// Predictor.
+					for _, pi := range g.ProductionIndices(s.Name) {
+						add(i, item{prod: pi, origin: i})
+					}
+					// Aycock–Horspool: if the predicted nonterminal is
+					// nullable, also advance over it immediately.
+					if an.Nullable(s.Name) {
+						add(i, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				} else if i < n && word[i] == s.Name {
+					// Scanner.
+					add(i+1, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+				}
+				continue
+			}
+			// Completer: the production's Lhs spans [it.origin, i).
+			lhs := g.Prods[it.prod].Lhs
+			for _, parent := range order[it.origin] {
+				prhs := g.Prods[parent.prod].Rhs
+				if parent.dot < len(prhs) && prhs[parent.dot].IsNT() && prhs[parent.dot].Name == lhs {
+					add(i, item{prod: parent.prod, dot: parent.dot + 1, origin: parent.origin})
+				}
+			}
+		}
+	}
+	for it := range sets[n] {
+		if it.origin == 0 && it.dot == len(g.Prods[it.prod].Rhs) && g.Prods[it.prod].Lhs == start {
+			return true
+		}
+	}
+	return false
+}
+
+// RecognizeTokens is Recognize over a token word.
+func RecognizeTokens(g *grammar.Grammar, start string, w []grammar.Token) bool {
+	return Recognize(g, start, grammar.TerminalsOf(w))
+}
+
+// ErrCyclic reports that tree counting hit a derivation cycle (A ⇒+ A over
+// the same span), which makes the number of parse trees infinite. Such
+// grammars are necessarily left-recursive.
+var ErrCyclic = errors.New("earley: grammar has a derivation cycle; tree count is infinite")
+
+// CountTrees counts the distinct parse trees deriving word from start,
+// saturating at cap (so cap=2 distinguishes unique/ambiguous cheaply).
+func CountTrees(g *grammar.Grammar, start string, word []string, cap int) (int, error) {
+	c := &counter{g: g, word: word, cap: cap,
+		ntMemo:  make(map[spanKey]int),
+		seqMemo: make(map[seqKey]int),
+		onStack: make(map[spanKey]bool),
+	}
+	total := 0
+	for _, pi := range g.ProductionIndices(start) {
+		n, err := c.seq(pi, 0, 0, len(word))
+		if err != nil {
+			return 0, err
+		}
+		total = c.sat(total + n)
+	}
+	return total, nil
+}
+
+type spanKey struct {
+	nt   string
+	i, j int
+}
+
+type seqKey struct {
+	prod, dot, i, j int
+}
+
+type counter struct {
+	g       *grammar.Grammar
+	word    []string
+	cap     int
+	ntMemo  map[spanKey]int
+	seqMemo map[seqKey]int
+	onStack map[spanKey]bool
+}
+
+func (c *counter) sat(n int) int {
+	if n > c.cap {
+		return c.cap
+	}
+	return n
+}
+
+// nt counts trees for nonterminal x over word[i:j].
+func (c *counter) nt(x string, i, j int) (int, error) {
+	key := spanKey{x, i, j}
+	if v, ok := c.ntMemo[key]; ok {
+		return v, nil
+	}
+	if c.onStack[key] {
+		return 0, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, x, i, j)
+	}
+	c.onStack[key] = true
+	defer delete(c.onStack, key)
+	total := 0
+	for _, pi := range c.g.ProductionIndices(x) {
+		n, err := c.seq(pi, 0, i, j)
+		if err != nil {
+			return 0, err
+		}
+		total = c.sat(total + n)
+	}
+	c.ntMemo[key] = total
+	return total, nil
+}
+
+// seq counts derivations of word[i:j) from Rhs[dot:] of production prod.
+func (c *counter) seq(prod, dot, i, j int) (int, error) {
+	rhs := c.g.Prods[prod].Rhs
+	if dot == len(rhs) {
+		if i == j {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	key := seqKey{prod, dot, i, j}
+	if v, ok := c.seqMemo[key]; ok {
+		return v, nil
+	}
+	s := rhs[dot]
+	total := 0
+	if s.IsT() {
+		if i < j && c.word[i] == s.Name {
+			n, err := c.seq(prod, dot+1, i+1, j)
+			if err != nil {
+				return 0, err
+			}
+			total = n
+		}
+	} else {
+		for m := i; m <= j; m++ {
+			left, err := c.nt(s.Name, i, m)
+			if err != nil {
+				return 0, err
+			}
+			if left == 0 {
+				continue
+			}
+			right, err := c.seq(prod, dot+1, m, j)
+			if err != nil {
+				return 0, err
+			}
+			total = c.sat(total + left*right)
+		}
+	}
+	c.seqMemo[key] = total
+	return total, nil
+}
+
+// Classify runs both engines and summarizes: membership plus (when finite)
+// whether the word is unambiguous. It is the oracle the differential tests
+// compare CoStar against.
+type Classification struct {
+	Member    bool
+	TreeCount int // saturated at 2
+	Cyclic    bool
+}
+
+// Classify classifies word against g/start with a tree-count cap of 2.
+func Classify(g *grammar.Grammar, start string, w []grammar.Token) Classification {
+	word := grammar.TerminalsOf(w)
+	member := Recognize(g, start, word)
+	n, err := CountTrees(g, start, word, 2)
+	if err != nil {
+		return Classification{Member: member, Cyclic: true}
+	}
+	return Classification{Member: member, TreeCount: n}
+}

@@ -1,0 +1,184 @@
+package earley
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+)
+
+func TestRecognizeFig2(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	yes := [][]string{{"b", "c"}, {"b", "d"}, {"a", "b", "c"}, {"a", "a", "b", "d"}}
+	no := [][]string{{}, {"b"}, {"c"}, {"a", "b"}, {"b", "c", "c"}, {"a", "a", "a"}}
+	for _, w := range yes {
+		if !Recognize(g, "S", w) {
+			t.Errorf("should recognize %v", w)
+		}
+	}
+	for _, w := range no {
+		if Recognize(g, "S", w) {
+			t.Errorf("should not recognize %v", w)
+		}
+	}
+}
+
+func TestRecognizeLeftRecursive(t *testing.T) {
+	// Earley handles left recursion natively — that is why it is a valid
+	// oracle even where CoStar errors.
+	g := grammar.MustParseBNF(`E -> E plus n | n`)
+	if !Recognize(g, "E", []string{"n", "plus", "n", "plus", "n"}) {
+		t.Error("left-recursive expression not recognized")
+	}
+	if Recognize(g, "E", []string{"plus", "n"}) {
+		t.Error("bad expression recognized")
+	}
+}
+
+func TestRecognizeNullableChains(t *testing.T) {
+	// Aycock–Horspool case: nullable nonterminals inside productions.
+	g := grammar.MustParseBNF(`
+		S -> A B C x ;
+		A -> %empty | a ;
+		B -> A A ;
+		C -> %empty
+	`)
+	for _, w := range [][]string{{"x"}, {"a", "x"}, {"a", "a", "x"}, {"a", "a", "a", "x"}} {
+		if !Recognize(g, "S", w) {
+			t.Errorf("should recognize %v", w)
+		}
+	}
+	if Recognize(g, "S", []string{"a", "a", "a", "a", "x"}) {
+		t.Error("too many a's recognized")
+	}
+	if Recognize(g, "S", []string{}) {
+		t.Error("empty word recognized but x is mandatory")
+	}
+}
+
+func TestRecognizeEmptyWordAndEpsilon(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> %empty | a S`)
+	if !Recognize(g, "S", nil) {
+		t.Error("ε not recognized")
+	}
+	if !Recognize(g, "S", []string{"a", "a", "a"}) {
+		t.Error("aaa not recognized")
+	}
+}
+
+func TestCountTreesUnique(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	n, err := CountTrees(g, "S", []string{"a", "b", "d"}, 2)
+	if err != nil || n != 1 {
+		t.Errorf("count = %d, %v; want 1", n, err)
+	}
+	n, err = CountTrees(g, "S", []string{"a", "b"}, 2)
+	if err != nil || n != 0 {
+		t.Errorf("count = %d, %v; want 0", n, err)
+	}
+}
+
+func TestCountTreesAmbiguous(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	n, err := CountTrees(g, "S", []string{"a"}, 2)
+	if err != nil || n != 2 {
+		t.Errorf("count = %d, %v; want 2 (saturated)", n, err)
+	}
+	// Dangling else, the classic: if b then (if b then s else s) vs ...
+	dangling := grammar.MustParseBNF(`
+		Stmt -> if b then Stmt | if b then Stmt else Stmt | s
+	`)
+	w := strings.Fields("if b then if b then s else s")
+	n, err = CountTrees(dangling, "Stmt", w, 2)
+	if err != nil || n != 2 {
+		t.Errorf("dangling else count = %d, %v; want 2", n, err)
+	}
+	if !Recognize(dangling, "Stmt", w) {
+		t.Error("dangling else word not recognized")
+	}
+}
+
+func TestCountTreesExactAboveTwo(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> X | Y | Z ; X -> a ; Y -> a ; Z -> a`)
+	n, err := CountTrees(g, "S", []string{"a"}, 10)
+	if err != nil || n != 3 {
+		t.Errorf("count = %d, %v; want 3", n, err)
+	}
+	n, _ = CountTrees(g, "S", []string{"a"}, 2)
+	if n != 2 {
+		t.Errorf("saturated count = %d, want 2", n)
+	}
+}
+
+func TestCountTreesCyclic(t *testing.T) {
+	g := grammar.MustParseBNF(`A -> A | a`)
+	_, err := CountTrees(g, "A", []string{"a"}, 2)
+	if !errors.Is(err, ErrCyclic) {
+		t.Errorf("err = %v, want ErrCyclic", err)
+	}
+	// Recognition still works.
+	if !Recognize(g, "A", []string{"a"}) {
+		t.Error("cyclic grammar word not recognized")
+	}
+}
+
+func TestCountTreesNullableAmbiguity(t *testing.T) {
+	// S -> A A; A -> ε | a: "a" has exactly two trees.
+	g := grammar.MustParseBNF(`S -> A A ; A -> %empty | a`)
+	n, err := CountTrees(g, "S", []string{"a"}, 10)
+	if err != nil || n != 2 {
+		t.Errorf("count = %d, %v; want 2", n, err)
+	}
+	n, _ = CountTrees(g, "S", []string{"a", "a"}, 10)
+	if n != 1 {
+		t.Errorf("count(aa) = %d, want 1", n)
+	}
+	n, _ = CountTrees(g, "S", nil, 10)
+	if n != 1 {
+		t.Errorf("count(ε) = %d, want 1", n)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	w := []grammar.Token{grammar.Tok("a", "a")}
+	c := Classify(g, "S", w)
+	if !c.Member || c.TreeCount != 2 || c.Cyclic {
+		t.Errorf("Classify = %+v", c)
+	}
+	cyc := grammar.MustParseBNF(`A -> A | a`)
+	cc := Classify(cyc, "A", w)
+	if !cc.Member || !cc.Cyclic {
+		t.Errorf("Classify cyclic = %+v", cc)
+	}
+	empty := Classify(g, "S", nil)
+	if empty.Member || empty.TreeCount != 0 {
+		t.Errorf("Classify(ε) = %+v", empty)
+	}
+}
+
+func TestRecognizerAgreesWithCounter(t *testing.T) {
+	// On acyclic grammars the two engines must agree on membership.
+	gs := []*grammar.Grammar{
+		grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`),
+		grammar.MustParseBNF(`S -> A A ; A -> %empty | a`),
+		grammar.MustParseBNF(`S -> '(' S ')' | x`),
+	}
+	words := [][]string{
+		{}, {"a"}, {"b"}, {"x"}, {"a", "b", "c"}, {"b", "d"},
+		{"(", "x", ")"}, {"(", ")"}, {"a", "a"}, {"a", "a", "a"},
+	}
+	for _, g := range gs {
+		for _, w := range words {
+			rec := Recognize(g, g.Start, w)
+			n, err := CountTrees(g, g.Start, w, 2)
+			if err != nil {
+				t.Fatalf("unexpected cycle: %v", err)
+			}
+			if rec != (n > 0) {
+				t.Errorf("grammar\n%s word %v: Recognize=%v but count=%d", g, w, rec, n)
+			}
+		}
+	}
+}

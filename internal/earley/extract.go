@@ -1,0 +1,109 @@
+package earley
+
+import (
+	"fmt"
+
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// ExtractTrees enumerates up to max distinct parse trees deriving w from
+// start, in a deterministic order (production order, then split position).
+// It returns ErrCyclic for grammars with derivation cycles, like
+// CountTrees. Used by tests as the ground-truth tree set that CoStar's
+// returned tree must belong to.
+func ExtractTrees(g *grammar.Grammar, start string, w []grammar.Token, max int) ([]*tree.Tree, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	e := &extractor{g: g, w: w, max: max, onStack: map[spanKey]bool{}}
+	out, err := e.nt(start, 0, len(w))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
+}
+
+type extractor struct {
+	g       *grammar.Grammar
+	w       []grammar.Token
+	max     int
+	onStack map[spanKey]bool
+}
+
+// nt enumerates trees for nonterminal x over w[i:j), capped at max.
+func (e *extractor) nt(x string, i, j int) ([]*tree.Tree, error) {
+	key := spanKey{x, i, j}
+	if e.onStack[key] {
+		return nil, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, x, i, j)
+	}
+	e.onStack[key] = true
+	defer delete(e.onStack, key)
+	var out []*tree.Tree
+	for _, pi := range e.g.ProductionIndices(x) {
+		forests, err := e.seq(e.g.Prods[pi].Rhs, i, j)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range forests {
+			out = append(out, tree.Node(x, f...))
+			if len(out) >= e.max {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// seq enumerates forests deriving w[i:j) from the sentential form.
+func (e *extractor) seq(form []grammar.Symbol, i, j int) ([][]*tree.Tree, error) {
+	if len(form) == 0 {
+		if i == j {
+			return [][]*tree.Tree{nil}, nil
+		}
+		return nil, nil
+	}
+	s := form[0]
+	var out [][]*tree.Tree
+	if s.IsT() {
+		if i < j && e.w[i].Terminal == s.Name {
+			rests, err := e.seq(form[1:], i+1, j)
+			if err != nil {
+				return nil, err
+			}
+			leaf := tree.Leaf(e.w[i])
+			for _, r := range rests {
+				out = append(out, append([]*tree.Tree{leaf}, r...))
+				if len(out) >= e.max {
+					return out, nil
+				}
+			}
+		}
+		return out, nil
+	}
+	for m := i; m <= j; m++ {
+		heads, err := e.nt(s.Name, i, m)
+		if err != nil {
+			return nil, err
+		}
+		if len(heads) == 0 {
+			continue
+		}
+		rests, err := e.seq(form[1:], m, j)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range heads {
+			for _, r := range rests {
+				out = append(out, append([]*tree.Tree{h}, r...))
+				if len(out) >= e.max {
+					return out, nil
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package earley
+
+import (
+	"errors"
+	"testing"
+
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+func toks(terms ...string) []grammar.Token {
+	w := make([]grammar.Token, len(terms))
+	for i, t := range terms {
+		w[i] = grammar.Tok(t, t)
+	}
+	return w
+}
+
+func TestExtractUniqueTree(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	w := toks("a", "b", "d")
+	trees, err := ExtractTrees(g, "S", w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	if err := tree.Validate(g, grammar.NT("S"), trees[0], w); err != nil {
+		t.Errorf("extracted tree invalid: %v", err)
+	}
+	want := tree.Node("S",
+		tree.Node("A", tree.Leaf(grammar.Tok("a", "a")),
+			tree.Node("A", tree.Leaf(grammar.Tok("b", "b")))),
+		tree.Leaf(grammar.Tok("d", "d")))
+	if !trees[0].Equal(want) {
+		t.Errorf("tree = %s", trees[0])
+	}
+}
+
+func TestExtractAmbiguousTrees(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	w := toks("a")
+	trees, err := ExtractTrees(g, "S", w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	if trees[0].Equal(trees[1]) {
+		t.Error("trees not distinct")
+	}
+	for _, v := range trees {
+		if err := tree.Validate(g, grammar.NT("S"), v, w); err != nil {
+			t.Errorf("invalid tree %s: %v", v, err)
+		}
+	}
+	// The cap truncates.
+	one, _ := ExtractTrees(g, "S", w, 1)
+	if len(one) != 1 {
+		t.Errorf("cap ignored: %d", len(one))
+	}
+	none, _ := ExtractTrees(g, "S", w, 0)
+	if none != nil {
+		t.Errorf("max=0 should yield nil")
+	}
+}
+
+func TestExtractMatchesCount(t *testing.T) {
+	gs := []*grammar.Grammar{
+		grammar.MustParseBNF(`S -> A A ; A -> %empty | a`),
+		grammar.MustParseBNF(`S -> X | Y | Z ; X -> a ; Y -> a ; Z -> a`),
+		grammar.MustParseBNF(`Stmt -> if b then Stmt | if b then Stmt else Stmt | s`),
+	}
+	words := [][]grammar.Token{
+		nil, toks("a"), toks("a", "a"),
+		toks("if", "b", "then", "if", "b", "then", "s", "else", "s"),
+	}
+	for _, g := range gs {
+		for _, w := range words {
+			n, err := CountTrees(g, g.Start, grammar.TerminalsOf(w), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trees, err := ExtractTrees(g, g.Start, w, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(trees) != n {
+				t.Errorf("grammar %s word %s: extracted %d, counted %d",
+					g.Start, grammar.WordString(w), len(trees), n)
+			}
+			// All distinct, all valid.
+			for i, a := range trees {
+				if err := tree.Validate(g, grammar.NT(g.Start), a, w); err != nil {
+					t.Errorf("invalid: %v", err)
+				}
+				for _, b := range trees[i+1:] {
+					if a.Equal(b) {
+						t.Errorf("duplicate trees for %s", grammar.WordString(w))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExtractCyclic(t *testing.T) {
+	g := grammar.MustParseBNF(`A -> A | a`)
+	_, err := ExtractTrees(g, "A", toks("a"), 3)
+	if !errors.Is(err, ErrCyclic) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package ebnf defines an EBNF expression AST and its desugaring into the
+// plain BNF that CoStar consumes. Section 6.1 of the paper describes the
+// same tool: ANTLR grammars use EBNF operators (Kleene star and friends),
+// so the conversion "desugars EBNF elements into equivalent BNF structures,
+// generating fresh nonterminals and adding new productions as necessary".
+//
+// Desugaring rules (X is a fresh nonterminal):
+//
+//	e*        ⇒  X → e X | ε
+//	e+        ⇒  e X  where X → e X | ε   (decision after each item)
+//	e?        ⇒  X → e | ε
+//	(a | b)   ⇒  X → a | b     (when nested inside a sequence)
+//
+// The transformation preserves the generated language; TestDesugarPreserves
+// checks that claim against a direct EBNF interpreter (the paper's tool
+// does not prove it, and neither do we — but we test it).
+package ebnf
+
+import (
+	"fmt"
+	"strings"
+
+	"costar/internal/grammar"
+)
+
+// Expr is an EBNF expression.
+type Expr interface {
+	// String renders the expression in EBNF concrete syntax.
+	String() string
+	isExpr()
+}
+
+// T is a terminal reference.
+type T struct{ Name string }
+
+// NT is a nonterminal (rule) reference.
+type NT struct{ Name string }
+
+// Seq is a sequence e1 e2 … en; the empty sequence is ε.
+type Seq struct{ Items []Expr }
+
+// Alt is an ordered choice e1 | e2 | … | en.
+type Alt struct{ Alts []Expr }
+
+// Star is e*.
+type Star struct{ Inner Expr }
+
+// Plus is e+.
+type Plus struct{ Inner Expr }
+
+// Opt is e?.
+type Opt struct{ Inner Expr }
+
+func (T) isExpr()    {}
+func (NT) isExpr()   {}
+func (Seq) isExpr()  {}
+func (Alt) isExpr()  {}
+func (Star) isExpr() {}
+func (Plus) isExpr() {}
+func (Opt) isExpr()  {}
+
+// String implements Expr.
+func (e T) String() string { return grammar.T(e.Name).String() }
+
+// String implements Expr.
+func (e NT) String() string { return e.Name }
+
+// String implements Expr.
+func (e Seq) String() string {
+	if len(e.Items) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		if _, isAlt := it.(Alt); isAlt {
+			parts[i] = "(" + it.String() + ")"
+		} else {
+			parts[i] = it.String()
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// String implements Expr.
+func (e Alt) String() string {
+	parts := make([]string, len(e.Alts))
+	for i, a := range e.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+func groupString(inner Expr, suffix string) string {
+	switch inner.(type) {
+	case T, NT:
+		return inner.String() + suffix
+	default:
+		return "(" + inner.String() + ")" + suffix
+	}
+}
+
+// String implements Expr.
+func (e Star) String() string { return groupString(e.Inner, "*") }
+
+// String implements Expr.
+func (e Plus) String() string { return groupString(e.Inner, "+") }
+
+// String implements Expr.
+func (e Opt) String() string { return groupString(e.Inner, "?") }
+
+// Rule is a named EBNF rule.
+type Rule struct {
+	Name string
+	Body Expr
+}
+
+// Grammar is an EBNF grammar: ordered rules plus a start rule name.
+type Grammar struct {
+	Start string
+	Rules []Rule
+}
+
+// Desugar lowers the EBNF grammar to BNF. Fresh nonterminals are derived
+// from the enclosing rule's name (Name_star, Name_opt, ...), disambiguated
+// with numeric suffixes by the builder.
+func Desugar(eg *Grammar) (*grammar.Grammar, error) {
+	b := grammar.NewBuilder(eg.Start)
+	// Reserve all rule names first so fresh names never collide.
+	for _, r := range eg.Rules {
+		if b.Defined(r.Name) {
+			continue
+		}
+		// Reserve without adding productions yet.
+		_ = b.Fresh(r.Name) // r.Name itself is now taken
+	}
+	d := &desugarer{b: b}
+	for _, r := range eg.Rules {
+		alts := flattenAlts(r.Body)
+		for _, alt := range alts {
+			rhs, err := d.lowerSeq(r.Name, alt)
+			if err != nil {
+				return nil, fmt.Errorf("ebnf: rule %s: %w", r.Name, err)
+			}
+			b.Add(r.Name, rhs...)
+		}
+	}
+	return b.Build()
+}
+
+type desugarer struct {
+	b *grammar.Builder
+	// memo reuses one fresh nonterminal per structurally identical
+	// subexpression within a run, keeping desugared grammars compact
+	// (ANTLR's tool does the same for repeated subrules).
+	memo map[string]string
+}
+
+// flattenAlts splits a rule body into its top-level alternatives.
+func flattenAlts(e Expr) []Expr {
+	if a, ok := e.(Alt); ok {
+		var out []Expr
+		for _, alt := range a.Alts {
+			out = append(out, flattenAlts(alt)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// lowerSeq lowers one alternative into a BNF right-hand side.
+func (d *desugarer) lowerSeq(rule string, e Expr) ([]grammar.Symbol, error) {
+	items := []Expr{e}
+	if s, ok := e.(Seq); ok {
+		items = s.Items
+	}
+	var rhs []grammar.Symbol
+	for _, it := range items {
+		sym, err := d.lowerItem(rule, it)
+		if err != nil {
+			return nil, err
+		}
+		rhs = append(rhs, sym...)
+	}
+	return rhs, nil
+}
+
+// lowerItem lowers a single sequence element to one or more symbols.
+func (d *desugarer) lowerItem(rule string, e Expr) ([]grammar.Symbol, error) {
+	switch e := e.(type) {
+	case T:
+		return []grammar.Symbol{grammar.T(e.Name)}, nil
+	case NT:
+		return []grammar.Symbol{grammar.NT(e.Name)}, nil
+	case Seq:
+		return d.lowerSeq(rule, e)
+	case Star:
+		x, err := d.fresh(rule, "star", e, func(x string) error {
+			inner, err := d.lowerSeq(rule, e.Inner)
+			if err != nil {
+				return err
+			}
+			d.b.Add(x, append(inner, grammar.NT(x))...) // X → e X
+			d.b.Add(x)                                  // X → ε
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []grammar.Symbol{grammar.NT(x)}, nil
+	case Plus:
+		// e+ lowers to "e e*" rather than to X → e X | e. The latter forces
+		// the parser to predict "last item vs. more items" BEFORE parsing
+		// an item, which needs lookahead past the whole item (quadratic on
+		// statement lists); with "e e*" the decision happens after each
+		// item and usually needs one token. The generated language is the
+		// same either way.
+		first, err := d.lowerSeq(rule, e.Inner)
+		if err != nil {
+			return nil, err
+		}
+		rest, err := d.lowerItem(rule, Star{Inner: e.Inner})
+		if err != nil {
+			return nil, err
+		}
+		return append(first, rest...), nil
+	case Opt:
+		x, err := d.fresh(rule, "opt", e, func(x string) error {
+			inner, err := d.lowerSeq(rule, e.Inner)
+			if err != nil {
+				return err
+			}
+			d.b.Add(x, inner...) // X → e
+			d.b.Add(x)           // X → ε
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []grammar.Symbol{grammar.NT(x)}, nil
+	case Alt:
+		x, err := d.fresh(rule, "alt", e, func(x string) error {
+			for _, alt := range flattenAlts(e) {
+				rhs, err := d.lowerSeq(rule, alt)
+				if err != nil {
+					return err
+				}
+				d.b.Add(x, rhs...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []grammar.Symbol{grammar.NT(x)}, nil
+	default:
+		return nil, fmt.Errorf("unknown EBNF node %T", e)
+	}
+}
+
+// fresh allocates (or reuses) the fresh nonterminal for subexpression e and
+// populates its productions via build on first use.
+func (d *desugarer) fresh(rule, kind string, e Expr, build func(string) error) (string, error) {
+	if d.memo == nil {
+		d.memo = make(map[string]string)
+	}
+	key := kind + "|" + e.String()
+	if x, ok := d.memo[key]; ok {
+		return x, nil
+	}
+	x := d.b.Fresh(rule + "_" + kind)
+	d.memo[key] = x
+	if err := build(x); err != nil {
+		return "", err
+	}
+	return x, nil
+}
+
+// Match reports whether word is derivable from the EBNF grammar's start
+// rule, by direct backtracking interpretation of the EBNF (budgeted). It is
+// the reference semantics that the desugaring tests compare against; it is
+// exponential and only suitable for small inputs.
+func (eg *Grammar) Match(word []string, budget int) bool {
+	byName := make(map[string]Expr, len(eg.Rules))
+	var alts map[string][]Expr
+	alts = make(map[string][]Expr)
+	for _, r := range eg.Rules {
+		if _, ok := byName[r.Name]; !ok {
+			byName[r.Name] = r.Body
+		}
+		alts[r.Name] = append(alts[r.Name], flattenAlts(r.Body)...)
+	}
+	m := &matcher{alts: alts, word: word, budget: budget}
+	ok := false
+	m.match(NT{eg.Start}, 0, func(end int) bool {
+		if end == len(word) {
+			ok = true
+			return true
+		}
+		return false
+	})
+	return ok
+}
+
+type matcher struct {
+	alts   map[string][]Expr
+	word   []string
+	budget int
+}
+
+// match invokes k with every end position reachable by matching e starting
+// at pos; k returning true stops the search.
+func (m *matcher) match(e Expr, pos int, k func(int) bool) bool {
+	if m.budget <= 0 {
+		return false
+	}
+	m.budget--
+	switch e := e.(type) {
+	case T:
+		if pos < len(m.word) && m.word[pos] == e.Name {
+			return k(pos + 1)
+		}
+		return false
+	case NT:
+		for _, alt := range m.alts[e.Name] {
+			if m.match(alt, pos, k) {
+				return true
+			}
+		}
+		return false
+	case Seq:
+		return m.matchSeq(e.Items, pos, k)
+	case Alt:
+		for _, alt := range e.Alts {
+			if m.match(alt, pos, k) {
+				return true
+			}
+		}
+		return false
+	case Opt:
+		if k(pos) {
+			return true
+		}
+		return m.match(e.Inner, pos, k)
+	case Star:
+		return m.matchStar(e.Inner, pos, k, map[int]bool{})
+	case Plus:
+		return m.match(e.Inner, pos, func(mid int) bool {
+			return m.matchStar(e.Inner, mid, k, map[int]bool{})
+		})
+	default:
+		return false
+	}
+}
+
+func (m *matcher) matchSeq(items []Expr, pos int, k func(int) bool) bool {
+	if len(items) == 0 {
+		return k(pos)
+	}
+	return m.match(items[0], pos, func(mid int) bool {
+		return m.matchSeq(items[1:], mid, k)
+	})
+}
+
+// matchStar matches zero or more repetitions; seen guards against ε-loops.
+func (m *matcher) matchStar(inner Expr, pos int, k func(int) bool, seen map[int]bool) bool {
+	if seen[pos] {
+		return false
+	}
+	seen[pos] = true
+	if k(pos) {
+		return true
+	}
+	return m.match(inner, pos, func(mid int) bool {
+		return m.matchStar(inner, mid, k, seen)
+	})
+}

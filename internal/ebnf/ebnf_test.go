@@ -1,0 +1,220 @@
+package ebnf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"costar/internal/earley"
+)
+
+func seq(items ...Expr) Expr { return Seq{Items: items} }
+func alt(items ...Expr) Expr { return Alt{Alts: items} }
+
+func TestDesugarStar(t *testing.T) {
+	// List : '[' Item* ']' ;  Item : num ;
+	eg := &Grammar{Start: "List", Rules: []Rule{
+		{Name: "List", Body: seq(T{"["}, Star{NT{"Item"}}, T{"]"})},
+		{Name: "Item", Body: T{"num"}},
+	}}
+	g, err := Desugar(eg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh nonterminal with two productions: e X | ε.
+	var starNT string
+	for _, nt := range g.Nonterminals() {
+		if strings.Contains(nt, "star") {
+			starNT = nt
+		}
+	}
+	if starNT == "" {
+		t.Fatalf("no star helper generated:\n%s", g)
+	}
+	rhss := g.RhssFor(starNT)
+	if len(rhss) != 2 || len(rhss[1]) != 0 {
+		t.Errorf("star helper rules: %v", rhss)
+	}
+	for _, w := range [][]string{{"[", "]"}, {"[", "num", "]"}, {"[", "num", "num", "num", "]"}} {
+		if !earley.Recognize(g, "List", w) {
+			t.Errorf("desugared grammar rejects %v", w)
+		}
+	}
+	if earley.Recognize(g, "List", []string{"["}) {
+		t.Error("desugared grammar accepts unclosed list")
+	}
+}
+
+func TestDesugarPlusOptAlt(t *testing.T) {
+	// S : a+ (b | c)? d ;
+	eg := &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: seq(Plus{T{"a"}}, Opt{alt(T{"b"}, T{"c"})}, T{"d"})},
+	}}
+	g, err := Desugar(eg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes := [][]string{{"a", "d"}, {"a", "a", "d"}, {"a", "b", "d"}, {"a", "a", "c", "d"}}
+	no := [][]string{{"d"}, {"a"}, {"a", "b", "c", "d"}, {"b", "d"}}
+	for _, w := range yes {
+		if !earley.Recognize(g, "S", w) {
+			t.Errorf("rejects %v\n%s", w, g)
+		}
+	}
+	for _, w := range no {
+		if earley.Recognize(g, "S", w) {
+			t.Errorf("accepts %v\n%s", w, g)
+		}
+	}
+}
+
+func TestDesugarMemoReusesHelpers(t *testing.T) {
+	// The same subexpression a* twice in one rule set should yield one
+	// helper nonterminal, not two.
+	eg := &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: alt(seq(Star{T{"a"}}, T{"x"}), seq(Star{T{"a"}}, T{"y"}))},
+	}}
+	g, err := Desugar(eg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, nt := range g.Nonterminals() {
+		if strings.Contains(nt, "star") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("expected 1 shared star helper, found %d:\n%s", count, g)
+	}
+}
+
+func TestDesugarNameCollisions(t *testing.T) {
+	// A rule literally named S_star must not clash with generated helpers.
+	eg := &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: seq(Star{T{"a"}}, NT{"S_star"})},
+		{Name: "S_star", Body: T{"z"}},
+	}}
+	g, err := Desugar(eg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !earley.Recognize(g, "S", []string{"a", "a", "z"}) {
+		t.Errorf("collision handling broke the language:\n%s", g)
+	}
+	if earley.Recognize(g, "S", []string{"a"}) {
+		t.Error("S_star rule lost")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := seq(Plus{T{"a"}}, Opt{alt(T{"b"}, NT{"C"})}, Star{seq(T{"x"}, T{"y"})})
+	got := e.String()
+	want := "a+ (b | C)? (x y)*"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (Seq{}).String() != "ε" {
+		t.Errorf("empty seq = %q", Seq{}.String())
+	}
+	if alt(T{"{"}, T{"}"}).String() != "'{' | '}'" {
+		t.Errorf("quoted terminals: %q", alt(T{"{"}, T{"}"}).String())
+	}
+}
+
+func TestMatchDirectInterpreter(t *testing.T) {
+	eg := &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: seq(Star{T{"a"}}, T{"b"})},
+	}}
+	if !eg.Match([]string{"b"}, 10000) || !eg.Match([]string{"a", "a", "b"}, 10000) {
+		t.Error("Match rejects valid words")
+	}
+	if eg.Match([]string{"a"}, 10000) || eg.Match([]string{"b", "b"}, 10000) {
+		t.Error("Match accepts invalid words")
+	}
+	// ε-inner star must not loop.
+	loop := &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: seq(Star{Opt{T{"a"}}}, T{"b"})},
+	}}
+	if !loop.Match([]string{"a", "b"}, 10000) {
+		t.Error("ε-loop guard broke matching")
+	}
+}
+
+// TestDesugarPreservesLanguage: random EBNF grammars, random words — the
+// desugared BNF (via Earley) and the direct EBNF interpreter must agree.
+func TestDesugarPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		eg := randomEBNF(rng)
+		g, err := Desugar(eg)
+		if err != nil {
+			t.Fatalf("Desugar failed: %v", err)
+		}
+		for i := 0; i < 25; i++ {
+			w := randomWord(rng, 6)
+			want := eg.Match(w, 200000)
+			got := earley.Recognize(g, g.Start, w)
+			if got != want {
+				t.Fatalf("disagreement on %v: ebnf=%v bnf=%v\nEBNF start %s\nBNF:\n%s",
+					w, want, got, eg.Start, g)
+			}
+		}
+	}
+}
+
+func randomWord(rng *rand.Rand, maxLen int) []string {
+	ts := []string{"a", "b", "c"}
+	n := rng.Intn(maxLen + 1)
+	w := make([]string, n)
+	for i := range w {
+		w[i] = ts[rng.Intn(len(ts))]
+	}
+	return w
+}
+
+// randomEBNF builds a small random EBNF grammar over rules S, R with
+// terminals a, b, c. Depth-bounded so the interpreter stays cheap.
+func randomEBNF(rng *rand.Rand) *Grammar {
+	var gen func(depth int, allowNT bool) Expr
+	gen = func(depth int, allowNT bool) Expr {
+		if depth <= 0 {
+			return T{[]string{"a", "b", "c"}[rng.Intn(3)]}
+		}
+		switch rng.Intn(8) {
+		case 0:
+			return Star{gen(depth-1, allowNT)}
+		case 1:
+			return Plus{gen(depth-1, allowNT)}
+		case 2:
+			return Opt{gen(depth-1, allowNT)}
+		case 3:
+			return alt(gen(depth-1, allowNT), gen(depth-1, allowNT))
+		case 4, 5:
+			return seq(gen(depth-1, allowNT), gen(depth-1, allowNT))
+		case 6:
+			if allowNT {
+				return NT{"R"} // R's body never references rules: no recursion blowup
+			}
+			return T{[]string{"a", "b", "c"}[rng.Intn(3)]}
+		default:
+			return T{[]string{"a", "b", "c"}[rng.Intn(3)]}
+		}
+	}
+	return &Grammar{Start: "S", Rules: []Rule{
+		{Name: "S", Body: gen(3, true)},
+		{Name: "R", Body: gen(2, false)},
+	}}
+}
+
+func TestGroupStringEdge(t *testing.T) {
+	if got := (Star{alt(T{"a"}, T{"b"})}).String(); got != "(a | b)*" {
+		t.Errorf("grouped star = %q", got)
+	}
+	if got := (Plus{NT{"X"}}).String(); got != "X+" {
+		t.Errorf("plus = %q", got)
+	}
+}

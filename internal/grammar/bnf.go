@@ -1,0 +1,260 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseBNF reads a grammar from a simple BNF text format:
+//
+//	# comments run to end of line
+//	S -> A 'c' | A d ;
+//	A -> a A | b
+//	B -> %empty
+//
+// Rules are "Lhs -> alternatives", alternatives separated by "|". A rule
+// ends at an optional ";", at the start of the next rule (an identifier
+// followed by "->"), or at end of input. An alternative may be empty or the
+// explicit "%empty" / "ε" / "eps" marker.
+//
+// Identifier classification: every identifier that appears as a left-hand
+// side anywhere in the file is a nonterminal; every other identifier, and
+// every quoted literal, is a terminal. The start symbol is the left-hand
+// side of the first rule unless a "%start Name" directive appears.
+func ParseBNF(src string) (*Grammar, error) {
+	toks, err := lexBNF(src)
+	if err != nil {
+		return nil, err
+	}
+	type rawRule struct {
+		lhs  string
+		alts [][]bnfTok
+		line int
+	}
+	var rules []rawRule
+	start := ""
+	i := 0
+	peekIsRuleStart := func(j int) bool {
+		return j+1 < len(toks) && toks[j].kind == bnfIdent && toks[j+1].kind == bnfArrow
+	}
+	for i < len(toks) {
+		if toks[i].kind == bnfStart {
+			i++
+			if i >= len(toks) || toks[i].kind != bnfIdent {
+				return nil, fmt.Errorf("bnf: %%start must be followed by a name")
+			}
+			start = toks[i].text
+			i++
+			continue
+		}
+		if !peekIsRuleStart(i) {
+			return nil, fmt.Errorf("bnf: line %d: expected rule \"Name -> ...\", got %q", toks[i].line, toks[i].text)
+		}
+		r := rawRule{lhs: toks[i].text, line: toks[i].line}
+		i += 2 // skip IDENT ->
+		var alt []bnfTok
+		flush := func() {
+			r.alts = append(r.alts, alt)
+			alt = nil
+		}
+	alts:
+		for i < len(toks) {
+			switch toks[i].kind {
+			case bnfPipe:
+				flush()
+				i++
+			case bnfSemi:
+				i++
+				break alts
+			case bnfStart:
+				break alts
+			case bnfIdent, bnfQuoted, bnfEmpty:
+				if toks[i].kind == bnfIdent && peekIsRuleStart(i) {
+					break alts
+				}
+				alt = append(alt, toks[i])
+				i++
+			default:
+				return nil, fmt.Errorf("bnf: line %d: unexpected token %q", toks[i].line, toks[i].text)
+			}
+		}
+		flush()
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("bnf: no rules found")
+	}
+	if start == "" {
+		start = rules[0].lhs
+	}
+
+	isNT := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		isNT[r.lhs] = true
+	}
+	b := NewBuilder(start)
+	for _, r := range rules {
+		for _, alt := range r.alts {
+			rhs := make([]Symbol, 0, len(alt))
+			for _, t := range alt {
+				switch {
+				case t.kind == bnfEmpty:
+					// contributes no symbols
+				case t.kind == bnfQuoted:
+					rhs = append(rhs, T(t.text))
+				case isNT[t.text]:
+					rhs = append(rhs, NT(t.text))
+				default:
+					rhs = append(rhs, T(t.text))
+				}
+			}
+			b.Add(r.lhs, rhs...)
+		}
+	}
+	return b.Build()
+}
+
+// MustParseBNF is ParseBNF that panics on error; for tests and package-level
+// grammar literals.
+func MustParseBNF(src string) *Grammar {
+	g, err := ParseBNF(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type bnfTokKind uint8
+
+const (
+	bnfIdent bnfTokKind = iota
+	bnfQuoted
+	bnfArrow
+	bnfPipe
+	bnfSemi
+	bnfEmpty
+	bnfStart
+)
+
+type bnfTok struct {
+	kind bnfTokKind
+	text string
+	line int
+}
+
+func lexBNF(src string) ([]bnfTok, error) {
+	var toks []bnfTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '|':
+			toks = append(toks, bnfTok{bnfPipe, "|", line})
+			i++
+		case c == ';':
+			toks = append(toks, bnfTok{bnfSemi, ";", line})
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, bnfTok{bnfArrow, "->", line})
+			i += 2
+		case c == ':' && (i+1 >= len(src) || src[i+1] != ':'):
+			// yacc-style "Name : alt" is accepted as a synonym for "->"
+			toks = append(toks, bnfTok{bnfArrow, ":", line})
+			i++
+		case c == ':' && i+2 < len(src) && src[i+1] == ':' && src[i+2] == '=':
+			toks = append(toks, bnfTok{bnfArrow, "::=", line})
+			i += 3
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+					switch src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\', '\'', '"':
+						sb.WriteByte(src[j])
+					default:
+						sb.WriteByte('\\')
+						sb.WriteByte(src[j])
+					}
+				} else {
+					sb.WriteByte(src[j])
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("bnf: line %d: unterminated quoted literal", line)
+			}
+			toks = append(toks, bnfTok{bnfQuoted, sb.String(), line})
+			i = j + 1
+		case c == '%':
+			j := i + 1
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			switch word {
+			case "%empty":
+				toks = append(toks, bnfTok{bnfEmpty, word, line})
+			case "%start":
+				toks = append(toks, bnfTok{bnfStart, word, line})
+			default:
+				return nil, fmt.Errorf("bnf: line %d: unknown directive %q", line, word)
+			}
+			i = j
+		case strings.HasPrefix(src[i:], "ε"):
+			toks = append(toks, bnfTok{bnfEmpty, "ε", line})
+			i += len("ε")
+		default:
+			r, size := utf8.DecodeRuneInString(src[i:])
+			if !isWordStart(r) {
+				return nil, fmt.Errorf("bnf: line %d: unexpected character %q", line, string(r))
+			}
+			j := i + size
+			for j < len(src) {
+				r2, size2 := utf8.DecodeRuneInString(src[j:])
+				if !isWordRune(r2) {
+					break
+				}
+				j += size2
+			}
+			word := src[i:j]
+			if word == "eps" {
+				toks = append(toks, bnfTok{bnfEmpty, word, line})
+			} else {
+				toks = append(toks, bnfTok{bnfIdent, word, line})
+			}
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isWordStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isWordRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}

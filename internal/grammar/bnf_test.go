@@ -1,0 +1,221 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBNFFig2(t *testing.T) {
+	g, err := ParseBNF(`
+		# Figure 2 grammar
+		S -> A c | A d ;
+		A -> a A | b
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != fig2().String() {
+		t.Errorf("parsed grammar differs:\n%s\nwant\n%s", g, fig2())
+	}
+	if g.Start != "S" {
+		t.Errorf("Start = %q", g.Start)
+	}
+}
+
+func TestParseBNFQuotedAndEmpty(t *testing.T) {
+	g, err := ParseBNF(`
+		List -> '[' Items ']' ;
+		Items -> Item Items | %empty ;
+		Item -> num
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhss := g.RhssFor("Items")
+	if len(rhss) != 2 {
+		t.Fatalf("Items alternatives = %d", len(rhss))
+	}
+	if len(rhss[1]) != 0 {
+		t.Errorf("second alternative should be ε, got %v", rhss[1])
+	}
+	first := g.RhssFor("List")[0]
+	if first[0] != T("[") || first[2] != T("]") {
+		t.Errorf("quoted terminals not parsed: %v", first)
+	}
+}
+
+func TestParseBNFEpsilonSpellings(t *testing.T) {
+	for _, eps := range []string{"%empty", "eps", "ε"} {
+		g, err := ParseBNF("S -> a | " + eps)
+		if err != nil {
+			t.Fatalf("%s: %v", eps, err)
+		}
+		if rhss := g.RhssFor("S"); len(rhss) != 2 || len(rhss[1]) != 0 {
+			t.Errorf("%s: alternatives = %v", eps, rhss)
+		}
+	}
+}
+
+func TestParseBNFStartDirective(t *testing.T) {
+	g, err := ParseBNF(`
+		%start B
+		A -> a ;
+		B -> A b
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "B" {
+		t.Errorf("Start = %q, want B", g.Start)
+	}
+}
+
+func TestParseBNFRuleBoundaryWithoutSemicolons(t *testing.T) {
+	// "b B" must not be swallowed into the previous rule: the boundary is
+	// detected by the lookahead "IDENT ->".
+	g, err := ParseBNF("A -> a\nB -> b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RhssFor("A"); len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("A alternatives = %v", got)
+	}
+	if !g.HasNT("B") {
+		t.Error("rule B not parsed")
+	}
+}
+
+func TestParseBNFColonArrows(t *testing.T) {
+	for _, arrow := range []string{":", "::=", "->"} {
+		g, err := ParseBNF("S " + arrow + " a S | b")
+		if err != nil {
+			t.Fatalf("arrow %q: %v", arrow, err)
+		}
+		if len(g.RhssFor("S")) != 2 {
+			t.Errorf("arrow %q: wrong alternatives", arrow)
+		}
+	}
+}
+
+func TestParseBNFEscapes(t *testing.T) {
+	g, err := ParseBNF(`S -> '\'' '\n' '\t' "\"" 'a\b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := g.RhssFor("S")[0]
+	want := []string{"'", "\n", "\t", `"`, `a\b`}
+	if len(rhs) != len(want) {
+		t.Fatalf("rhs = %v", rhs)
+	}
+	for i, w := range want {
+		if rhs[i].Name != w {
+			t.Errorf("rhs[%d] = %q, want %q", i, rhs[i].Name, w)
+		}
+	}
+}
+
+func TestParseBNFErrors(t *testing.T) {
+	cases := []string{
+		"",               // no rules
+		"S -> 'unclosed", // unterminated literal
+		"-> a",           // missing lhs
+		"%start",         // dangling directive
+		"%bogus S -> a",  // unknown directive
+		"S -> a $ b",     // stray character
+		"S S -> a",       // not a rule start
+	}
+	for _, src := range cases {
+		if _, err := ParseBNF(src); err == nil {
+			t.Errorf("ParseBNF(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseBNFTerminalClassification(t *testing.T) {
+	g := MustParseBNF(`
+		Expr -> Expr plus Term | Term ;
+		Term -> num
+	`)
+	// "plus" and "num" never appear as LHS, so they are terminals.
+	rhs := g.RhssFor("Expr")[0]
+	if !rhs[0].IsNT() || !rhs[1].IsT() || !rhs[2].IsNT() {
+		t.Errorf("classification wrong: %v", rhs)
+	}
+}
+
+func TestMustParseBNFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseBNF on bad input should panic")
+		}
+	}()
+	MustParseBNF("garbage $$")
+}
+
+// TestBNFRoundTrip property: String() output re-parses to an identical
+// grammar, for random small grammars.
+func TestBNFRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGrammar(seed)
+		g2, err := ParseBNF(g.String())
+		if err != nil {
+			t.Logf("reparse failed for:\n%s\nerr: %v", g, err)
+			return false
+		}
+		return g2.String() == g.String() && g2.Start == g.Start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGrammar builds a small random grammar deterministically from seed.
+// Nonterminal names are uppercase, terminals lowercase, so classification by
+// LHS occurrence is stable under round-tripping (every NT gets a rule).
+func randomGrammar(seed int64) *Grammar {
+	rng := seed
+	next := func(n int) int {
+		// xorshift-style deterministic sequence; avoids math/rand setup.
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		v := int(rng % int64(n))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	ntNames := []string{"S", "A", "B", "C"}
+	tNames := []string{"a", "b", "c", "x", "y"}
+	b := NewBuilder("S")
+	for _, nt := range ntNames {
+		alts := 1 + next(3)
+		for i := 0; i < alts; i++ {
+			n := next(4)
+			rhs := make([]Symbol, 0, n)
+			for j := 0; j < n; j++ {
+				if next(2) == 0 {
+					rhs = append(rhs, NT(ntNames[next(len(ntNames))]))
+				} else {
+					rhs = append(rhs, T(tNames[next(len(tNames))]))
+				}
+			}
+			b.Add(nt, rhs...)
+		}
+	}
+	return b.Grammar()
+}
+
+func TestParseBNFCommentsAndWhitespace(t *testing.T) {
+	g, err := ParseBNF("# leading comment\n\n  S -> a # trailing\n   | b\n# end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RhssFor("S")) != 2 {
+		t.Errorf("alternatives = %v", g.RhssFor("S"))
+	}
+	if strings.Contains(g.String(), "#") {
+		t.Error("comment text leaked into grammar")
+	}
+}

@@ -1,0 +1,64 @@
+package grammar
+
+import "fmt"
+
+// Builder assembles a Grammar incrementally. It is the programmatic
+// counterpart of ParseBNF and is convenient for generated grammars (the
+// EBNF desugarer uses it to add fresh nonterminals).
+type Builder struct {
+	start string
+	prods []Production
+	seen  map[string]bool
+}
+
+// NewBuilder returns a Builder with the given start nonterminal.
+func NewBuilder(start string) *Builder {
+	return &Builder{start: start, seen: make(map[string]bool)}
+}
+
+// Add appends the production lhs → rhs.
+func (b *Builder) Add(lhs string, rhs ...Symbol) *Builder {
+	b.prods = append(b.prods, Production{Lhs: lhs, Rhs: rhs})
+	b.seen[lhs] = true
+	return b
+}
+
+// AddProd appends an existing production value.
+func (b *Builder) AddProd(p Production) *Builder {
+	b.prods = append(b.prods, p)
+	b.seen[p.Lhs] = true
+	return b
+}
+
+// Defined reports whether lhs already has at least one production.
+func (b *Builder) Defined(lhs string) bool { return b.seen[lhs] }
+
+// Fresh returns a nonterminal name based on base that is not yet defined,
+// appending a numeric suffix if needed. The name is reserved immediately so
+// repeated calls yield distinct names even before productions are added.
+func (b *Builder) Fresh(base string) string {
+	name := base
+	for i := 1; b.seen[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	b.seen[name] = true
+	return name
+}
+
+// SetStart changes the start symbol.
+func (b *Builder) SetStart(start string) *Builder {
+	b.start = start
+	return b
+}
+
+// Grammar finalizes the builder into a Grammar.
+func (b *Builder) Grammar() *Grammar { return New(b.start, b.prods) }
+
+// Build finalizes and validates in one call.
+func (b *Builder) Build() (*Grammar, error) {
+	g := b.Grammar()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

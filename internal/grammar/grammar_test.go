@@ -1,0 +1,240 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig2 is the toy grammar from Figure 2 of the paper:
+//
+//	(1) S → A c   (2) S → A d   (3) A → a A   (4) A → b
+func fig2() *Grammar {
+	return New("S", []Production{
+		{Lhs: "S", Rhs: []Symbol{NT("A"), T("c")}},
+		{Lhs: "S", Rhs: []Symbol{NT("A"), T("d")}},
+		{Lhs: "A", Rhs: []Symbol{T("a"), NT("A")}},
+		{Lhs: "A", Rhs: []Symbol{T("b")}},
+	})
+}
+
+func TestSymbolBasics(t *testing.T) {
+	a, x := T("a"), NT("X")
+	if !a.IsT() || a.IsNT() {
+		t.Errorf("T(a) kind wrong: %+v", a)
+	}
+	if !x.IsNT() || x.IsT() {
+		t.Errorf("NT(X) kind wrong: %+v", x)
+	}
+	if a == x {
+		t.Error("terminal and nonterminal with different names compared equal")
+	}
+	if T("z") == NT("z") {
+		t.Error("terminal and nonterminal with same name must differ")
+	}
+}
+
+func TestSymbolCompare(t *testing.T) {
+	cases := []struct {
+		a, b Symbol
+		want int
+	}{
+		{T("a"), T("a"), 0},
+		{T("a"), T("b"), -1},
+		{T("b"), T("a"), 1},
+		{T("z"), NT("a"), -1},
+		{NT("a"), T("z"), 1},
+		{NT("A"), NT("A"), 0},
+		{NT("A"), NT("B"), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); sign(got) != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestSymbolString(t *testing.T) {
+	if got := T("ident").String(); got != "ident" {
+		t.Errorf("plain terminal: got %q", got)
+	}
+	if got := T("{").String(); got != "'{'" {
+		t.Errorf("punct terminal: got %q", got)
+	}
+	if got := NT("Expr").String(); got != "Expr" {
+		t.Errorf("nonterminal: got %q", got)
+	}
+	if got := SymbolsString(nil); got != "ε" {
+		t.Errorf("empty form: got %q", got)
+	}
+	if got := SymbolsString([]Symbol{NT("A"), T("c")}); got != "A c" {
+		t.Errorf("form: got %q", got)
+	}
+}
+
+func TestGrammarIndices(t *testing.T) {
+	g := fig2()
+	if got := g.ProductionIndices("S"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("S indices = %v", got)
+	}
+	if got := g.ProductionIndices("A"); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("A indices = %v", got)
+	}
+	if got := g.ProductionIndices("Z"); got != nil {
+		t.Errorf("undefined nonterminal indices = %v, want nil", got)
+	}
+	rhss := g.RhssFor("A")
+	if len(rhss) != 2 || SymbolsString(rhss[0]) != "a A" || SymbolsString(rhss[1]) != "b" {
+		t.Errorf("RhssFor(A) = %v", rhss)
+	}
+}
+
+func TestGrammarStats(t *testing.T) {
+	g := fig2()
+	nT, nN, nP := g.Stats()
+	if nT != 4 || nN != 2 || nP != 4 {
+		t.Errorf("Stats = (%d,%d,%d), want (4,2,4)", nT, nN, nP)
+	}
+	if g.MaxRhsLen() != 2 {
+		t.Errorf("MaxRhsLen = %d, want 2", g.MaxRhsLen())
+	}
+	wantTs := []string{"a", "b", "c", "d"}
+	got := g.Terminals()
+	if len(got) != len(wantTs) {
+		t.Fatalf("Terminals = %v", got)
+	}
+	for i := range wantTs {
+		if got[i] != wantTs[i] {
+			t.Errorf("Terminals[%d] = %q, want %q", i, got[i], wantTs[i])
+		}
+	}
+	nts := g.Nonterminals()
+	if len(nts) != 2 || nts[0] != "S" || nts[1] != "A" {
+		t.Errorf("Nonterminals = %v", nts)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig2().Validate(); err != nil {
+		t.Errorf("fig2 should validate: %v", err)
+	}
+	bad := New("S", []Production{{Lhs: "S", Rhs: []Symbol{NT("Missing")}}})
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined nonterminal should fail validation")
+	}
+	noStart := New("Q", []Production{{Lhs: "S", Rhs: nil}})
+	if err := noStart.Validate(); err == nil {
+		t.Error("undefined start symbol should fail validation")
+	}
+	empty := New("", nil)
+	if err := empty.Validate(); err == nil {
+		t.Error("empty grammar should fail validation")
+	}
+	emptyName := New("S", []Production{{Lhs: "S", Rhs: []Symbol{T("")}}})
+	if err := emptyName.Validate(); err == nil {
+		t.Error("empty symbol name should fail validation")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := fig2()
+	c := g.Clone()
+	if c.String() != g.String() {
+		t.Fatalf("clone differs:\n%s\nvs\n%s", c, g)
+	}
+	c.Prods[0].Rhs[0] = T("mutated")
+	if g.Prods[0].Rhs[0] != NT("A") {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestGrammarString(t *testing.T) {
+	s := fig2().String()
+	want := "S -> A c | A d\nA -> a A | b\n"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+	// Start symbol is printed first even when defined later.
+	g := New("B", []Production{
+		{Lhs: "A", Rhs: []Symbol{T("a")}},
+		{Lhs: "B", Rhs: []Symbol{NT("A")}},
+	})
+	if !strings.HasPrefix(g.String(), "B ->") {
+		t.Errorf("start symbol not first:\n%s", g)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	w := []Token{Tok("Int", "42"), Tok("Plus", "+"), Tok("Int", "1")}
+	if got := WordString(w); got != "Int Plus Int" {
+		t.Errorf("WordString = %q", got)
+	}
+	if got := WordString(nil); got != "ε" {
+		t.Errorf("WordString(nil) = %q", got)
+	}
+	ts := TerminalsOf(w)
+	if len(ts) != 3 || ts[0] != "Int" || ts[2] != "Int" {
+		t.Errorf("TerminalsOf = %v", ts)
+	}
+	if got := Tok("Int", "42").String(); got != `Int:"42"` {
+		t.Errorf("Token.String = %q", got)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("S")
+	b.Add("S", NT("A"), T("c"))
+	b.Add("S", NT("A"), T("d"))
+	b.Add("A", T("a"), NT("A"))
+	b.Add("A", T("b"))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != fig2().String() {
+		t.Errorf("builder grammar differs:\n%s", g)
+	}
+	if !b.Defined("S") || b.Defined("Z") {
+		t.Error("Defined bookkeeping wrong")
+	}
+}
+
+func TestBuilderFresh(t *testing.T) {
+	b := NewBuilder("S")
+	b.Add("S", T("x"))
+	n1 := b.Fresh("S")
+	n2 := b.Fresh("S")
+	if n1 == "S" || n2 == "S" || n1 == n2 {
+		t.Errorf("Fresh returned non-fresh names: %q, %q", n1, n2)
+	}
+	// Fresh reserves even before a production is added.
+	n3 := b.Fresh(n1)
+	if n3 == n1 {
+		t.Errorf("Fresh(%q) returned the same name", n1)
+	}
+}
+
+func TestBuilderSetStartAndFailedBuild(t *testing.T) {
+	b := NewBuilder("S")
+	b.Add("A", T("a"))
+	if _, err := b.Build(); err == nil {
+		t.Error("Build with undefined start should fail")
+	}
+	b.SetStart("A")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "A" {
+		t.Errorf("Start = %q", g.Start)
+	}
+}

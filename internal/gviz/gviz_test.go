@@ -1,0 +1,122 @@
+package gviz
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+	"costar/internal/languages/dotlang"
+	"costar/internal/machine"
+	"costar/internal/parser"
+)
+
+func fig2Tree(t *testing.T) (*grammar.Grammar, *parser.Result) {
+	t.Helper()
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	res := parser.MustNew(g, parser.Options{}).Parse([]grammar.Token{
+		grammar.Tok("a", "a"), grammar.Tok("b", "b"), grammar.Tok("d", "d"),
+	})
+	if res.Kind != machine.Unique {
+		t.Fatal(res)
+	}
+	return g, &res
+}
+
+// TestTreeDOTParsesWithOwnDOTGrammar: the emitted document must be valid
+// per this repository's own DOT benchmark grammar — exporter and parser
+// checking each other.
+func TestTreeDOTParsesWithOwnDOTGrammar(t *testing.T) {
+	_, res := fig2Tree(t)
+	doc := TreeDOT(res.Tree)
+	toks, err := dotlang.Tokenize(doc)
+	if err != nil {
+		t.Fatalf("our DOT lexer rejects our DOT output: %v\n%s", err, doc)
+	}
+	p := parser.MustNew(dotlang.Grammar(), parser.Options{})
+	if r := p.Parse(toks); r.Kind != machine.Unique {
+		t.Fatalf("our DOT parser rejects our DOT output: %s\n%s", r, doc)
+	}
+	// Content sanity: one node per tree node, one edge per parent-child.
+	if got := strings.Count(doc, "->"); got != res.Tree.Size()-1 {
+		t.Errorf("edges = %d, want %d", got, res.Tree.Size()-1)
+	}
+	if !strings.Contains(doc, `"b: b"`) {
+		t.Errorf("leaf label missing:\n%s", doc)
+	}
+}
+
+func TestTreeDOTEscaping(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> str`)
+	res := parser.MustNew(g, parser.Options{}).Parse([]grammar.Token{
+		grammar.Tok("str", `quote " backslash \ newline`+"\n"),
+	})
+	if res.Kind != machine.Unique {
+		t.Fatal(res)
+	}
+	doc := TreeDOT(res.Tree)
+	toks, err := dotlang.Tokenize(doc)
+	if err != nil {
+		t.Fatalf("escaping broke lexing: %v\n%s", err, doc)
+	}
+	p := parser.MustNew(dotlang.Grammar(), parser.Options{})
+	if r := p.Parse(toks); r.Kind != machine.Unique {
+		t.Fatalf("escaping broke parsing: %s\n%s", r, doc)
+	}
+}
+
+func TestGrammarDOT(t *testing.T) {
+	g, _ := fig2Tree(t)
+	doc := GrammarDOT(g, nil)
+	toks, err := dotlang.Tokenize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parser.MustNew(dotlang.Grammar(), parser.Options{})
+	if r := p.Parse(toks); r.Kind != machine.Unique {
+		t.Fatalf("grammar graph does not parse: %s\n%s", r, doc)
+	}
+	// S -> A appears (left corner, bold), A -> A appears (recursion).
+	if !strings.Contains(doc, "S -> A [penwidth=2]") {
+		t.Errorf("left-corner edge missing:\n%s", doc)
+	}
+	if !strings.Contains(doc, "A -> A") {
+		t.Errorf("self edge missing:\n%s", doc)
+	}
+}
+
+func TestGrammarDOTKeywordNonterminals(t *testing.T) {
+	// A nonterminal named like a DOT keyword must be quoted.
+	g := grammar.MustParseBNF(`S -> Node x ; Node -> n`)
+	doc := GrammarDOT(g, nil)
+	if !strings.Contains(doc, `"Node"`) && !strings.Contains(doc, "Node") {
+		t.Fatalf("missing nonterminal:\n%s", doc)
+	}
+	toks, err := dotlang.Tokenize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parser.MustNew(dotlang.Grammar(), parser.Options{})
+	if r := p.Parse(toks); r.Kind != machine.Unique {
+		t.Fatalf("keyword-named nonterminal broke the document: %s\n%s", r, doc)
+	}
+}
+
+func TestIdentAndQuote(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"Node":    `"Node"`, // keyword, case-insensitive
+		"9lives":  `"9lives"`,
+		"has sp":  `"has sp"`,
+		"":        `""`,
+		"x_1":     "x_1",
+		"digraph": `"digraph"`,
+	}
+	for in, want := range cases {
+		if got := ident(in); got != want {
+			t.Errorf("ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := quote(`a"b\c`); got != `"a\"b\\c"` {
+		t.Errorf("quote = %q", got)
+	}
+}

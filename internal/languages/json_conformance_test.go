@@ -1,0 +1,92 @@
+package languages_test
+
+// Conformance of the JSON benchmark language against an external oracle:
+// the standard library's encoding/json. Two one-directional checks (the
+// grammars differ slightly at the edges — like the ANTLR JSON grammar, ours
+// permits raw control characters inside strings, which RFC 8259 forbids):
+//
+//  1. every document our generator emits is stdlib-valid JSON;
+//  2. every stdlib-valid document our lexer can tokenize parses Unique.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"costar/internal/languages/jsonlang"
+	"costar/internal/parser"
+)
+
+func TestGeneratedJSONIsStdlibValid(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		doc := jsonlang.Generate(seed, 500)
+		if !json.Valid([]byte(doc)) {
+			t.Fatalf("seed %d: generator emitted invalid JSON:\n%s", seed, clip(doc))
+		}
+	}
+}
+
+func TestStdlibValidImpliesUnique(t *testing.T) {
+	p := parser.MustNew(jsonlang.Grammar(), parser.Options{})
+	docs := []string{
+		`{}`, `[]`, `null`, `true`, `-0.5e-7`, `""`,
+		`{"a":{"b":{"c":[1,2,3]}}}`,
+		`[{"k":"v"},[[[]]],"é\n escaped",1e308]`,
+		"\t{ \"ws\" : [ 1 ,\n 2 ] }\r\n",
+		`{"dup":1,"dup":2}`,
+		`"𝄞"`,
+	}
+	for _, doc := range docs {
+		if !json.Valid([]byte(doc)) {
+			t.Fatalf("test case %q is not stdlib-valid; fix the test", doc)
+		}
+		toks, err := jsonlang.Tokenize(doc)
+		if err != nil {
+			t.Fatalf("%q: lexer rejected stdlib-valid JSON: %v", doc, err)
+		}
+		if res := p.Parse(toks); res.Kind != parser.Unique {
+			t.Errorf("%q: %s", doc, res)
+		}
+	}
+}
+
+func TestMutatedJSONAgreement(t *testing.T) {
+	// Mutate generated documents; whenever the stdlib says the mutant is
+	// valid, our pipeline must still accept it. (The reverse direction is
+	// exempt: our grammar is slightly more permissive inside strings.)
+	rng := rand.New(rand.NewSource(33))
+	p := parser.MustNew(jsonlang.Grammar(), parser.Options{})
+	agreedValid, agreedInvalid, permissive := 0, 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		base := jsonlang.Generate(seed, 120)
+		for trial := 0; trial < 60; trial++ {
+			b := []byte(base)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				pos := rng.Intn(len(b))
+				b[pos] = `{}[],:"0123456789ex."truefalsn `[rng.Intn(31)]
+			}
+			mutant := string(b)
+			stdValid := json.Valid(b)
+			toks, err := jsonlang.Tokenize(mutant)
+			ourValid := false
+			if err == nil {
+				ourValid = p.Parse(toks).Kind == parser.Unique
+			}
+			switch {
+			case stdValid && !ourValid:
+				t.Fatalf("stdlib-valid mutant rejected:\n%s", clip(mutant))
+			case stdValid && ourValid:
+				agreedValid++
+			case !stdValid && !ourValid:
+				agreedInvalid++
+			default:
+				permissive++ // we accept, stdlib does not (string control chars etc.)
+			}
+		}
+	}
+	if agreedInvalid == 0 || agreedValid == 0 {
+		t.Errorf("mutation test degenerate: %d/%d/%d", agreedValid, agreedInvalid, permissive)
+	}
+	t.Logf("mutants: %d agreed-valid, %d agreed-invalid, %d ours-more-permissive",
+		agreedValid, agreedInvalid, permissive)
+}

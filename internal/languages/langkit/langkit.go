@@ -1,0 +1,113 @@
+// Package langkit holds the plumbing shared by the four benchmark language
+// packages (jsonlang, xmllang, dotlang, pylang): lazy compilation of a
+// .g4-subset source into a BNF grammar and lexer, an optional layout pass
+// (Python's INDENT/DEDENT), and a deterministic RNG for corpus generators.
+package langkit
+
+import (
+	"sync"
+
+	"costar/internal/ebnf"
+	"costar/internal/g4"
+	"costar/internal/grammar"
+	"costar/internal/lexer"
+)
+
+// Layout transforms raw lexemes (skips included) into the parser's token
+// word. The default layout drops skip lexemes.
+type Layout func(lexs []lexer.Lexeme) ([]grammar.Token, error)
+
+// Language bundles one benchmark language. Construct with New; compilation
+// happens on first use and is cached.
+type Language struct {
+	Name   string
+	Source string
+	layout Layout
+
+	once sync.Once
+	file *g4.File
+	bnf  *grammar.Grammar
+	lex  *lexer.Lexer
+}
+
+// New declares a language. layout may be nil.
+func New(name, source string, layout Layout) *Language {
+	return &Language{Name: name, Source: source, layout: layout}
+}
+
+func (l *Language) build() {
+	l.once.Do(func() {
+		l.file = g4.MustParse(l.Source)
+		g, err := ebnf.Desugar(l.file.Parser)
+		if err != nil {
+			panic(l.Name + ": " + err.Error())
+		}
+		l.bnf = g
+		lx, err := lexer.New(l.file.Lexer)
+		if err != nil {
+			panic(l.Name + ": " + err.Error())
+		}
+		l.lex = lx
+	})
+}
+
+// File returns the parsed .g4 file.
+func (l *Language) File() *g4.File {
+	l.build()
+	return l.file
+}
+
+// Grammar returns the desugared BNF grammar.
+func (l *Language) Grammar() *grammar.Grammar {
+	l.build()
+	return l.bnf
+}
+
+// Lexer returns the compiled lexer.
+func (l *Language) Lexer() *lexer.Lexer {
+	l.build()
+	return l.lex
+}
+
+// Tokenize lexes src and applies the language's layout pass.
+func (l *Language) Tokenize(src string) ([]grammar.Token, error) {
+	l.build()
+	lexs, err := l.lex.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	if l.layout != nil {
+		return l.layout(lexs)
+	}
+	return lexer.Strip(lexs), nil
+}
+
+// RNG is a small deterministic xorshift generator for corpus synthesis.
+// The zero value is invalid; seed with NewRNG.
+type RNG struct{ state int64 }
+
+// NewRNG seeds a generator (zero seeds are remapped).
+func NewRNG(seed int64) *RNG {
+	if seed == 0 {
+		seed = 0x3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns a value in [0, n).
+func (r *RNG) Next(n int) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	v := int(r.state % int64(n))
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// Pick returns a random element of words.
+func (r *RNG) Pick(words []string) string { return words[r.Next(len(words))] }
+
+// Bool returns true with probability num/den.
+func (r *RNG) Bool(num, den int) bool { return r.Next(den) < num }

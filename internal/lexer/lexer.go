@@ -1,0 +1,247 @@
+// Package lexer provides a specification-driven maximal-munch tokenizer.
+// It plays the role of the ANTLR lexers in the paper's evaluation pipeline
+// (Section 6.2): source text is tokenized up front, and CoStar parses the
+// pre-tokenized word, so lexing and parsing time can be measured separately.
+//
+// A Spec is an ordered list of rules, each a regex (internal/rx) naming the
+// terminal it produces; earlier rules win ties, longest match wins overall.
+// All rules are compiled into a single multi-pattern DFA, the classic
+// lexer-generator construction.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"costar/internal/grammar"
+	"costar/internal/rx"
+)
+
+// Rule is one lexical rule. Skip rules (whitespace, comments) match and
+// discard text without producing tokens. Mode selects which lexer mode the
+// rule is active in ("" is the default mode); Push/Pop/Set switch modes
+// after the rule matches, ANTLR-style — the mechanism the real XML lexer
+// uses to keep in-tag tokens separate from content text.
+type Rule struct {
+	Name    string
+	Pattern rx.Node
+	Skip    bool
+	Mode    string // mode this rule belongs to; "" = default
+	Push    string // push this mode after matching
+	Pop     bool   // pop back to the previous mode after matching
+	Set     string // replace the current mode (no stack) after matching
+}
+
+// Lit is a convenience rule matching literal text exactly, named by that
+// text (how ANTLR treats inline literals like '{').
+func Lit(text string) Rule {
+	return Rule{Name: text, Pattern: rx.Str(text)}
+}
+
+// Pat builds a rule from a pattern string, panicking on bad patterns
+// (specs are package-level literals).
+func Pat(name, pattern string) Rule {
+	return Rule{Name: name, Pattern: rx.MustParse(pattern)}
+}
+
+// Skip builds a skip rule from a pattern string.
+func Skip(name, pattern string) Rule {
+	return Rule{Name: name, Pattern: rx.MustParse(pattern), Skip: true}
+}
+
+// Spec is an ordered lexical specification.
+type Spec struct {
+	Rules []Rule
+}
+
+// Lexeme is a token with source position information (1-based line/col and
+// byte offset), which layout passes (e.g. Python's INDENT/DEDENT) consume.
+type Lexeme struct {
+	Tok    grammar.Token
+	Line   int
+	Col    int
+	Offset int
+	Skip   bool // produced by a skip rule (retained in Scan output)
+}
+
+// Error is a lexing failure with position context.
+type Error struct {
+	Line, Col int
+	Offset    int
+	Snippet   string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("lexer: no rule matches at line %d, col %d: %q…", e.Line, e.Col, e.Snippet)
+}
+
+// Lexer is a compiled Spec, safe for concurrent use.
+type Lexer struct {
+	spec  Spec
+	modes map[string]*modeDFA
+}
+
+// modeDFA is the automaton for one mode plus the mapping from its pattern
+// indices back to spec rule indices.
+type modeDFA struct {
+	multi *rx.MultiDFA
+	rules []int
+}
+
+// New compiles the spec. It rejects rules that accept the empty string
+// (which would stall the scanner), mode actions targeting undefined modes,
+// and rules combining Push/Pop/Set.
+func New(spec Spec) (*Lexer, error) {
+	byMode := map[string][]int{}
+	for i, r := range spec.Rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("lexer: rule %d has no name", i)
+		}
+		if rx.Compile(r.Pattern).Match("") {
+			return nil, fmt.Errorf("lexer: rule %s accepts the empty string", r.Name)
+		}
+		actions := 0
+		if r.Push != "" {
+			actions++
+		}
+		if r.Pop {
+			actions++
+		}
+		if r.Set != "" {
+			actions++
+		}
+		if actions > 1 {
+			return nil, fmt.Errorf("lexer: rule %s combines multiple mode actions", r.Name)
+		}
+		byMode[r.Mode] = append(byMode[r.Mode], i)
+	}
+	l := &Lexer{spec: spec, modes: make(map[string]*modeDFA, len(byMode))}
+	for mode, idxs := range byMode {
+		nodes := make([]rx.Node, len(idxs))
+		for j, i := range idxs {
+			nodes[j] = spec.Rules[i].Pattern
+		}
+		l.modes[mode] = &modeDFA{multi: rx.CompileMulti(nodes), rules: idxs}
+	}
+	for _, r := range spec.Rules {
+		for _, target := range []string{r.Push, r.Set} {
+			if target != "" {
+				if _, ok := l.modes[target]; !ok {
+					return nil, fmt.Errorf("lexer: rule %s targets undefined mode %q", r.Name, target)
+				}
+			}
+		}
+	}
+	if _, ok := l.modes[""]; !ok {
+		return nil, fmt.Errorf("lexer: no rules in the default mode")
+	}
+	return l, nil
+}
+
+// MustNew panics on spec errors; for package-level lexer literals.
+func MustNew(spec Spec) *Lexer {
+	l, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Scan tokenizes src into lexemes, including skip lexemes (callers that
+// need layout information want them; Tokenize drops them). Mode switches
+// take effect immediately after the triggering rule matches.
+func (l *Lexer) Scan(src string) ([]Lexeme, error) {
+	var out []Lexeme
+	line, col := 1, 1
+	i := 0
+	modeStack := []string{""}
+	for i < len(src) {
+		cur := l.modes[modeStack[len(modeStack)-1]]
+		n, pat, ok := cur.multi.LongestPrefix(src, i)
+		if !ok || n == 0 {
+			end := i + 12
+			if end > len(src) {
+				end = len(src)
+			}
+			return nil, &Error{Line: line, Col: col, Offset: i, Snippet: src[i:end]}
+		}
+		rule := cur.rules[pat]
+		r := l.spec.Rules[rule]
+		text := src[i : i+n]
+		out = append(out, Lexeme{
+			Tok:    grammar.Tok(r.Name, text),
+			Line:   line,
+			Col:    col,
+			Offset: i,
+			Skip:   r.Skip,
+		})
+		for _, ch := range text {
+			if ch == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+		switch {
+		case r.Push != "":
+			modeStack = append(modeStack, r.Push)
+		case r.Set != "":
+			modeStack[len(modeStack)-1] = r.Set
+		case r.Pop:
+			if len(modeStack) == 1 {
+				return nil, &Error{Line: line, Col: col, Offset: i, Snippet: "popMode on an empty mode stack"}
+			}
+			modeStack = modeStack[:len(modeStack)-1]
+		}
+	}
+	return out, nil
+}
+
+// Tokenize scans src and returns the non-skip tokens — the word the parser
+// consumes.
+func (l *Lexer) Tokenize(src string) ([]grammar.Token, error) {
+	lexs, err := l.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	return Strip(lexs), nil
+}
+
+// Strip drops skip lexemes and projects the rest to tokens.
+func Strip(lexs []Lexeme) []grammar.Token {
+	out := make([]grammar.Token, 0, len(lexs))
+	for _, lx := range lexs {
+		if !lx.Skip {
+			out = append(out, lx.Tok)
+		}
+	}
+	return out
+}
+
+// Reassemble concatenates all lexeme literals; with skip lexemes included
+// it reconstructs the original source (the round-trip property tests rely
+// on this).
+func Reassemble(lexs []Lexeme) string {
+	var b strings.Builder
+	for _, lx := range lexs {
+		b.WriteString(lx.Tok.Literal)
+	}
+	return b.String()
+}
+
+// TerminalNames returns the non-skip terminal names the spec can produce,
+// in rule order (useful for cross-checking against a grammar's terminals).
+func (l *Lexer) TerminalNames() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range l.spec.Rules {
+		if !r.Skip && !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}

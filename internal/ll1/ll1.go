@@ -1,0 +1,137 @@
+// Package ll1 is a classic table-driven LL(1) parser generator, standing in
+// for the verified LL(1) parsers the paper positions CoStar against (Lasser
+// et al. 2019, Edelmann et al. 2020). Its purpose in this repository is the
+// expressiveness comparison of Sections 1 and 6.1: grammars such as the XML
+// elt rule are not LL(1) — the generator reports the conflicts — while
+// ALL(*) handles them.
+package ll1
+
+import (
+	"fmt"
+	"sort"
+
+	"costar/internal/analysis"
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// Conflict describes an LL(1) table collision: two productions for the same
+// (nonterminal, lookahead terminal) cell.
+type Conflict struct {
+	NT       string
+	Terminal string // analysis.EOF for end-of-input
+	Prods    []int  // production indices competing for the cell
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	t := c.Terminal
+	if t == analysis.EOF {
+		t = "<eof>"
+	}
+	return fmt.Sprintf("LL(1) conflict at (%s, %s): productions %v", c.NT, t, c.Prods)
+}
+
+// Table is a generated LL(1) parser.
+type Table struct {
+	g     *grammar.Grammar
+	cells map[cellKey]int // (nt, terminal) → production index
+}
+
+type cellKey struct {
+	nt   string
+	term string
+}
+
+// Generate builds the LL(1) parse table for g, reporting every conflict.
+// A non-empty conflict list means the grammar is not LL(1); the returned
+// table is still usable (first production wins) but incomplete.
+func Generate(g *grammar.Grammar) (*Table, []Conflict) {
+	an := analysis.New(g)
+	t := &Table{g: g, cells: make(map[cellKey]int)}
+	conflictCells := make(map[cellKey][]int)
+	add := func(nt, term string, prod int) {
+		key := cellKey{nt, term}
+		if prev, ok := t.cells[key]; ok {
+			if prev != prod {
+				if len(conflictCells[key]) == 0 {
+					conflictCells[key] = []int{prev}
+				}
+				conflictCells[key] = append(conflictCells[key], prod)
+			}
+			return
+		}
+		t.cells[key] = prod
+	}
+	for pi, p := range g.Prods {
+		for term := range an.FirstOfForm(p.Rhs) {
+			add(p.Lhs, term, pi)
+		}
+		if an.NullableForm(p.Rhs) {
+			for term := range an.Follow(p.Lhs) {
+				add(p.Lhs, term, pi)
+			}
+		}
+	}
+	var conflicts []Conflict
+	for key, prods := range conflictCells {
+		conflicts = append(conflicts, Conflict{NT: key.nt, Terminal: key.term, Prods: prods})
+	}
+	sort.Slice(conflicts, func(i, j int) bool {
+		if conflicts[i].NT != conflicts[j].NT {
+			return conflicts[i].NT < conflicts[j].NT
+		}
+		return conflicts[i].Terminal < conflicts[j].Terminal
+	})
+	return t, conflicts
+}
+
+// IsLL1 reports whether g is LL(1).
+func IsLL1(g *grammar.Grammar) bool {
+	_, conflicts := Generate(g)
+	return len(conflicts) == 0
+}
+
+// Parse parses w from the grammar's start symbol using the table. On LL(1)
+// grammars it is sound and complete; on conflicted grammars it follows the
+// first-production policy and may reject valid inputs (which is the point
+// of the comparison).
+func (t *Table) Parse(w []grammar.Token) (*tree.Tree, error) {
+	var parse func(nt string, pos int) (*tree.Tree, int, error)
+	parse = func(nt string, pos int) (*tree.Tree, int, error) {
+		term := analysis.EOF
+		if pos < len(w) {
+			term = w[pos].Terminal
+		}
+		prod, ok := t.cells[cellKey{nt, term}]
+		if !ok {
+			return nil, 0, fmt.Errorf("ll1: no table entry for (%s, %s) at token %d", nt, term, pos)
+		}
+		children := make([]*tree.Tree, 0, len(t.g.Prods[prod].Rhs))
+		for _, s := range t.g.Prods[prod].Rhs {
+			if s.IsT() {
+				if pos >= len(w) || w[pos].Terminal != s.Name {
+					return nil, 0, fmt.Errorf("ll1: expected %s at token %d", s, pos)
+				}
+				children = append(children, tree.Leaf(w[pos]))
+				pos++
+				continue
+			}
+			sub, next, err := parse(s.Name, pos)
+			if err != nil {
+				return nil, 0, err
+			}
+			children = append(children, sub)
+			pos = next
+		}
+		return tree.Node(nt, children...), pos, nil
+	}
+	v, pos, err := parse(t.g.Start, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(w) {
+		return nil, fmt.Errorf("ll1: %d trailing tokens", len(w)-pos)
+	}
+	return v, nil
+}

@@ -1,0 +1,134 @@
+package ll1
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/xmllang"
+	"costar/internal/tree"
+)
+
+func word(terms ...string) []grammar.Token {
+	w := make([]grammar.Token, len(terms))
+	for i, t := range terms {
+		w[i] = grammar.Tok(t, t)
+	}
+	return w
+}
+
+func TestLL1Grammar(t *testing.T) {
+	// A classic LL(1) expression grammar.
+	g := grammar.MustParseBNF(`
+		E -> T Etail ;
+		Etail -> plus T Etail | %empty ;
+		T -> num | lparen E rparen
+	`)
+	tab, conflicts := Generate(g)
+	if len(conflicts) != 0 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if !IsLL1(g) {
+		t.Error("IsLL1 = false")
+	}
+	w := word("num", "plus", "lparen", "num", "rparen")
+	v, err := tab.Parse(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(g, grammar.NT("E"), v, w); err != nil {
+		t.Errorf("invalid tree: %v", err)
+	}
+	// Rejections.
+	for _, bad := range [][]grammar.Token{word("plus"), word("num", "plus"), word("num", "num")} {
+		if _, err := tab.Parse(bad); err == nil {
+			t.Errorf("%s accepted", grammar.WordString(bad))
+		}
+	}
+}
+
+func TestFig2IsNotLL1(t *testing.T) {
+	// S -> A c | A d shares FIRST(A) between alternatives.
+	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	_, conflicts := Generate(g)
+	if len(conflicts) == 0 {
+		t.Fatal("fig2 grammar reported LL(1)")
+	}
+	found := false
+	for _, c := range conflicts {
+		if c.NT == "S" {
+			found = true
+			if len(c.Prods) < 2 {
+				t.Errorf("conflict lists %v", c.Prods)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no conflict on S: %v", conflicts)
+	}
+	if !strings.Contains(conflicts[0].String(), "LL(1) conflict") {
+		t.Errorf("String = %q", conflicts[0])
+	}
+}
+
+// TestXMLNotLL1 pins the Section 6.1 claim: the XML grammar (the elt rule
+// in particular) is beyond LL(1), which is why the verified LL(1) parsers
+// of prior work cannot handle it while CoStar can.
+func TestXMLNotLL1(t *testing.T) {
+	_, conflicts := Generate(xmllang.Grammar())
+	if len(conflicts) == 0 {
+		t.Fatal("XML grammar reported LL(1); the elt rule must conflict")
+	}
+	foundElt := false
+	for _, c := range conflicts {
+		if c.NT == "elt" {
+			foundElt = true
+		}
+	}
+	if !foundElt {
+		t.Errorf("no conflict on elt: %v", conflicts)
+	}
+}
+
+func TestJSONGrammarLL1Status(t *testing.T) {
+	// The desugared JSON grammar contains obj/arr alternatives that share
+	// '{' and '[' FIRST tokens ({} vs {pair...}), so it is not LL(1)
+	// either — another datum for the expressiveness table.
+	_, conflicts := Generate(jsonlang.Grammar())
+	if len(conflicts) == 0 {
+		t.Skip("JSON grammar happens to be LL(1) under this factoring")
+	}
+	t.Logf("JSON grammar has %d LL(1) conflicts (expected: obj/arr share opening tokens)", len(conflicts))
+}
+
+func TestNullableFollowConflict(t *testing.T) {
+	// FIRST/FOLLOW conflict: A nullable and FIRST(A) ∩ FOLLOW(A) ≠ ∅.
+	g := grammar.MustParseBNF(`
+		S -> A a ;
+		A -> a | %empty
+	`)
+	_, conflicts := Generate(g)
+	if len(conflicts) == 0 {
+		t.Fatal("FIRST/FOLLOW conflict missed")
+	}
+}
+
+func TestEOFColumn(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> a Tail ; Tail -> a Tail | %empty`)
+	tab, conflicts := Generate(g)
+	if len(conflicts) != 0 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	// ε-production must be chosen on end of input (FOLLOW contains EOF).
+	v, err := tab.Parse(word("a", "a", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CountNTs("Tail") != 3 {
+		t.Errorf("Tail count = %d", v.CountNTs("Tail"))
+	}
+	if _, err := tab.Parse(nil); err == nil {
+		t.Error("empty word accepted (S requires an a)")
+	}
+}

@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"math/big"
+
+	"costar/internal/grammar"
+)
+
+// Measure is the well-founded triple of Section 4.2:
+//
+//	meas(σ) = ( #remaining tokens, stackScore(G, Ψ, V), height(Ψ) )
+//
+// ordered lexicographically (<3 in the paper). Every machine step strictly
+// decreases it (Lemma 4.2): consume decreases Tokens; push holds Tokens and
+// decreases Score (Lemma 4.3); return holds Tokens, does not increase Score
+// (Lemma 4.4), and decreases Height.
+//
+// Score is a big.Int because its value is b^e-scaled with e up to the number
+// of grammar nonterminals (287 for the paper's Python grammar).
+type Measure struct {
+	Tokens int
+	Score  *big.Int
+	Height int
+}
+
+// Less reports m <3 o (strict lexicographic order).
+func (m Measure) Less(o Measure) bool {
+	if m.Tokens != o.Tokens {
+		return m.Tokens < o.Tokens
+	}
+	if c := m.Score.Cmp(o.Score); c != 0 {
+		return c < 0
+	}
+	return m.Height < o.Height
+}
+
+// Meas computes the measure of a state (the meas function of Section 4.2).
+func Meas(g *grammar.Grammar, st *State) Measure {
+	return Measure{
+		Tokens: len(st.Tokens),
+		Score:  StackScore(g, st.Suffix, st.Visited.Len()),
+		Height: st.Suffix.Height(),
+	}
+}
+
+// StackScore computes the Section 4.3 score:
+//
+//	frameScore(ψ, b, e)   = b^e · (#unprocessed symbols in ψ)
+//	stackScore′(ψΨ′,b,e)  = frameScore(ψ,b,e) + stackScore′(Ψ′,b,e+1)
+//	stackScore(G, Ψ, V)   = stackScore′(Ψ, 1+maxRhsLen(G), |U \ V|)
+//
+// where U is the set of grammar left-hand sides and V the visited set.
+// With this package's frame representation, a frame's unprocessed-symbol
+// count is len(Rest): the open nonterminal of a caller frame is dropped
+// from the caller at push time, which is precisely what makes Lemma 4.3
+// (pushes strictly decrease the score) hold.
+func StackScore(g *grammar.Grammar, suffix *SuffixStack, visitedLen int) *big.Int {
+	base := int64(1 + g.MaxRhsLen())
+	exp := len(g.Nonterminals()) - visitedLen
+	if exp < 0 {
+		exp = 0
+	}
+	b := big.NewInt(base)
+	weight := new(big.Int).Exp(b, big.NewInt(int64(exp)), nil)
+	score := new(big.Int)
+	tmp := new(big.Int)
+	for s := suffix; s != nil; s = s.Below {
+		if n := len(s.F.Rest); n > 0 {
+			tmp.SetInt64(int64(n))
+			tmp.Mul(tmp, weight)
+			score.Add(score, tmp)
+		}
+		weight = new(big.Int).Mul(weight, b)
+	}
+	return score
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"costar/internal/avl"
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// avlEmpty is the shared empty visited set; consume transitions reset to it.
+var avlEmpty avl.Set
+
+// Result is a terminal machine outcome (Figure 1: R ::= Unique(v) |
+// Ambig(v) | Reject | Error(e)).
+type Result struct {
+	Kind     ResultKind
+	Tree     *tree.Tree
+	Reason   string // for Reject
+	Err      *Error // for Error
+	Steps    int    // transitions taken (diagnostics)
+	Consumed int    // tokens consumed when the machine halted (diagnostics)
+	// Final is the machine state at the halt, for diagnostics: rejection
+	// messages derive their "expected one of ..." sets from its suffix
+	// stack (a luxury top-down parsers get for free; the related-work
+	// section notes error reporting is a research problem for bottom-up
+	// parsers).
+	Final *State
+}
+
+// ResultKind classifies parse results.
+type ResultKind uint8
+
+const (
+	// Unique: Tree is the sole parse tree for the input (Theorem 5.1).
+	Unique ResultKind = iota
+	// Ambig: Tree is one of at least two distinct parse trees (Theorem 5.6).
+	Ambig
+	// Reject: the input is not in the grammar's language.
+	Reject
+	// ResultError: the machine reached an inconsistent state or detected
+	// left recursion; unreachable for well-formed non-left-recursive
+	// grammars (Theorem 5.8).
+	ResultError
+)
+
+// String names the result kind.
+func (k ResultKind) String() string {
+	switch k {
+	case Unique:
+		return "Unique"
+	case Ambig:
+		return "Ambig"
+	case Reject:
+		return "Reject"
+	default:
+		return "Error"
+	}
+}
+
+// Options configures Multistep.
+type Options struct {
+	// OnStep, when non-nil, observes every transition: the state before,
+	// the operation taken, and the state after (nil for terminal results).
+	// Traces and the invariant-preservation tests hook in here.
+	OnStep func(before *State, op OpKind, after *State)
+	// CheckInvariants verifies the stack well-formedness invariant
+	// (Figure 4) before every step and reports violations as ErrInvalidState
+	// instead of proceeding. The paper proves this check can never fire;
+	// enabling it trades speed for defense in depth.
+	CheckInvariants bool
+	// MaxSteps aborts with an error after this many transitions when > 0.
+	// Termination is guaranteed by the Section 4 measure, so this is a
+	// backstop for corrupted grammars in fuzzing, not a semantic limit.
+	MaxSteps int
+}
+
+// Multistep drives Step until the machine halts and converts the terminal
+// StepResult into a Result, labeling the final tree Unique or Ambig
+// according to the machine's uniqueness flag.
+//
+// Termination: the Coq development proves each step decreases
+// meas(σ) = (|tokens|, stackScore, stack height) in lexicographic order
+// (Lemmas 4.1-4.4); the same measure is exported here as Meas, and the
+// property tests check the decrease on randomized runs.
+func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Result {
+	steps := 0
+	total := len(st.Tokens)
+	for {
+		if opts.CheckInvariants {
+			if err := CheckStacksWf(g, st); err != nil {
+				return Result{Kind: ResultError, Err: InvalidState("invariant violation: %v", err),
+					Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+			}
+		}
+		if opts.MaxSteps > 0 && steps >= opts.MaxSteps {
+			return Result{Kind: ResultError, Err: InvalidState("step budget %d exhausted", opts.MaxSteps),
+				Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+		}
+		r := Step(g, pred, st)
+		steps++
+		if opts.OnStep != nil {
+			opts.OnStep(st, r.Op, r.State)
+		}
+		switch r.Kind {
+		case StepCont:
+			st = r.State
+		case StepAccept:
+			kind := Unique
+			if !st.Unique {
+				kind = Ambig
+			}
+			return Result{Kind: kind, Tree: r.Tree, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+		case StepReject:
+			return Result{Kind: Reject, Reason: r.Reason, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+		default:
+			return Result{Kind: ResultError, Err: r.Err, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+		}
+	}
+}

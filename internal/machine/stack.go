@@ -1,0 +1,168 @@
+// Package machine implements the CoStar stack machine of Section 3: machine
+// states σ, the single-step transition function Step (consume / push /
+// return / final, Section 3.3), the driver Multistep, the termination
+// measure of Section 4 (stackScore and the lexicographic triple), and
+// executable versions of the paper's machine-state invariants (Section 5).
+//
+// The implementation is deliberately purely functional, mirroring the
+// Gallina original: stacks are persistent linked lists, frames are
+// copied-on-write, and each step produces a fresh state. The mutable
+// imperative counterpart lives in internal/allstar and serves as the
+// "ANTLR-style" performance baseline.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// PrefixFrame is one frame [α, f] of the prefix stack Φ: the symbols already
+// matched in this frame and the parse trees derived for them. Both slices
+// are stored in reverse order (most recently processed first), the standard
+// functional-accumulator layout; they are reversed once at return time.
+type PrefixFrame struct {
+	Proc  []grammar.Symbol // processed symbols α, reversed
+	Trees []*tree.Tree     // partial derivation f, reversed
+}
+
+// PrefixStack is a persistent stack of prefix frames; nil is invalid — a
+// machine always has at least one frame.
+type PrefixStack struct {
+	F     PrefixFrame
+	Below *PrefixStack
+}
+
+// SuffixFrame is one frame [β] of the suffix stack Ψ. Lhs is the open
+// nonterminal whose right-hand-side remainder Rest is ("" for the bottom
+// frame, which holds the start symbol).
+//
+// Note on representation: the paper's presentation leaves the open
+// nonterminal X at the head of the caller frame until return; like the Coq
+// development's SF constructor, we instead drop X from the caller at push
+// time and annotate the new frame with it. The two views are isomorphic,
+// and this one makes the stackScore lemmas (4.3/4.4) direct: a frame's
+// unprocessed-symbol count is simply len(Rest).
+type SuffixFrame struct {
+	Lhs  string           // open nonterminal; "" only in the bottom frame
+	Rest []grammar.Symbol // unprocessed symbols β
+}
+
+// SuffixStack is a persistent stack of suffix frames; nil is invalid inside
+// a machine state but is used as the "below bottom" terminator.
+type SuffixStack struct {
+	F     SuffixFrame
+	Below *SuffixStack
+}
+
+// PushPrefix returns the stack with a new top frame.
+func PushPrefix(f PrefixFrame, below *PrefixStack) *PrefixStack {
+	return &PrefixStack{F: f, Below: below}
+}
+
+// PushSuffix returns the stack with a new top frame.
+func PushSuffix(f SuffixFrame, below *SuffixStack) *SuffixStack {
+	return &SuffixStack{F: f, Below: below}
+}
+
+// Height returns the number of frames.
+func (s *PrefixStack) Height() int {
+	n := 0
+	for ; s != nil; s = s.Below {
+		n++
+	}
+	return n
+}
+
+// Height returns the number of frames.
+func (s *SuffixStack) Height() int {
+	n := 0
+	for ; s != nil; s = s.Below {
+		n++
+	}
+	return n
+}
+
+// TopSymbol returns the head of the top frame's unprocessed symbols, if any.
+func (s *SuffixStack) TopSymbol() (grammar.Symbol, bool) {
+	if s == nil || len(s.F.Rest) == 0 {
+		return grammar.Symbol{}, false
+	}
+	return s.F.Rest[0], true
+}
+
+// Unproc flattens the unprocessed symbols of the whole stack, top to
+// bottom — the unproc() function of Figure 5/7. It is the sentential form
+// the machine still has to match against the remaining tokens.
+func (s *SuffixStack) Unproc() []grammar.Symbol {
+	var out []grammar.Symbol
+	for ; s != nil; s = s.Below {
+		out = append(out, s.F.Rest...)
+	}
+	return out
+}
+
+// consProc returns a copy of the frame with symbol s and tree v prepended to
+// the processed accumulators. Copying keeps older states intact; frames are
+// bounded by the grammar's longest right-hand side, so the copy is O(1) per
+// grammar.
+func (f PrefixFrame) consProc(s grammar.Symbol, v *tree.Tree) PrefixFrame {
+	proc := make([]grammar.Symbol, 0, len(f.Proc)+1)
+	proc = append(proc, s)
+	proc = append(proc, f.Proc...)
+	trees := make([]*tree.Tree, 0, len(f.Trees)+1)
+	trees = append(trees, v)
+	trees = append(trees, f.Trees...)
+	return PrefixFrame{Proc: proc, Trees: trees}
+}
+
+// ForestInOrder returns the frame's trees in left-to-right derivation order.
+func (f PrefixFrame) ForestInOrder() []*tree.Tree {
+	out := make([]*tree.Tree, len(f.Trees))
+	for i, v := range f.Trees {
+		out[len(f.Trees)-1-i] = v
+	}
+	return out
+}
+
+// ProcInOrder returns the frame's processed symbols in left-to-right order.
+func (f PrefixFrame) ProcInOrder() []grammar.Symbol {
+	out := make([]grammar.Symbol, len(f.Proc))
+	for i, s := range f.Proc {
+		out[len(f.Proc)-1-i] = s
+	}
+	return out
+}
+
+// String renders the suffix stack top-to-bottom, e.g. "[A d] [S]".
+func (s *SuffixStack) String() string {
+	var parts []string
+	for ; s != nil; s = s.Below {
+		head := ""
+		if s.F.Lhs != "" {
+			head = s.F.Lhs + ": "
+		}
+		parts = append(parts, "["+head+grammar.SymbolsString(s.F.Rest)+"]")
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the prefix stack top-to-bottom with tree summaries.
+func (s *PrefixStack) String() string {
+	var parts []string
+	for ; s != nil; s = s.Below {
+		var ts []string
+		for _, v := range s.F.ForestInOrder() {
+			ts = append(ts, v.String())
+		}
+		parts = append(parts, "["+strings.Join(ts, " ")+"]")
+	}
+	return strings.Join(parts, " ")
+}
+
+// sexpr helper used by state printing.
+func frameSummary(f PrefixFrame) string {
+	return fmt.Sprintf("%d trees / %s", len(f.Trees), grammar.SymbolsString(f.ProcInOrder()))
+}

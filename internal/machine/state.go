@@ -1,0 +1,179 @@
+package machine
+
+import (
+	"fmt"
+
+	"costar/internal/avl"
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// State is a machine state σ ∈ Φ × Ψ × ∆ × w × S(N) × B (Figure 1). The
+// prediction cache ∆ is owned by the Predictor rather than stored here; it
+// is threaded through prediction calls exactly as in the paper, but keeping
+// it out of State lets the same cache serve a whole parsing session.
+type State struct {
+	Start   string // start nonterminal (for invariant checking and finalization)
+	Prefix  *PrefixStack
+	Suffix  *SuffixStack
+	Tokens  []grammar.Token // remaining input
+	Visited avl.Set         // nonterminals opened since the last consume (Section 4.1)
+	Unique  bool            // false once prediction has detected ambiguity
+}
+
+// Init builds the initial machine state for start symbol start and word w:
+// one empty prefix frame, one suffix frame holding the start symbol, all
+// tokens remaining, empty visited set, unique flag true (σ0 of Figure 2).
+func Init(start string, w []grammar.Token) *State {
+	return &State{
+		Start:  start,
+		Prefix: PushPrefix(PrefixFrame{}, nil),
+		Suffix: PushSuffix(SuffixFrame{Rest: []grammar.Symbol{grammar.NT(start)}}, nil),
+		Tokens: w,
+		Unique: true,
+	}
+}
+
+// String renders the state compactly for traces:
+// "⟨prefix | suffix | 3 tokens | {S, A} | unique⟩".
+func (st *State) String() string {
+	flag := "unique"
+	if !st.Unique {
+		flag = "ambig"
+	}
+	return fmt.Sprintf("⟨%s | %s | %d tokens | %s | %s⟩",
+		st.Prefix, st.Suffix, len(st.Tokens), st.Visited, flag)
+}
+
+// ErrKind classifies machine errors (Figure 1: e ::= InvalidState |
+// LeftRecursive(X)).
+type ErrKind uint8
+
+const (
+	// ErrInvalidState means the machine reached a malformed configuration.
+	// Theorem 5.8 guarantees this never happens for well-formed grammars;
+	// the parser's tests enforce the same.
+	ErrInvalidState ErrKind = iota
+	// ErrLeftRecursive means nonterminal NT was detected as left-recursive
+	// dynamically (Section 4.1).
+	ErrLeftRecursive
+)
+
+// Error is a machine or prediction error value.
+type Error struct {
+	Kind ErrKind
+	NT   string // offending nonterminal for ErrLeftRecursive
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	switch e.Kind {
+	case ErrLeftRecursive:
+		return fmt.Sprintf("left-recursive nonterminal %s: %s", e.NT, e.Msg)
+	default:
+		return fmt.Sprintf("invalid machine state: %s", e.Msg)
+	}
+}
+
+// InvalidState constructs an ErrInvalidState error.
+func InvalidState(format string, args ...any) *Error {
+	return &Error{Kind: ErrInvalidState, Msg: fmt.Sprintf(format, args...)}
+}
+
+// LeftRecursive constructs an ErrLeftRecursive error for nt.
+func LeftRecursive(nt, msg string) *Error {
+	return &Error{Kind: ErrLeftRecursive, NT: nt, Msg: msg}
+}
+
+// PredKind classifies predictions (Figure 1: p ::= UniqueP(γ) | AmbigP(γ) |
+// RejectP | ErrorP(e)).
+type PredKind uint8
+
+const (
+	// PredUnique: γ is the only right-hand side that may lead to a
+	// successful parse (LL mode), or the single SLL survivor.
+	PredUnique PredKind = iota
+	// PredAmbig: multiple right-hand sides lead to a successful parse; γ
+	// is the chosen (lowest-numbered) one.
+	PredAmbig
+	// PredReject: no right-hand side can succeed.
+	PredReject
+	// PredError: prediction reached an inconsistent state or detected
+	// left recursion.
+	PredError
+)
+
+// Prediction is the result of an adaptivePredict call.
+type Prediction struct {
+	Kind PredKind
+	Rhs  []grammar.Symbol // for PredUnique / PredAmbig
+	Err  *Error           // for PredError
+	// FailDepth, for PredReject, is how many lookahead tokens prediction
+	// examined before ruling every alternative out — the "farthest
+	// failure" error-reporting heuristic.
+	FailDepth int
+}
+
+// Predictor chooses a right-hand side for decision nonterminal nt given the
+// machine's current suffix stack (whose top symbol is nt) and remaining
+// tokens. adaptivePredict (internal/prediction) is the production
+// implementation; tests substitute simpler ones.
+type Predictor interface {
+	Predict(nt string, suffix *SuffixStack, remaining []grammar.Token) Prediction
+}
+
+// StepKind classifies step results (Figure 1: r ::= AcceptS(v) | RejectS |
+// ErrorS(e) | ContS(σ)).
+type StepKind uint8
+
+const (
+	// StepCont: the machine took one transition and continues from State.
+	StepCont StepKind = iota
+	// StepAccept: the machine reached a final configuration with tree Tree.
+	StepAccept
+	// StepReject: the input word is not in the grammar's language.
+	StepReject
+	// StepError: the machine reached an inconsistent state or found left
+	// recursion.
+	StepError
+)
+
+// OpKind identifies which operation a continuing step performed; traces and
+// the measure property tests use it.
+type OpKind uint8
+
+const (
+	// OpNone is used for non-continuing results.
+	OpNone OpKind = iota
+	// OpConsume matched the top stack terminal against the next token.
+	OpConsume
+	// OpPush predicted a right-hand side and pushed new frames.
+	OpPush
+	// OpReturn reduced a completed right-hand side to its nonterminal.
+	OpReturn
+)
+
+// String names the operation.
+func (op OpKind) String() string {
+	switch op {
+	case OpConsume:
+		return "consume"
+	case OpPush:
+		return "push"
+	case OpReturn:
+		return "return"
+	default:
+		return "none"
+	}
+}
+
+// StepResult is the outcome of one Step call.
+type StepResult struct {
+	Kind   StepKind
+	Op     OpKind     // operation taken when Kind == StepCont
+	State  *State     // next state when Kind == StepCont
+	Tree   *tree.Tree // final tree when Kind == StepAccept
+	Reason string     // human-readable cause when Kind == StepReject
+	Err    *Error     // error when Kind == StepError
+}

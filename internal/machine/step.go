@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"fmt"
+
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// Step performs a single atomic transition σ { σ′ (Section 3.3). It
+// dispatches on the shape of the state:
+//
+//   - final: single suffix frame with no symbols left — accept (or reject
+//     on leftover tokens);
+//   - return: top suffix frame exhausted — reduce to its open nonterminal;
+//   - consume: top stack symbol is a terminal — match the next token;
+//   - push: top stack symbol is a nonterminal — detect left recursion,
+//     then call the predictor and push the chosen right-hand side.
+//
+// Step never mutates st; continuing results carry a fresh state sharing
+// structure with the old one.
+func Step(g *grammar.Grammar, pred Predictor, st *State) StepResult {
+	top := st.Suffix
+	if len(top.F.Rest) == 0 {
+		if top.Below == nil {
+			return finalize(st)
+		}
+		return stepReturn(st)
+	}
+	head := top.F.Rest[0]
+	if head.IsT() {
+		return stepConsume(st, head)
+	}
+	return stepPush(g, pred, st, head)
+}
+
+// finalize handles the final configuration: no unprocessed symbols and a
+// single frame on each stack.
+func finalize(st *State) StepResult {
+	if st.Suffix.F.Lhs != "" {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"bottom suffix frame carries open nonterminal %s", st.Suffix.F.Lhs)}
+	}
+	if st.Prefix == nil || st.Prefix.Below != nil {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"suffix stack exhausted but prefix stack has %d frames", st.Prefix.Height())}
+	}
+	if len(st.Tokens) > 0 {
+		return StepResult{Kind: StepReject, Reason: "input continues past a complete parse: next token " + st.Tokens[0].String()}
+	}
+	if len(st.Prefix.F.Trees) != 1 {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"final prefix frame holds %d trees, want exactly 1", len(st.Prefix.F.Trees))}
+	}
+	return StepResult{Kind: StepAccept, Tree: st.Prefix.F.Trees[0]}
+}
+
+// stepReturn pops the completed top frames and stores Node(X, f) in the
+// caller's prefix frame (the (σ5) → (σ6) transition of Figure 2).
+func stepReturn(st *State) StepResult {
+	x := st.Suffix.F.Lhs
+	if x == "" {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"return with no open nonterminal in a non-bottom frame")}
+	}
+	if st.Prefix == nil || st.Prefix.Below == nil {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"return: prefix stack height %d below suffix stack height %d",
+			st.Prefix.Height(), st.Suffix.Height())}
+	}
+	node := tree.Node(x, st.Prefix.F.ForestInOrder()...)
+	caller := st.Prefix.Below.F.consProc(grammar.NT(x), node)
+	// X is now fully processed, so it leaves the visited set (it is present
+	// only when X derived ε-so-far, i.e. no token was consumed since its
+	// push). The two cases are exactly Lemma 4.4's "(a) decreases or
+	// (b) remains constant" split for the stack score.
+	next := &State{
+		Start:   st.Start,
+		Prefix:  PushPrefix(caller, st.Prefix.Below.Below),
+		Suffix:  st.Suffix.Below,
+		Tokens:  st.Tokens,
+		Visited: st.Visited.Remove(x),
+		Unique:  st.Unique,
+	}
+	return StepResult{Kind: StepCont, Op: OpReturn, State: next}
+}
+
+// stepConsume matches terminal a against the next token (the (σ2) → (σ3)
+// transition of Figure 2). A successful consume empties the visited set.
+func stepConsume(st *State, a grammar.Symbol) StepResult {
+	if len(st.Tokens) == 0 {
+		return StepResult{Kind: StepReject,
+			Reason: "input exhausted while expecting terminal " + a.String()}
+	}
+	t := st.Tokens[0]
+	if t.Terminal != a.Name {
+		return StepResult{Kind: StepReject,
+			Reason: "expected terminal " + a.String() + ", found " + t.String()}
+	}
+	topSuffix := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
+	topPrefix := st.Prefix.F.consProc(a, tree.Leaf(t))
+	next := &State{
+		Start:   st.Start,
+		Prefix:  PushPrefix(topPrefix, st.Prefix.Below),
+		Suffix:  PushSuffix(topSuffix, st.Suffix.Below),
+		Tokens:  st.Tokens[1:],
+		Visited: avlEmpty,
+		Unique:  st.Unique,
+	}
+	return StepResult{Kind: StepCont, Op: OpConsume, State: next}
+}
+
+// stepPush checks for left recursion, asks the predictor for a right-hand
+// side for x, and pushes it (the (σ0) → (σ1) transition of Figure 2).
+func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.Symbol) StepResult {
+	if st.Visited.Contains(x.Name) {
+		return StepResult{Kind: StepError, Err: LeftRecursive(x.Name,
+			"nonterminal re-opened without consuming a token")}
+	}
+	if !g.HasNT(x.Name) {
+		return StepResult{Kind: StepError, Err: InvalidState(
+			"top stack nonterminal %s has no productions", x.Name)}
+	}
+	p := pred.Predict(x.Name, st.Suffix, st.Tokens)
+	switch p.Kind {
+	case PredReject:
+		reason := "no viable right-hand side for nonterminal " + x.Name
+		if p.FailDepth > 0 {
+			reason += fmt.Sprintf(" (last alternative died %d tokens ahead)", p.FailDepth)
+		}
+		return StepResult{Kind: StepReject, Reason: reason}
+	case PredError:
+		err := p.Err
+		if err == nil {
+			err = InvalidState("predictor returned PredError with nil error")
+		}
+		return StepResult{Kind: StepError, Err: err}
+	}
+	caller := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
+	pushed := SuffixFrame{Lhs: x.Name, Rest: p.Rhs}
+	next := &State{
+		Start:   st.Start,
+		Prefix:  PushPrefix(PrefixFrame{}, st.Prefix),
+		Suffix:  PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
+		Tokens:  st.Tokens,
+		Visited: st.Visited.Add(x.Name),
+		Unique:  st.Unique && p.Kind != PredAmbig,
+	}
+	return StepResult{Kind: StepCont, Op: OpPush, State: next}
+}

@@ -1,0 +1,235 @@
+// Package parser is CoStar's top-level API (Section 3.1): Parse takes a
+// grammar G, a start nonterminal S, and a token word w, and returns
+//
+//   - Unique(v): v is the sole S-rooted parse tree for w,
+//   - Ambig(v):  v is one of at least two distinct parse trees,
+//   - Reject:    w ∉ L(G), or
+//   - Error(e):  left recursion or an inconsistent state was detected
+//     (unreachable for well-formed non-left-recursive grammars,
+//     Theorem 5.8).
+//
+// A Parser value is a session: it owns the grammar's static analyses and a
+// persistent SLL DFA cache, so later parses benefit from earlier ones. The
+// paper notes (Section 6.2) that CoStar had no way to reuse a cache across
+// inputs while ANTLR does; the session API supplies that extension, and
+// Options.FreshCachePerParse restores the paper's exact configuration.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"costar/internal/analysis"
+	"costar/internal/grammar"
+	"costar/internal/machine"
+	"costar/internal/prediction"
+	"costar/internal/tree"
+)
+
+// Kind aliases machine.ResultKind for the public surface.
+type Kind = machine.ResultKind
+
+// Re-exported result kinds.
+const (
+	Unique = machine.Unique
+	Ambig  = machine.Ambig
+	Reject = machine.Reject
+	Error  = machine.ResultError
+)
+
+// Result is the outcome of a parse.
+type Result struct {
+	Kind     Kind
+	Tree     *tree.Tree // for Unique and Ambig
+	Reason   string     // for Reject: why the input was rejected
+	Err      error      // for Error
+	Steps    int        // machine transitions taken
+	Consumed int        // tokens consumed before halting
+	Expected []string   // for Reject: terminals that could have continued
+	Stats    prediction.Stats
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	switch r.Kind {
+	case Unique, Ambig:
+		return fmt.Sprintf("%s(%s)", r.Kind, r.Tree)
+	case Reject:
+		return "Reject(" + r.Reason + ")"
+	default:
+		return fmt.Sprintf("Error(%v)", r.Err)
+	}
+}
+
+// Options configures a Parser session.
+type Options struct {
+	// CheckInvariants runs the machine-state well-formedness checker
+	// before every step (Figure 4), converting any violation into an
+	// Error result. Off by default; the test suite turns it on.
+	CheckInvariants bool
+	// DisableSLL answers every prediction in LL mode — the cache ablation.
+	DisableSLL bool
+	// FreshCachePerParse discards the SLL DFA between Parse calls,
+	// matching the paper's benchmark configuration (each trial starts
+	// cold). Off by default: the session reuses its cache.
+	FreshCachePerParse bool
+	// MaxSteps bounds machine transitions per parse (0 = unlimited); a
+	// defensive backstop only.
+	MaxSteps int
+}
+
+// Parser is a reusable parsing session for one grammar.
+type Parser struct {
+	g       *grammar.Grammar
+	an      *analysis.Analysis
+	opts    Options
+	targets map[string]*analysis.Targets // per start symbol
+	cache   *prediction.Cache
+	stats   prediction.Stats // accumulated across parses
+}
+
+// New validates g and builds a session. The error reports the first
+// well-formedness violation (undefined nonterminals, missing start, ...).
+func New(g *grammar.Grammar, opts Options) (*Parser, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Parser{
+		g:       g,
+		an:      analysis.New(g),
+		opts:    opts,
+		targets: make(map[string]*analysis.Targets),
+		cache:   prediction.NewCache(),
+	}, nil
+}
+
+// MustNew is New panicking on error, for package-level parser literals.
+func MustNew(g *grammar.Grammar, opts Options) *Parser {
+	p, err := New(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Grammar returns the session's grammar.
+func (p *Parser) Grammar() *grammar.Grammar { return p.g }
+
+// Analysis returns the session's static grammar analysis.
+func (p *Parser) Analysis() *analysis.Analysis { return p.an }
+
+// LeftRecursiveNTs returns the statically detected left-recursive
+// nonterminals. A non-empty answer predicts Error results; the paper's
+// correctness theorems assume it is empty. (Implementing this decision
+// procedure is listed as future work in Section 8.)
+func (p *Parser) LeftRecursiveNTs() []string { return p.an.LeftRecursiveNTs() }
+
+// Stats returns prediction statistics accumulated over the session.
+func (p *Parser) Stats() prediction.Stats { return p.stats }
+
+// CacheSize returns the SLL DFA footprint (start states, interned states).
+func (p *Parser) CacheSize() (starts, states int) { return p.cache.Size() }
+
+// ResetCache discards the session's SLL DFA (the cold-cache configuration
+// of the Figure 11 experiment).
+func (p *Parser) ResetCache() { p.cache.Reset() }
+
+// Parse parses w starting from the grammar's start symbol.
+func (p *Parser) Parse(w []grammar.Token) Result {
+	return p.ParseFrom(p.g.Start, w)
+}
+
+// ParseFrom parses w starting from nonterminal start.
+func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
+	if !p.g.HasNT(start) {
+		return Result{Kind: Error, Err: fmt.Errorf("parser: start symbol %q has no productions", start)}
+	}
+	tg, ok := p.targets[start]
+	if !ok {
+		tg = analysis.NewTargetsFor(p.g, start)
+		p.targets[start] = tg
+	}
+	cache := p.cache
+	if p.opts.FreshCachePerParse {
+		cache = prediction.NewCache()
+	}
+	ap := prediction.NewWith(p.g, tg, prediction.Options{
+		DisableSLL: p.opts.DisableSLL,
+		Cache:      cache,
+	})
+	mres := machine.Multistep(p.g, ap, machine.Init(start, w), machine.Options{
+		CheckInvariants: p.opts.CheckInvariants,
+		MaxSteps:        p.opts.MaxSteps,
+	})
+	p.accumulate(ap.Stats)
+	res := Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps, Consumed: mres.Consumed, Stats: ap.Stats}
+	if res.Kind == Reject {
+		res.Expected = p.expectedAt(mres.Final)
+		res.Reason = fmt.Sprintf("%s (after %d of %d tokens)", res.Reason, mres.Consumed, len(w))
+		if len(res.Expected) > 0 {
+			res.Reason += "; expected one of: " + strings.Join(res.Expected, ", ")
+		}
+	}
+	if mres.Err != nil {
+		res.Err = mres.Err
+	}
+	return res
+}
+
+// Accepts reports whether w ∈ L(G) from the session's start symbol. Because
+// CoStar terminates without error on every input (for well-formed,
+// non-left-recursive grammars), this is a decision procedure for language
+// membership; it panics if the machine reports an internal error, which the
+// static left-recursion check lets callers rule out up front.
+func (p *Parser) Accepts(w []grammar.Token) bool {
+	res := p.Parse(w)
+	switch res.Kind {
+	case Unique, Ambig:
+		return true
+	case Reject:
+		return false
+	default:
+		panic(fmt.Sprintf("parser: Accepts hit an error result: %v", res.Err))
+	}
+}
+
+func (p *Parser) accumulate(s prediction.Stats) {
+	p.stats.SLLCalls += s.SLLCalls
+	p.stats.LLFallbacks += s.LLFallbacks
+	p.stats.CacheHits += s.CacheHits
+	p.stats.CacheMisses += s.CacheMisses
+	p.stats.TrivialCalls += s.TrivialCalls
+	p.stats.TokensScanned += s.TokensScanned
+	if s.MaxLookahead > p.stats.MaxLookahead {
+		p.stats.MaxLookahead = s.MaxLookahead
+	}
+}
+
+// Parse is the one-shot convenience API: parse w from start in g with
+// default options. It validates the grammar on every call; construct a
+// Parser for repeated use.
+func Parse(g *grammar.Grammar, start string, w []grammar.Token) Result {
+	p, err := New(g, Options{})
+	if err != nil {
+		return Result{Kind: Error, Err: err}
+	}
+	return p.ParseFrom(start, w)
+}
+
+// expectedAt computes the terminals that could have continued the parse at
+// the rejected state: FIRST of the unprocessed suffix-stack symbols, plus
+// "<end of input>" when the whole remainder is nullable. This is the
+// "informative error message" dividend of top-down parsing that the paper's
+// related-work section contrasts with LR error reporting.
+func (p *Parser) expectedAt(st *machine.State) []string {
+	if st == nil {
+		return nil
+	}
+	unproc := st.Suffix.Unproc()
+	set := p.an.FirstOfForm(unproc)
+	out := analysis.SortedSet(set)
+	if p.an.NullableForm(unproc) {
+		out = append(out, "<end of input>")
+	}
+	return out
+}

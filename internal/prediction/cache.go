@@ -1,0 +1,89 @@
+package prediction
+
+import "strings"
+
+// dfaState is one state of the SLL prediction DFA: a canonical set of
+// stable subparser configurations plus its precomputed resolution facts and
+// outgoing edges (∆ of Figure 1, with states q as subparser sets).
+type dfaState struct {
+	key        string
+	configs    []config             // stable, canonically ordered (halted included)
+	haltedAlts []int                // alts with a completed simulated parse
+	uniqueAlt  int                  // converged alternative, or -1
+	anomalous  bool                 // construction involved a subparser kill
+	edges      map[string]*dfaState // transitions by terminal name
+}
+
+// Cache is the persistent SLL DFA: start states per decision nonterminal
+// and interned states by fingerprint. A Cache belongs to one grammar; reuse
+// across inputs is safe and is how the "warmed cache" configurations of
+// Figure 11 and the session API work. Not safe for concurrent mutation.
+type Cache struct {
+	starts map[string]*dfaState
+	states map[string]*dfaState
+}
+
+// NewCache returns an empty DFA cache.
+func NewCache() *Cache {
+	return &Cache{
+		starts: make(map[string]*dfaState),
+		states: make(map[string]*dfaState),
+	}
+}
+
+// start returns the memoized start state for nt, building it on first use.
+func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
+	if st, ok := c.starts[nt]; ok {
+		return st
+	}
+	st := build()
+	c.starts[nt] = st
+	return st
+}
+
+// intern canonicalizes a closure result into a DFA state, reusing an
+// existing identical state when possible. Canonical order and identity are
+// content-based (SLL stacks are shallow — bounded by lookahead depth — so
+// serialization is cheap, and it is what lets distinct parses share states).
+func (c *Cache) intern(res closureResult) *dfaState {
+	keys := sortConfigs(res.stable)
+	var b strings.Builder
+	if res.anomaly != anomalyNone {
+		b.WriteString("ANOM;")
+	}
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(';')
+	}
+	key := b.String()
+	if st, ok := c.states[key]; ok {
+		return st
+	}
+	alts, halted := altSummary(res.stable)
+	st := &dfaState{
+		key:        key,
+		configs:    res.stable,
+		haltedAlts: halted,
+		uniqueAlt:  -1,
+		anomalous:  res.anomaly != anomalyNone,
+		edges:      make(map[string]*dfaState),
+	}
+	if len(alts) == 1 && !st.anomalous {
+		st.uniqueAlt = alts[0]
+	}
+	c.states[key] = st
+	return st
+}
+
+// Size returns (#start states, #interned states); benchmarks report it as
+// the cache footprint.
+func (c *Cache) Size() (starts, states int) {
+	return len(c.starts), len(c.states)
+}
+
+// Reset discards all cached states (the "cold cache" configuration of the
+// Figure 11 experiment).
+func (c *Cache) Reset() {
+	c.starts = make(map[string]*dfaState)
+	c.states = make(map[string]*dfaState)
+}

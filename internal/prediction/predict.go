@@ -1,0 +1,247 @@
+package prediction
+
+import (
+	"costar/internal/analysis"
+	"costar/internal/avl"
+	"costar/internal/grammar"
+	"costar/internal/machine"
+)
+
+type targetsAlias = analysis.Targets
+
+// Stats counts prediction activity; the Figure 10/11 benchmarks and the
+// ablation tests read these.
+type Stats struct {
+	SLLCalls       int    // adaptivePredict invocations that ran SLL
+	LLFallbacks    int    // times SLL failed over to LL
+	CacheHits      int    // DFA edges followed from the cache
+	CacheMisses    int    // DFA edges computed and inserted
+	TrivialCalls   int    // decisions with a single alternative (no prediction)
+	MaxLookahead   int    // deepest lookahead used by any single decision
+	MaxLookaheadNT string // the decision nonterminal that used it
+	TokensScanned  int    // total lookahead tokens examined
+}
+
+// Options tunes an AdaptivePredictor.
+type Options struct {
+	// DisableSLL skips SLL entirely and answers every decision with LL
+	// prediction. This is the paper's implicit baseline for the value of
+	// the DFA cache (ablation: BenchmarkAblationSLLCache).
+	DisableSLL bool
+	// Cache supplies a pre-existing DFA cache, enabling cross-input reuse
+	// (the Figure 11 "warmed cache" configuration). Nil means fresh.
+	Cache *Cache
+}
+
+// AdaptivePredictor implements machine.Predictor with the adaptivePredict
+// algorithm. It is not safe for concurrent use (the DFA cache mutates);
+// create one per parsing goroutine, or share sequentially.
+type AdaptivePredictor struct {
+	eng        engine
+	cache      *Cache
+	opts       Options
+	decisionNT string // current decision, for lookahead attribution
+	Stats      Stats
+}
+
+// New builds an AdaptivePredictor for g. The static return-target analysis
+// is computed once here (or supply a shared *analysis.Targets via NewWith).
+func New(g *grammar.Grammar, opts Options) *AdaptivePredictor {
+	return NewWith(g, analysis.NewTargets(g), opts)
+}
+
+// NewWith is New with a precomputed Targets (grammar analyses are pure, so
+// sharing across predictors is safe).
+func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *AdaptivePredictor {
+	c := opts.Cache
+	if c == nil {
+		c = NewCache()
+	}
+	return &AdaptivePredictor{
+		eng:   engine{g: g, targets: targets},
+		cache: c,
+		opts:  opts,
+	}
+}
+
+// Cache returns the predictor's DFA cache, so callers can reuse it for
+// later inputs (Section 6.2 notes ANTLR can do this and CoStar could not;
+// parser sessions expose it as the paper's discussed extension).
+func (ap *AdaptivePredictor) Cache() *Cache { return ap.cache }
+
+// Predict implements machine.Predictor: adaptivePredict for decision
+// nonterminal nt with the machine's current suffix stack and remaining
+// tokens.
+func (ap *AdaptivePredictor) Predict(nt string, suffix *machine.SuffixStack, remaining []grammar.Token) machine.Prediction {
+	idxs := ap.eng.g.ProductionIndices(nt)
+	switch len(idxs) {
+	case 0:
+		return machine.Prediction{Kind: machine.PredReject}
+	case 1:
+		// A single alternative is not a decision; no subparsers needed.
+		ap.Stats.TrivialCalls++
+		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[idxs[0]].Rhs}
+	}
+	ap.decisionNT = nt
+	if !ap.opts.DisableSLL {
+		ap.Stats.SLLCalls++
+		if p, ok := ap.sllPredict(nt, remaining); ok {
+			return p
+		}
+		ap.Stats.LLFallbacks++
+	}
+	return ap.llPredict(nt, suffix, remaining)
+}
+
+// ---------------------------------------------------------------------------
+// LL mode: precise simulation on the real machine stack
+// ---------------------------------------------------------------------------
+
+// llPredict launches one subparser per right-hand side of nt, each carrying
+// the machine's actual suffix stack, and advances them in lockstep until
+// they all agree (UniqueP), all die (RejectP), or several complete parses
+// survive to the end of the input (AmbigP). Left recursion discovered here
+// is genuine and yields ErrorP.
+func (ap *AdaptivePredictor) llPredict(nt string, suffix *machine.SuffixStack, remaining []grammar.Token) machine.Prediction {
+	g := ap.eng.g
+	caller := machine.SuffixFrame{Lhs: suffix.F.Lhs, Rest: suffix.F.Rest[1:]}
+	below := machine.PushSuffix(caller, suffix.Below)
+	v0 := avl.SetOf(nt)
+	var initial []config
+	for _, idx := range g.ProductionIndices(nt) {
+		initial = append(initial, config{
+			alt:     idx,
+			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: g.Prods[idx].Rhs}, below),
+			visited: v0,
+		})
+	}
+	cfgs, pred := ap.closeAndCheckLL(initial, 0)
+	if pred != nil {
+		return *pred
+	}
+	for depth := 0; ; depth++ {
+		if len(remaining) == depth {
+			return ap.resolveAtEOF(cfgs, depth)
+		}
+		ap.noteLookahead(depth + 1)
+		cfgs, pred = ap.closeAndCheckLL(move(cfgs, remaining[depth].Terminal), depth+1)
+		if pred != nil {
+			return *pred
+		}
+	}
+}
+
+// closeAndCheckLL closes the configs and applies the LL loop's early-exit
+// rules; a non-nil prediction ends the decision.
+func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config, *machine.Prediction) {
+	res := ap.eng.closure(modeLL, work)
+	switch res.anomaly {
+	case anomalyLeftRec:
+		p := machine.Prediction{Kind: machine.PredError,
+			Err: machine.LeftRecursive(res.lrNT, "detected during LL prediction")}
+		return nil, &p
+	case anomalyBudget:
+		p := machine.Prediction{Kind: machine.PredError,
+			Err: machine.InvalidState("LL prediction closure budget exhausted")}
+		return nil, &p
+	}
+	cfgs := res.stable
+	if len(cfgs) == 0 {
+		p := machine.Prediction{Kind: machine.PredReject, FailDepth: depth}
+		return nil, &p
+	}
+	alts, _ := altSummary(cfgs)
+	if len(alts) == 1 {
+		p := machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[alts[0]].Rhs}
+		return nil, &p
+	}
+	return cfgs, nil
+}
+
+// resolveAtEOF applies the end-of-input rule shared by both modes: only
+// subparsers that completed an entire parse remain viable.
+func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Prediction {
+	_, halted := altSummary(cfgs)
+	switch len(halted) {
+	case 0:
+		return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}
+	case 1:
+		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[halted[0]].Rhs}
+	default:
+		// Multiple complete parses: the input is ambiguous. Choose the
+		// lowest-numbered alternative, as ANTLR does.
+		return machine.Prediction{Kind: machine.PredAmbig, Rhs: ap.eng.g.Prods[halted[0]].Rhs}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SLL mode: cached simulation on overapproximated context
+// ---------------------------------------------------------------------------
+
+// sllPredict runs the cached SLL simulation. It returns (prediction, true)
+// when the SLL outcome is trustworthy, and (_, false) when prediction must
+// recommence in LL mode: on SLL conflicts (the paper's AmbigP-in-SLL case)
+// and on any anomaly (left-recursion kills may be spurious under
+// overapproximated context, and killed subparsers would also make RejectP
+// unsound).
+func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (machine.Prediction, bool) {
+	st := ap.cache.start(nt, func() *dfaState { return ap.buildStart(nt) })
+	for depth := 0; ; depth++ {
+		if st.anomalous {
+			return machine.Prediction{}, false
+		}
+		if st.uniqueAlt >= 0 {
+			return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[st.uniqueAlt].Rhs}, true
+		}
+		if len(st.configs) == 0 && len(st.haltedAlts) == 0 {
+			return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
+		}
+		if depth == len(remaining) {
+			switch len(st.haltedAlts) {
+			case 0:
+				return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
+			case 1:
+				return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[st.haltedAlts[0]].Rhs}, true
+			default:
+				// SLL "ambiguity" merely means the overapproximation could
+				// not separate the alternatives — recompute precisely.
+				return machine.Prediction{}, false
+			}
+		}
+		ap.noteLookahead(depth + 1)
+		term := remaining[depth].Terminal
+		next, ok := st.edges[term]
+		if ok {
+			ap.Stats.CacheHits++
+		} else {
+			ap.Stats.CacheMisses++
+			res := ap.eng.closure(modeSLL, move(st.configs, term))
+			next = ap.cache.intern(res)
+			st.edges[term] = next
+		}
+		st = next
+	}
+}
+
+// buildStart computes the DFA start state for decision nonterminal nt.
+func (ap *AdaptivePredictor) buildStart(nt string) *dfaState {
+	g := ap.eng.g
+	v0 := avl.SetOf(nt)
+	var initial []config
+	for _, idx := range g.ProductionIndices(nt) {
+		initial = append(initial, config{
+			alt:     idx,
+			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: g.Prods[idx].Rhs}, nil),
+			visited: v0,
+		})
+	}
+	return ap.cache.intern(ap.eng.closure(modeSLL, initial))
+}
+
+func (ap *AdaptivePredictor) noteLookahead(depth int) {
+	ap.Stats.TokensScanned++
+	if depth > ap.Stats.MaxLookahead {
+		ap.Stats.MaxLookahead = depth
+		ap.Stats.MaxLookaheadNT = ap.decisionNT
+	}
+}

@@ -1,0 +1,312 @@
+// Package prediction implements CoStar's adaptivePredict (Section 3.4): the
+// combination of fast, cached, imprecise SLL prediction with a failover to
+// slow, precise LL prediction.
+//
+// Both modes launch one subparser per right-hand side of the decision
+// nonterminal and advance them in lockstep over the remaining tokens,
+// closing over push/return operations between consumes. LL subparsers
+// simulate on the machine's real suffix stack and are exact; SLL subparsers
+// carry only local context and, when their stack empties, return into every
+// statically possible continuation (analysis.Targets — the "stable return
+// frames" of Section 3.5), which makes SLL an overapproximation of LL.
+// SLL steps are cached in a DFA keyed by subparser-set fingerprints; the
+// cache persists across decisions, across a whole input, and (via parser
+// sessions) across inputs.
+package prediction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"costar/internal/avl"
+	"costar/internal/grammar"
+	"costar/internal/machine"
+)
+
+// config is one subparser θ = (γ, Ψ): a candidate production (identified by
+// its global index alt) plus a simulated suffix stack. A nil stack means
+// the subparser has simulated a complete parse ("halted"); it survives only
+// if the input ends exactly here.
+type config struct {
+	alt     int
+	stack   *machine.SuffixStack
+	visited avl.Set
+}
+
+// anomalyKind classifies events that make an SLL outcome untrustworthy.
+type anomalyKind uint8
+
+const (
+	anomalyNone anomalyKind = iota
+	// anomalyLeftRec: a subparser was killed by dynamic left-recursion
+	// detection. In SLL mode the overapproximated context can make this
+	// spurious, so the result must be recomputed in LL mode; in LL mode it
+	// is genuine and becomes a LeftRecursive error.
+	anomalyLeftRec
+	// anomalyBudget: the closure step budget was exhausted — a defensive
+	// backstop, unreachable for well-formed grammars.
+	anomalyBudget
+)
+
+// closureResult is the outcome of closing a set of configs: the stable
+// configs (top symbol is a terminal, or halted), plus anomaly bookkeeping.
+type closureResult struct {
+	stable  []config
+	anomaly anomalyKind
+	lrNT    string // offending nonterminal for anomalyLeftRec
+}
+
+// closureBudget bounds the number of closure expansions per call; generous
+// enough for any realistic grammar, small enough to stop runaway fuzz
+// inputs quickly.
+const closureBudget = 1 << 20
+
+// mode distinguishes the two prediction strategies where their pop
+// behaviour differs.
+type mode uint8
+
+const (
+	modeLL mode = iota
+	modeSLL
+)
+
+// engine carries the immutable pieces shared by all prediction calls.
+type engine struct {
+	g       *grammar.Grammar
+	targets *Targets
+}
+
+// Targets is re-exported from analysis to keep this package's surface
+// self-contained.
+type Targets = targetsAlias
+
+// dedupKey identifies a config cheaply for closure-time merging: the top
+// frame by content (Rest slices alias production arrays, so the address of
+// their first element pins the grammar position) and the tail by pointer.
+// The visited set is deliberately excluded: within a round every config
+// starts with an empty visited set (move clears it), so two configs with
+// equal (alt, stack) have futures that differ at most in when a
+// left-recursion kill fires — and any such kill still witnesses a genuine
+// nullable loop. Merging is therefore sound, and it is what keeps closure
+// polynomial on deep expression grammars.
+type dedupKey struct {
+	alt      int
+	lhs      string
+	restHead *grammar.Symbol
+	restLen  int
+	below    *machine.SuffixStack
+	halted   bool
+}
+
+func keyOf(c config) dedupKey {
+	k := dedupKey{alt: c.alt}
+	if c.stack == nil {
+		k.halted = true
+		return k
+	}
+	k.lhs = c.stack.F.Lhs
+	k.restLen = len(c.stack.F.Rest)
+	if k.restLen > 0 {
+		k.restHead = &c.stack.F.Rest[0]
+	}
+	k.below = c.stack.Below
+	return k
+}
+
+// closure drives every config to a stable configuration, expanding
+// nonterminals into all their right-hand sides (push), popping exhausted
+// frames (return), and fanning empty SLL stacks out to their static return
+// targets. Left-recursive expansions kill the config and record an anomaly.
+func (e *engine) closure(m mode, work []config) closureResult {
+	var res closureResult
+	budget := closureBudget
+	seen := make(map[dedupKey]bool)
+	stableSeen := make(map[dedupKey]bool)
+	for len(work) > 0 {
+		if budget--; budget < 0 {
+			res.anomaly = anomalyBudget
+			return res
+		}
+		cfg := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		key := keyOf(cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		if cfg.stack == nil {
+			e.addStable(&res, stableSeen, cfg)
+			continue
+		}
+		top := cfg.stack.F
+		if len(top.Rest) == 0 {
+			if cfg.stack.Below != nil {
+				// Ordinary return to the caller frame.
+				work = append(work, config{
+					alt:     cfg.alt,
+					stack:   cfg.stack.Below,
+					visited: cfg.visited.Remove(top.Lhs),
+				})
+				continue
+			}
+			if m == modeLL || top.Lhs == "" {
+				// Bottom of the real parse: a complete simulated parse.
+				work = append(work, config{alt: cfg.alt, visited: cfg.visited})
+				continue
+			}
+			// SLL: the local context is exhausted at nonterminal top.Lhs —
+			// return into every statically possible continuation.
+			v := cfg.visited.Remove(top.Lhs)
+			for _, rt := range e.targets.For(top.Lhs) {
+				work = append(work, config{
+					alt:     cfg.alt,
+					stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: rt.Lhs, Rest: rt.Rest}, nil),
+					visited: v,
+				})
+			}
+			if e.targets.CanFinish(top.Lhs) {
+				work = append(work, config{alt: cfg.alt, visited: v})
+			}
+			continue
+		}
+		head := top.Rest[0]
+		if head.IsT() {
+			e.addStable(&res, stableSeen, cfg)
+			continue
+		}
+		// Push: expand the nonterminal into each right-hand side.
+		if cfg.visited.Contains(head.Name) {
+			if res.anomaly == anomalyNone {
+				res.anomaly = anomalyLeftRec
+				res.lrNT = head.Name
+			}
+			continue // kill this subparser
+		}
+		rhss := e.g.RhssFor(head.Name)
+		if len(rhss) == 0 {
+			// Undefined nonterminal: derives nothing; the subparser dies.
+			// (Validated grammars never reach this.)
+			continue
+		}
+		caller := machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}
+		below := machine.PushSuffix(caller, cfg.stack.Below)
+		v := cfg.visited.Add(head.Name)
+		for _, rhs := range rhss {
+			work = append(work, config{
+				alt:     cfg.alt,
+				stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: head.Name, Rest: rhs}, below),
+				visited: v,
+			})
+		}
+	}
+	return res
+}
+
+func (e *engine) addStable(res *closureResult, stableSeen map[dedupKey]bool, cfg config) {
+	key := keyOf(cfg)
+	if stableSeen[key] {
+		return
+	}
+	stableSeen[key] = true
+	res.stable = append(res.stable, cfg)
+}
+
+// move advances every stable config across terminal t: configs whose top
+// symbol matches consume it (and reset their visited set, mirroring the
+// machine's consume); mismatching and halted configs die.
+func move(cfgs []config, t string) []config {
+	var out []config
+	for _, cfg := range cfgs {
+		if cfg.stack == nil {
+			continue // claimed the parse ends here, but input continues
+		}
+		top := cfg.stack.F
+		if len(top.Rest) == 0 || !top.Rest[0].IsT() || top.Rest[0].Name != t {
+			continue
+		}
+		out = append(out, config{
+			alt:   cfg.alt,
+			stack: machine.PushSuffix(machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}, cfg.stack.Below),
+		})
+	}
+	return out
+}
+
+// fingerprint serializes the config for dedup (withVisited=true, used
+// during closure) or for canonical state identity (withVisited=false; the
+// visited set is irrelevant once stable, because the next move clears it).
+func (c config) fingerprint(withVisited bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", c.alt)
+	for s := c.stack; s != nil; s = s.Below {
+		b.WriteByte('|')
+		b.WriteString(s.F.Lhs)
+		b.WriteByte(':')
+		for _, sym := range s.F.Rest {
+			if sym.IsNT() {
+				b.WriteByte('@')
+			}
+			b.WriteString(sym.Name)
+			b.WriteByte(',')
+		}
+	}
+	if c.stack == nil {
+		b.WriteString("|HALT")
+	}
+	if withVisited {
+		b.WriteByte('!')
+		b.WriteString(c.visited.String())
+	}
+	return b.String()
+}
+
+// sortConfigs orders configs canonically (by alt, then content
+// fingerprint) and returns the fingerprints, computed once per config —
+// they dominate DFA-state interning cost, so they must not be recomputed
+// inside the comparator.
+func sortConfigs(cfgs []config) []string {
+	keys := make([]string, len(cfgs))
+	idx := make([]int, len(cfgs))
+	for i := range cfgs {
+		keys[i] = cfgs[i].fingerprint(false)
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if cfgs[i].alt != cfgs[j].alt {
+			return cfgs[i].alt < cfgs[j].alt
+		}
+		return keys[i] < keys[j]
+	})
+	sorted := make([]config, len(cfgs))
+	sortedKeys := make([]string, len(cfgs))
+	for a, i := range idx {
+		sorted[a] = cfgs[i]
+		sortedKeys[a] = keys[i]
+	}
+	copy(cfgs, sorted)
+	return sortedKeys
+}
+
+// altSummary returns the distinct alts over stable configs (halted and
+// live), ascending.
+func altSummary(cfgs []config) (alts []int, haltedAlts []int) {
+	seen := map[int]bool{}
+	seenH := map[int]bool{}
+	for _, c := range cfgs {
+		if !seen[c.alt] {
+			seen[c.alt] = true
+			alts = append(alts, c.alt)
+		}
+		if c.stack == nil && !seenH[c.alt] {
+			seenH[c.alt] = true
+			haltedAlts = append(haltedAlts, c.alt)
+		}
+	}
+	sort.Ints(alts)
+	sort.Ints(haltedAlts)
+	return alts, haltedAlts
+}

@@ -1,0 +1,208 @@
+package rx
+
+import (
+	"fmt"
+	"sort"
+	"unicode/utf8"
+)
+
+// DFA is a compiled deterministic automaton over runes. Transitions are
+// stored as sorted rune ranges per state and resolved by binary search.
+// The zero value is not usable; build one with Compile.
+type DFA struct {
+	// trans[s] are the outgoing ranges of state s, sorted by Lo.
+	trans  [][]dfaEdge
+	accept []bool
+	start  int
+}
+
+type dfaEdge struct {
+	lo, hi rune
+	to     int
+}
+
+// Compile builds a DFA from a regex AST via Thompson construction and the
+// subset construction.
+func Compile(node Node) *DFA {
+	n := compileNFA(node)
+	start := n.epsClosure([]int{n.start})
+	d := &DFA{}
+	index := map[string]int{}
+	var sets [][]int
+	intern := func(set []int) (int, bool) {
+		key := fmt.Sprint(set)
+		if id, ok := index[key]; ok {
+			return id, false
+		}
+		id := len(sets)
+		index[key] = id
+		sets = append(sets, set)
+		d.trans = append(d.trans, nil)
+		acc := false
+		for _, s := range set {
+			if s == n.acc {
+				acc = true
+				break
+			}
+		}
+		d.accept = append(d.accept, acc)
+		return id, true
+	}
+	startID, _ := intern(start)
+	d.start = startID
+	work := []int{startID}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		set := sets[id]
+		// Collect boundary points from all labeled edges out of the set.
+		var cuts []rune
+		var edges []nfaEdge
+		for _, s := range set {
+			edges = append(edges, n.edges[s]...)
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		for _, e := range edges {
+			cuts = append(cuts, e.lo, e.hi+1)
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		cuts = dedupRunes(cuts)
+		// For each elementary interval, compute the target subset.
+		for i := 0; i+1 <= len(cuts)-1; i++ {
+			lo, hiExcl := cuts[i], cuts[i+1]
+			var targets []int
+			for _, e := range edges {
+				if e.lo <= lo && hiExcl-1 <= e.hi {
+					targets = append(targets, e.to)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			sortInts(targets)
+			targets = dedupInts(targets)
+			closed := n.epsClosure(targets)
+			tid, fresh := intern(closed)
+			if fresh {
+				work = append(work, tid)
+			}
+			d.trans[id] = append(d.trans[id], dfaEdge{lo: lo, hi: hiExcl - 1, to: tid})
+		}
+		sort.Slice(d.trans[id], func(a, b int) bool { return d.trans[id][a].lo < d.trans[id][b].lo })
+		d.trans[id] = mergeEdges(d.trans[id])
+	}
+	return d
+}
+
+func dedupRunes(rs []rune) []rune {
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func mergeEdges(es []dfaEdge) []dfaEdge {
+	var out []dfaEdge
+	for _, e := range es {
+		if n := len(out); n > 0 && out[n-1].to == e.to && out[n-1].hi+1 == e.lo {
+			out[n-1].hi = e.hi
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// step returns the successor of state s on rune r, or -1.
+func (d *DFA) step(s int, r rune) int {
+	es := d.trans[s]
+	lo, hi := 0, len(es)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case r < es[mid].lo:
+			hi = mid - 1
+		case r > es[mid].hi:
+			lo = mid + 1
+		default:
+			return es[mid].to
+		}
+	}
+	return -1
+}
+
+// Match reports whether the DFA accepts exactly s.
+func (d *DFA) Match(s string) bool {
+	st := d.start
+	for _, r := range s {
+		st = d.step(st, r)
+		if st < 0 {
+			return false
+		}
+	}
+	return d.accept[st]
+}
+
+// LongestPrefix returns the byte length of the longest prefix of src[from:]
+// accepted by the DFA, and whether any (possibly empty) prefix matched.
+// A zero length with ok=true means the DFA accepts ε.
+func (d *DFA) LongestPrefix(src string, from int) (length int, ok bool) {
+	st := d.start
+	best, found := 0, d.accept[st]
+	i := from
+	for i < len(src) {
+		r, size := decodeRune(src[i:])
+		st = d.step(st, r)
+		if st < 0 {
+			break
+		}
+		i += size
+		if d.accept[st] {
+			best, found = i-from, true
+		}
+	}
+	return best, found
+}
+
+// NumStates returns the number of DFA states (diagnostics and tests).
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+func decodeRune(s string) (rune, int) {
+	if s[0] < 0x80 {
+		return rune(s[0]), 1
+	}
+	return utf8.DecodeRuneInString(s)
+}
+
+// CompilePattern is Compile ∘ Parse.
+func CompilePattern(pattern string) (*DFA, error) {
+	n, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(n), nil
+}
+
+// MustCompilePattern panics on parse errors; for pattern literals.
+func MustCompilePattern(pattern string) *DFA {
+	d, err := CompilePattern(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package rx
+
+import "sort"
+
+// Minimize returns an equivalent DFA with the minimum number of states,
+// via partition refinement (Moore's algorithm over the alphabet of
+// elementary rune intervals). Lexer specs compile many keyword literals
+// whose subset-construction DFAs contain mergeable tails; minimization
+// shrinks tables and improves locality.
+func (d *DFA) Minimize() *DFA {
+	reach := d.reachable()
+	// Elementary intervals: split the rune space at every edge boundary so
+	// all states agree on interval granularity.
+	var cuts []rune
+	for _, s := range reach {
+		for _, e := range d.trans[s] {
+			cuts = append(cuts, e.lo, e.hi+1)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedupRunes(cuts)
+
+	// Initial partition: accepting vs non-accepting (dead state implicit).
+	part := make(map[int]int, len(reach)) // state → block id
+	for _, s := range reach {
+		if d.accept[s] {
+			part[s] = 1
+		} else {
+			part[s] = 0
+		}
+	}
+	for {
+		// Signature of each state: (block, [successor block per interval]).
+		type sig struct {
+			block int
+			key   string
+		}
+		sigs := make(map[int]sig, len(reach))
+		for _, s := range reach {
+			key := make([]byte, 0, len(cuts)*2)
+			for i := 0; i+1 <= len(cuts)-1; i++ {
+				t := d.step(s, cuts[i])
+				blk := -1
+				if t >= 0 {
+					blk = part[t]
+				}
+				key = append(key, byte(blk), byte(blk>>8))
+			}
+			sigs[s] = sig{block: part[s], key: string(key)}
+		}
+		next := make(map[int]int, len(reach))
+		index := map[sig]int{}
+		for _, s := range reach {
+			g := sigs[s]
+			id, ok := index[g]
+			if !ok {
+				id = len(index)
+				index[g] = id
+			}
+			next[s] = id
+		}
+		if len(index) == countBlocks(part, reach) {
+			part = next
+			break
+		}
+		part = next
+	}
+
+	// Build the quotient automaton.
+	nblocks := countBlocks(part, reach)
+	out := &DFA{
+		trans:  make([][]dfaEdge, nblocks),
+		accept: make([]bool, nblocks),
+		start:  part[d.start],
+	}
+	seen := make([]bool, nblocks)
+	for _, s := range reach {
+		b := part[s]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		out.accept[b] = d.accept[s]
+		for i := 0; i+1 <= len(cuts)-1; i++ {
+			lo, hiExcl := cuts[i], cuts[i+1]
+			t := d.step(s, lo)
+			if t < 0 {
+				continue
+			}
+			out.trans[b] = append(out.trans[b], dfaEdge{lo: lo, hi: hiExcl - 1, to: part[t]})
+		}
+		sort.Slice(out.trans[b], func(x, y int) bool { return out.trans[b][x].lo < out.trans[b][y].lo })
+		out.trans[b] = mergeEdges(out.trans[b])
+	}
+	return out
+}
+
+func countBlocks(part map[int]int, reach []int) int {
+	seen := map[int]bool{}
+	for _, s := range reach {
+		seen[part[s]] = true
+	}
+	return len(seen)
+}
+
+// reachable lists states reachable from the start, sorted.
+func (d *DFA) reachable() []int {
+	mark := make([]bool, len(d.trans))
+	stack := []int{d.start}
+	mark[d.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range d.trans[s] {
+			if !mark[e.to] {
+				mark[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	var out []int
+	for s, m := range mark {
+		if m {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package rx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMinimizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		pat := randPattern(rng, 4)
+		d, err := CompilePattern(pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		m := d.Minimize()
+		if m.NumStates() > d.NumStates() {
+			t.Errorf("%q: minimized has MORE states (%d > %d)", pat, m.NumStates(), d.NumStates())
+		}
+		for i := 0; i < 60; i++ {
+			var b strings.Builder
+			for j := 0; j < rng.Intn(8); j++ {
+				b.WriteByte("abc01"[rng.Intn(5)])
+			}
+			s := b.String()
+			if d.Match(s) != m.Match(s) {
+				t.Fatalf("%q: minimization changed semantics on %q", pat, s)
+			}
+		}
+	}
+}
+
+func TestMinimizeMergesKeywordTails(t *testing.T) {
+	// "cat|car" shares c-a; minimization must also merge the accepting
+	// tails t/r reached states. Unminimized subset DFA: 5+ states; minimal
+	// DFA for {cat, car}: 4 states (start, c, ca, accept).
+	d := MustCompilePattern("cat|car")
+	m := d.Minimize()
+	if m.NumStates() >= d.NumStates() {
+		t.Errorf("no merge: %d vs %d states", m.NumStates(), d.NumStates())
+	}
+	if m.NumStates() != 4 {
+		t.Errorf("minimal DFA for cat|car has %d states, want 4", m.NumStates())
+	}
+	for s, want := range map[string]bool{"cat": true, "car": true, "ca": false, "cab": false} {
+		if m.Match(s) != want {
+			t.Errorf("Match(%q) = %v", s, m.Match(s))
+		}
+	}
+}
+
+func TestMinimizeLongestPrefixAgrees(t *testing.T) {
+	d := MustCompilePattern("(ab)+a?")
+	m := d.Minimize()
+	for _, s := range []string{"ababax", "ab", "a", "abab", "x"} {
+		n1, ok1 := d.LongestPrefix(s, 0)
+		n2, ok2 := m.LongestPrefix(s, 0)
+		if n1 != n2 || ok1 != ok2 {
+			t.Errorf("%q: (%d,%v) vs (%d,%v)", s, n1, ok1, n2, ok2)
+		}
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	d := MustCompilePattern("a")
+	m := d.Minimize()
+	if m.NumStates() != 2 {
+		t.Errorf("states = %d, want 2", m.NumStates())
+	}
+	if !m.Match("a") || m.Match("") || m.Match("aa") {
+		t.Error("semantics broken")
+	}
+}
+
+func TestMinimizeUnicodeRanges(t *testing.T) {
+	d := MustCompilePattern("[α-ω]+|[a-z]+")
+	m := d.Minimize()
+	for s, want := range map[string]bool{"αβγ": true, "abc": true, "aβ": false, "": false} {
+		if m.Match(s) != want {
+			t.Errorf("Match(%q) = %v, want %v", s, m.Match(s), want)
+		}
+	}
+}

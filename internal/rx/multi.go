@@ -1,0 +1,140 @@
+package rx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiDFA matches a prioritized list of patterns simultaneously: one
+// subset-construction DFA whose accepting states remember the
+// lowest-numbered pattern that accepts there. This is the classic
+// lexer-generator construction — maximal munch with rule priority on ties.
+type MultiDFA struct {
+	trans  [][]dfaEdge
+	accept []int // accepting pattern index, or -1
+	start  int
+}
+
+// CompileMulti builds a MultiDFA for the given patterns. Lower indices take
+// priority when two patterns accept the same longest prefix.
+func CompileMulti(nodes []Node) *MultiDFA {
+	n := &nfa{}
+	super := n.newState()
+	acceptRule := make(map[int]int)
+	for i, node := range nodes {
+		in, out := n.build(node)
+		n.epsEdge(super, in)
+		acceptRule[out] = i
+	}
+	start := n.epsClosure([]int{super})
+
+	m := &MultiDFA{}
+	index := map[string]int{}
+	var sets [][]int
+	intern := func(set []int) (int, bool) {
+		key := fmt.Sprint(set)
+		if id, ok := index[key]; ok {
+			return id, false
+		}
+		id := len(sets)
+		index[key] = id
+		sets = append(sets, set)
+		m.trans = append(m.trans, nil)
+		best := -1
+		for _, s := range set {
+			if r, ok := acceptRule[s]; ok && (best < 0 || r < best) {
+				best = r
+			}
+		}
+		m.accept = append(m.accept, best)
+		return id, true
+	}
+	startID, _ := intern(start)
+	m.start = startID
+	work := []int{startID}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		set := sets[id]
+		var edges []nfaEdge
+		for _, s := range set {
+			edges = append(edges, n.edges[s]...)
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		var cuts []rune
+		for _, e := range edges {
+			cuts = append(cuts, e.lo, e.hi+1)
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		cuts = dedupRunes(cuts)
+		for i := 0; i < len(cuts)-1; i++ {
+			lo, hiExcl := cuts[i], cuts[i+1]
+			var targets []int
+			for _, e := range edges {
+				if e.lo <= lo && hiExcl-1 <= e.hi {
+					targets = append(targets, e.to)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			sortInts(targets)
+			targets = dedupInts(targets)
+			closed := n.epsClosure(targets)
+			tid, fresh := intern(closed)
+			if fresh {
+				work = append(work, tid)
+			}
+			m.trans[id] = append(m.trans[id], dfaEdge{lo: lo, hi: hiExcl - 1, to: tid})
+		}
+		sort.Slice(m.trans[id], func(a, b int) bool { return m.trans[id][a].lo < m.trans[id][b].lo })
+		m.trans[id] = mergeEdges(m.trans[id])
+	}
+	return m
+}
+
+func (m *MultiDFA) step(s int, r rune) int {
+	es := m.trans[s]
+	lo, hi := 0, len(es)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case r < es[mid].lo:
+			hi = mid - 1
+		case r > es[mid].hi:
+			lo = mid + 1
+		default:
+			return es[mid].to
+		}
+	}
+	return -1
+}
+
+// LongestPrefix scans src[from:] and returns the byte length of the longest
+// match, the index of the winning pattern, and whether anything (possibly
+// ε) matched.
+func (m *MultiDFA) LongestPrefix(src string, from int) (length, pattern int, ok bool) {
+	st := m.start
+	best, bestPat, found := 0, -1, false
+	if r := m.accept[st]; r >= 0 {
+		bestPat, found = r, true
+	}
+	i := from
+	for i < len(src) {
+		r, size := decodeRune(src[i:])
+		st = m.step(st, r)
+		if st < 0 {
+			break
+		}
+		i += size
+		if rule := m.accept[st]; rule >= 0 {
+			best, bestPat, found = i-from, rule, true
+		}
+	}
+	return best, bestPat, found
+}
+
+// NumStates returns the number of DFA states.
+func (m *MultiDFA) NumStates() int { return len(m.trans) }

@@ -1,0 +1,129 @@
+package rx
+
+// Thompson NFA construction. States are integers; each state owns ε-edges
+// and at most a small set of range-labeled edges.
+
+type nfaEdge struct {
+	lo, hi rune
+	to     int
+}
+
+type nfa struct {
+	// eps[s] lists ε-successors of s; edges[s] lists labeled successors.
+	eps   [][]int
+	edges [][]nfaEdge
+	start int
+	acc   int
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.edges = append(n.edges, nil)
+	return len(n.eps) - 1
+}
+
+func (n *nfa) epsEdge(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *nfa) rangeEdge(from int, r Range, to int) {
+	n.edges[from] = append(n.edges[from], nfaEdge{lo: r.Lo, hi: r.Hi, to: to})
+}
+
+// build compiles node into the NFA, returning (entry, exit) states.
+func (n *nfa) build(node Node) (int, int) {
+	switch node := node.(type) {
+	case Class:
+		in, out := n.newState(), n.newState()
+		for _, r := range node.normalized() {
+			n.rangeEdge(in, r, out)
+		}
+		return in, out
+	case Empty:
+		in, out := n.newState(), n.newState()
+		n.epsEdge(in, out)
+		return in, out
+	case Concat:
+		if len(node.Parts) == 0 {
+			return n.build(Empty{})
+		}
+		in, cur := n.build(node.Parts[0])
+		for _, p := range node.Parts[1:] {
+			pin, pout := n.build(p)
+			n.epsEdge(cur, pin)
+			cur = pout
+		}
+		return in, cur
+	case Alt:
+		in, out := n.newState(), n.newState()
+		for _, a := range node.Alts {
+			ain, aout := n.build(a)
+			n.epsEdge(in, ain)
+			n.epsEdge(aout, out)
+		}
+		return in, out
+	case Star:
+		in, out := n.newState(), n.newState()
+		iin, iout := n.build(node.Inner)
+		n.epsEdge(in, iin)
+		n.epsEdge(in, out)
+		n.epsEdge(iout, iin)
+		n.epsEdge(iout, out)
+		return in, out
+	case Plus:
+		iin, iout := n.build(node.Inner)
+		out := n.newState()
+		n.epsEdge(iout, iin)
+		n.epsEdge(iout, out)
+		return iin, out
+	case Opt:
+		in, out := n.newState(), n.newState()
+		iin, iout := n.build(node.Inner)
+		n.epsEdge(in, iin)
+		n.epsEdge(iout, out)
+		n.epsEdge(in, out)
+		return in, out
+	default:
+		panic("rx: unknown AST node")
+	}
+}
+
+func compileNFA(node Node) *nfa {
+	n := &nfa{}
+	in, out := n.build(node)
+	n.start, n.acc = in, out
+	return n
+}
+
+// epsClosure expands set (sorted state ids) with ε-reachable states,
+// returning a sorted deduplicated slice.
+func (n *nfa) epsClosure(set []int) []int {
+	mark := make(map[int]bool, len(set)*2)
+	stack := append([]int{}, set...)
+	for _, s := range set {
+		mark[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !mark[t] {
+				mark[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	// insertion sort: sets are small
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package rx
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mustMatch(t *testing.T, pattern, s string, want bool) {
+	t.Helper()
+	d, err := CompilePattern(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	if got := d.Match(s); got != want {
+		t.Errorf("%q.Match(%q) = %v, want %v", pattern, s, got, want)
+	}
+}
+
+func TestBasicMatching(t *testing.T) {
+	mustMatch(t, "abc", "abc", true)
+	mustMatch(t, "abc", "ab", false)
+	mustMatch(t, "abc", "abcd", false)
+	mustMatch(t, "a|b", "a", true)
+	mustMatch(t, "a|b", "b", true)
+	mustMatch(t, "a|b", "c", false)
+	mustMatch(t, "a*", "", true)
+	mustMatch(t, "a*", "aaaa", true)
+	mustMatch(t, "a+", "", false)
+	mustMatch(t, "a+", "aaa", true)
+	mustMatch(t, "a?b", "b", true)
+	mustMatch(t, "a?b", "ab", true)
+	mustMatch(t, "a?b", "aab", false)
+	mustMatch(t, "(ab)*c", "ababc", true)
+	mustMatch(t, "(ab)*c", "abac", false)
+	mustMatch(t, "", "", true)
+	mustMatch(t, "", "x", false)
+}
+
+func TestClasses(t *testing.T) {
+	mustMatch(t, "[a-z]+", "hello", true)
+	mustMatch(t, "[a-z]+", "Hello", false)
+	mustMatch(t, "[a-zA-Z_][a-zA-Z0-9_]*", "_ident9", true)
+	mustMatch(t, "[a-zA-Z_][a-zA-Z0-9_]*", "9ident", false)
+	mustMatch(t, "[^0-9]", "x", true)
+	mustMatch(t, "[^0-9]", "5", false)
+	mustMatch(t, `[\]\-]`, "]", true)
+	mustMatch(t, `[\]\-]`, "-", true)
+	mustMatch(t, "[a-c]", "b", true)
+	mustMatch(t, "[a-c]", "d", false)
+	// '-' at class end is literal.
+	mustMatch(t, "[a-]", "-", true)
+	mustMatch(t, "[a-]", "a", true)
+}
+
+func TestEscapesAndUnicode(t *testing.T) {
+	mustMatch(t, `\n`, "\n", true)
+	mustMatch(t, `\t`, "\t", true)
+	mustMatch(t, `\\`, `\`, true)
+	mustMatch(t, `\.`, ".", true)
+	mustMatch(t, `\.`, "x", false)
+	mustMatch(t, `A`, "A", true)
+	mustMatch(t, `é+`, "ééé", true)
+	mustMatch(t, "[α-ω]+", "λμν", true)
+	mustMatch(t, "[α-ω]+", "abc", false)
+	mustMatch(t, ".", "日", true)
+	mustMatch(t, "..", "日本", true)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", ")", "(a", "[", "[]", "[z-a]", "*", "+a*b(", `\u12`, `a\`}
+	for _, p := range bad {
+		if _, err := Parse(p); err == nil {
+			t.Errorf("Parse(%q) should fail", p)
+		}
+	}
+}
+
+func TestLongestPrefix(t *testing.T) {
+	d := MustCompilePattern("[0-9]+")
+	n, ok := d.LongestPrefix("123abc", 0)
+	if !ok || n != 3 {
+		t.Errorf("LongestPrefix = %d, %v", n, ok)
+	}
+	n, ok = d.LongestPrefix("abc123", 3)
+	if !ok || n != 3 {
+		t.Errorf("LongestPrefix from 3 = %d, %v", n, ok)
+	}
+	if _, ok = d.LongestPrefix("abc", 0); ok {
+		t.Error("no digits should mean no match")
+	}
+	// Maximal munch prefers the longer alternative.
+	d2 := MustCompilePattern("a|ab")
+	n, ok = d2.LongestPrefix("abz", 0)
+	if !ok || n != 2 {
+		t.Errorf("maximal munch = %d, %v; want 2", n, ok)
+	}
+	// ε-accepting pattern reports a zero-length match.
+	d3 := MustCompilePattern("a*")
+	n, ok = d3.LongestPrefix("bbb", 0)
+	if !ok || n != 0 {
+		t.Errorf("ε prefix = %d, %v", n, ok)
+	}
+}
+
+func TestStrAndRoundTrip(t *testing.T) {
+	d := Compile(Str("let"))
+	if !d.Match("let") || d.Match("le") {
+		t.Error("Str literal broken")
+	}
+	// String() output reparses to an equivalent matcher.
+	for _, p := range []string{"a(b|c)*d", "[a-f0-9]+", `x\.y`, "a?b+c*", "[^\"]*"} {
+		n := MustParse(p)
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", n.String(), p, err)
+		}
+		d1, d2 := Compile(n), Compile(n2)
+		for _, s := range []string{"", "a", "ab", "abc", "x.y", "xy", "deadbeef", `"q"`} {
+			if d1.Match(s) != d2.Match(s) {
+				t.Errorf("round-trip changed semantics of %q on %q", p, s)
+			}
+		}
+	}
+}
+
+// TestDifferentialAgainstStdlib drives random patterns and inputs through
+// this engine and the standard library's regexp, which serves as the
+// reference semantics (anchored, with (?s) so '.' matches anything).
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abc01"
+	for trial := 0; trial < 400; trial++ {
+		pat := randPattern(rng, 4)
+		std, err := regexp.Compile(`(?s)\A(?:` + pat + `)\z`)
+		if err != nil {
+			continue // pattern landed outside the common subset
+		}
+		d, err := CompilePattern(pat)
+		if err != nil {
+			t.Fatalf("our parser rejected %q accepted by stdlib: %v", pat, err)
+		}
+		for i := 0; i < 40; i++ {
+			n := rng.Intn(7)
+			var b strings.Builder
+			for j := 0; j < n; j++ {
+				b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			s := b.String()
+			if got, want := d.Match(s), std.MatchString(s); got != want {
+				t.Fatalf("pattern %q input %q: got %v, stdlib %v", pat, s, got, want)
+			}
+		}
+	}
+}
+
+// randPattern emits patterns in the syntax subset shared with stdlib.
+func randPattern(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return string("abc01"[rng.Intn(5)])
+	}
+	switch rng.Intn(10) {
+	// Repetitions are always parenthesized: "e+?" means non-greedy plus in
+	// the stdlib but Plus-then-Opt here, so bare stacking is excluded from
+	// the shared subset.
+	case 0:
+		return "(" + randPattern(rng, depth-1) + ")*"
+	case 1:
+		return "(" + randPattern(rng, depth-1) + ")+"
+	case 2:
+		return "(" + randPattern(rng, depth-1) + ")?"
+	case 3:
+		return "(" + randPattern(rng, depth-1) + "|" + randPattern(rng, depth-1) + ")"
+	case 4, 5:
+		return "(" + randPattern(rng, depth-1) + randPattern(rng, depth-1) + ")"
+	case 6:
+		return "[abc]"
+	case 7:
+		return "[^ab]"
+	case 8:
+		return "[a-c0-1]"
+	default:
+		return string("abc01"[rng.Intn(5)])
+	}
+}
+
+func TestClassNormalization(t *testing.T) {
+	c := Class{Ranges: []Range{{'d', 'f'}, {'a', 'c'}, {'e', 'g'}}}
+	got := c.normalized()
+	if len(got) != 1 || got[0].Lo != 'a' || got[0].Hi != 'g' {
+		t.Errorf("normalized = %v", got)
+	}
+	neg := Class{Ranges: []Range{{'b', 'c'}}, Negated: true}
+	rs := neg.normalized()
+	if len(rs) != 2 || rs[0].Lo != 0 || rs[0].Hi != 'a' || rs[1].Lo != 'd' || rs[1].Hi != maxRune {
+		t.Errorf("negated = %v", rs)
+	}
+	// Inverted and empty ranges are dropped.
+	junk := Class{Ranges: []Range{{'z', 'a'}}}
+	if len(junk.normalized()) != 0 {
+		t.Errorf("inverted range kept: %v", junk.normalized())
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	cases := map[string]Node{
+		"a":      Lit('a'),
+		".":      AnyRune(),
+		"ab":     Str("ab"),
+		"a|b":    Alt{Alts: []Node{Lit('a'), Lit('b')}},
+		"(a|b)c": Concat{Parts: []Node{Alt{Alts: []Node{Lit('a'), Lit('b')}}, Lit('c')}},
+		"a*":     Star{Inner: Lit('a')},
+		"(ab)+":  Plus{Inner: Str("ab")},
+		"[a-c]?": Opt{Inner: Class{Ranges: []Range{{'a', 'c'}}}},
+		`\n`:     Lit('\n'),
+		"[^a]":   Class{Ranges: []Range{{'a', 'a'}}, Negated: true},
+	}
+	for want, n := range cases {
+		if got := n.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDFAStateCount(t *testing.T) {
+	// Sanity: a keyword DFA has len+1 reachable states.
+	d := Compile(Str("return"))
+	if d.NumStates() != len("return")+1 {
+		t.Errorf("NumStates = %d, want %d", d.NumStates(), len("return")+1)
+	}
+}

@@ -1,0 +1,108 @@
+// Package semantics implements the extension sketched in the paper's
+// Section 8: user-defined semantic actions that map parse trees to values
+// of a user-defined type, with validation. Actions run bottom-up over the
+// tree after parsing (the tree is already proven correct, so actions never
+// see a malformed derivation).
+//
+// The paper also notes the subtlety this feature introduces: "two distinct
+// parse trees for an ambiguous word might map to the same semantic value".
+// SameValue makes that observable — see TestAmbiguousTreesSameValue.
+package semantics
+
+import (
+	"fmt"
+	"reflect"
+
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// Action computes a node's semantic value. node is the tree node being
+// evaluated (its NT and children are available for inspection); children
+// holds the already-computed values of the node's children, in order.
+// Returning an error aborts evaluation — this is the validation hook.
+type Action func(node *tree.Tree, children []any) (any, error)
+
+// LeafAction computes a token's semantic value.
+type LeafAction func(tok grammar.Token) (any, error)
+
+// Evaluator maps parse trees to semantic values. Configure with On/OnLeaf;
+// nonterminals without an action get the default: a single child's value
+// passes through, otherwise the slice of child values.
+type Evaluator struct {
+	g       *grammar.Grammar
+	actions map[string]Action
+	leaf    LeafAction
+}
+
+// New builds an evaluator for g.
+func New(g *grammar.Grammar) *Evaluator {
+	return &Evaluator{
+		g:       g,
+		actions: make(map[string]Action),
+		leaf:    func(tok grammar.Token) (any, error) { return tok.Literal, nil },
+	}
+}
+
+// On registers the action for nonterminal nt (replacing any previous one).
+// It returns the evaluator for chaining.
+func (e *Evaluator) On(nt string, a Action) *Evaluator {
+	e.actions[nt] = a
+	return e
+}
+
+// OnLeaf replaces the leaf action (default: the token's literal text).
+func (e *Evaluator) OnLeaf(a LeafAction) *Evaluator {
+	e.leaf = a
+	return e
+}
+
+// Eval computes v's semantic value bottom-up.
+func (e *Evaluator) Eval(v *tree.Tree) (any, error) {
+	if v == nil {
+		return nil, fmt.Errorf("semantics: nil tree")
+	}
+	if v.IsLeaf {
+		return e.leaf(v.Token)
+	}
+	children := make([]any, len(v.Children))
+	for i, c := range v.Children {
+		val, err := e.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = val
+	}
+	if a, ok := e.actions[v.NT]; ok {
+		val, err := a(v, children)
+		if err != nil {
+			return nil, fmt.Errorf("semantics: action for %s: %w", v.NT, err)
+		}
+		return val, nil
+	}
+	// Default action.
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return children, nil
+}
+
+// SameValue reports whether two trees evaluate to (deeply) equal values —
+// the Section 8 observation that distinct trees of an ambiguous word can
+// be semantically indistinguishable. Evaluation errors count as different.
+func (e *Evaluator) SameValue(a, b *tree.Tree) bool {
+	va, errA := e.Eval(a)
+	vb, errB := e.Eval(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return reflect.DeepEqual(va, vb)
+}
+
+// Check runs Eval and keeps only the error — parse-then-validate pipelines
+// ("produce and validate semantic values", §8) use it when the value
+// itself is built elsewhere.
+func (e *Evaluator) Check(v *tree.Tree) error {
+	_, err := e.Eval(v)
+	return err
+}

@@ -1,0 +1,199 @@
+package semantics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+	"costar/internal/machine"
+	"costar/internal/parser"
+	"costar/internal/tree"
+)
+
+func word(terms ...string) []grammar.Token {
+	w := make([]grammar.Token, len(terms))
+	for i, t := range terms {
+		w[i] = grammar.Tok(t, t)
+	}
+	return w
+}
+
+// sums is a tiny additive expression grammar used throughout.
+func sums() *grammar.Grammar {
+	return grammar.MustParseBNF(`
+		E -> T Etail ;
+		Etail -> plus T Etail | %empty ;
+		T -> num
+	`)
+}
+
+func parseWith(t *testing.T, g *grammar.Grammar, w []grammar.Token) *tree.Tree {
+	t.Helper()
+	res := parser.MustNew(g, parser.Options{}).Parse(w)
+	if res.Kind != machine.Unique && res.Kind != machine.Ambig {
+		t.Fatalf("parse failed: %s", res)
+	}
+	return res.Tree
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	g := sums()
+	w := []grammar.Token{
+		grammar.Tok("num", "1"), grammar.Tok("plus", "+"),
+		grammar.Tok("num", "20"), grammar.Tok("plus", "+"),
+		grammar.Tok("num", "300"),
+	}
+	v := parseWith(t, g, w)
+	e := New(g).
+		OnLeaf(func(tok grammar.Token) (any, error) {
+			if tok.Terminal == "num" {
+				return strconv.Atoi(tok.Literal)
+			}
+			return tok.Literal, nil
+		}).
+		On("T", func(_ *tree.Tree, cs []any) (any, error) { return cs[0], nil }).
+		On("Etail", func(_ *tree.Tree, cs []any) (any, error) {
+			if len(cs) == 0 {
+				return 0, nil
+			}
+			return cs[1].(int) + cs[2].(int), nil // plus T Etail
+		}).
+		On("E", func(_ *tree.Tree, cs []any) (any, error) {
+			return cs[0].(int) + cs[1].(int), nil
+		})
+	got, err := e.Eval(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 321 {
+		t.Errorf("Eval = %v, want 321", got)
+	}
+}
+
+func TestValidationAction(t *testing.T) {
+	// §8: "produce and validate semantic values" — reject numbers > 99 at
+	// the semantic level even though they parse syntactically.
+	g := sums()
+	e := New(g).OnLeaf(func(tok grammar.Token) (any, error) {
+		if tok.Terminal != "num" {
+			return tok.Literal, nil
+		}
+		n, err := strconv.Atoi(tok.Literal)
+		if err != nil || n > 99 {
+			return nil, fmt.Errorf("number %q out of range", tok.Literal)
+		}
+		return n, nil
+	})
+	ok := parseWith(t, g, []grammar.Token{grammar.Tok("num", "42")})
+	if err := e.Check(ok); err != nil {
+		t.Errorf("42 should validate: %v", err)
+	}
+	bad := parseWith(t, g, []grammar.Token{grammar.Tok("num", "420")})
+	err := e.Check(bad)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("validation error missing: %v", err)
+	}
+}
+
+func TestDefaultActions(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> a B ; B -> b`)
+	v := parseWith(t, g, word("a", "b"))
+	e := New(g)
+	got, err := e.Eval(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S has two children → slice; B has one → pass-through literal.
+	vals, ok := got.([]any)
+	if !ok || len(vals) != 2 || vals[0] != "a" || vals[1] != "b" {
+		t.Errorf("default eval = %#v", got)
+	}
+	if _, err := e.Eval(nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestActionErrorsPropagate(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> a`)
+	v := parseWith(t, g, word("a"))
+	e := New(g).On("S", func(*tree.Tree, []any) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if _, err := e.Eval(v); err == nil || !strings.Contains(err.Error(), "action for S") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestAmbiguousTreesSameValue demonstrates the §8 subtlety: the word "a"
+// has two distinct parse trees under this grammar, but with actions that
+// ignore the X/Y distinction both map to the same semantic value.
+func TestAmbiguousTreesSameValue(t *testing.T) {
+	g := grammar.MustParseBNF(`S -> X | Y ; X -> a ; Y -> a`)
+	t1 := tree.Node("S", tree.Node("X", tree.Leaf(grammar.Tok("a", "a"))))
+	t2 := tree.Node("S", tree.Node("Y", tree.Leaf(grammar.Tok("a", "a"))))
+	if t1.Equal(t2) {
+		t.Fatal("trees should be distinct")
+	}
+	e := New(g) // default actions collapse both to the literal "a"
+	if !e.SameValue(t1, t2) {
+		t.Error("distinct trees should map to the same value under these actions")
+	}
+	// With actions that observe the nonterminal, the values differ.
+	e2 := New(g).
+		On("X", func(*tree.Tree, []any) (any, error) { return "via-X", nil }).
+		On("Y", func(*tree.Tree, []any) (any, error) { return "via-Y", nil })
+	if e2.SameValue(t1, t2) {
+		t.Error("observing actions should distinguish the trees")
+	}
+	// Errors never compare equal.
+	e3 := New(g).On("X", func(*tree.Tree, []any) (any, error) { return nil, fmt.Errorf("x") })
+	if e3.SameValue(t1, t1) {
+		t.Error("erroring evaluation must not report equality")
+	}
+}
+
+func TestEndToEndWithParser(t *testing.T) {
+	// Whole pipeline: grammar → parse → evaluate, over several inputs.
+	g := sums()
+	e := New(g).
+		OnLeaf(func(tok grammar.Token) (any, error) {
+			if tok.Terminal == "num" {
+				return strconv.Atoi(tok.Literal)
+			}
+			return tok.Literal, nil
+		}).
+		On("Etail", func(_ *tree.Tree, cs []any) (any, error) {
+			if len(cs) == 0 {
+				return 0, nil
+			}
+			return cs[1].(int) + cs[2].(int), nil
+		}).
+		On("E", func(_ *tree.Tree, cs []any) (any, error) {
+			return cs[0].(int) + cs[1].(int), nil
+		})
+	p := parser.MustNew(g, parser.Options{})
+	for want := 1; want < 50; want += 7 {
+		var w []grammar.Token
+		sum := 0
+		for i := 0; sum+i <= want; i += 1 {
+			if len(w) > 0 {
+				w = append(w, grammar.Tok("plus", "+"))
+			}
+			w = append(w, grammar.Tok("num", strconv.Itoa(i)))
+			sum += i
+		}
+		res := p.Parse(w)
+		if res.Kind != machine.Unique {
+			t.Fatalf("parse: %v", res.Kind)
+		}
+		got, err := e.Eval(res.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(int) != sum {
+			t.Errorf("sum = %v, want %d", got, sum)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package stats implements the statistical tools the paper's evaluation
+// uses to argue linearity (Figure 9): ordinary least-squares regression and
+// LOWESS (Cleveland 1979, "Robust Locally Weighted Regression and Smoothing
+// Scatterplots") with tricube weights and local linear fits. "The close
+// correspondence between LOWESS curves and regression lines ... indicates a
+// linear relationship between input size and parse time" (Section 6.1);
+// the benchmark harness quantifies that correspondence.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is an (x, y) observation.
+type Point struct{ X, Y float64 }
+
+// Linear is a fitted line y = Intercept + Slope·x.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination on the fit data
+}
+
+// String renders the line.
+func (l Linear) String() string {
+	return fmt.Sprintf("y = %.6g + %.6g·x (R²=%.4f)", l.Intercept, l.Slope, l.R2)
+}
+
+// Eval evaluates the line at x.
+func (l Linear) Eval(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// Regress fits ordinary least squares to the points. It panics on fewer
+// than two points or zero x-variance.
+func Regress(pts []Point) Linear {
+	if len(pts) < 2 {
+		panic("stats: Regress needs at least two points")
+	}
+	n := float64(len(pts))
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: Regress with zero x-variance")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for _, p := range pts {
+			r := p.Y - (intercept + slope*p.X)
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Linear{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Lowess computes the LOWESS smooth of the points at each point's x, using
+// fraction f of the data per local fit (the paper uses f = 0.1) and the
+// tricube weight function. Input need not be sorted; output is sorted by x
+// and has one entry per input point. Robustness iterations are omitted (as
+// in the paper's usage, which plots a single pass).
+func Lowess(pts []Point, f float64) []Point {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]Point{}, pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	span := int(math.Ceil(f * float64(n)))
+	if span < 2 {
+		span = 2
+	}
+	if span > n {
+		span = n
+	}
+	out := make([]Point, n)
+	for i, p := range sorted {
+		lo, hi := window(sorted, i, span)
+		out[i] = Point{X: p.X, Y: localFit(sorted[lo:hi], p.X)}
+	}
+	return out
+}
+
+// window finds the span-sized index window around i with the nearest xs.
+func window(sorted []Point, i, span int) (lo, hi int) {
+	lo, hi = i, i+1
+	for hi-lo < span {
+		switch {
+		case lo == 0:
+			hi++
+		case hi == len(sorted):
+			lo--
+		case sorted[i].X-sorted[lo-1].X <= sorted[hi].X-sorted[i].X:
+			lo--
+		default:
+			hi++
+		}
+	}
+	return lo, hi
+}
+
+// localFit computes the tricube-weighted linear fit of the window evaluated
+// at x (falling back to the weighted mean for degenerate windows).
+func localFit(win []Point, x float64) float64 {
+	dmax := 0.0
+	for _, p := range win {
+		if d := math.Abs(p.X - x); d > dmax {
+			dmax = d
+		}
+	}
+	var sw, swx, swy, swxx, swxy float64
+	for _, p := range win {
+		w := 1.0
+		if dmax > 0 {
+			u := math.Abs(p.X-x) / dmax
+			if u >= 1 {
+				w = 0
+			} else {
+				c := 1 - u*u*u
+				w = c * c * c
+			}
+		}
+		sw += w
+		swx += w * p.X
+		swy += w * p.Y
+		swxx += w * p.X * p.X
+		swxy += w * p.X * p.Y
+	}
+	if sw == 0 {
+		// All weight collapsed; plain mean of the window.
+		var s float64
+		for _, p := range win {
+			s += p.Y
+		}
+		return s / float64(len(win))
+	}
+	den := sw*swxx - swx*swx
+	if math.Abs(den) < 1e-12 {
+		return swy / sw
+	}
+	slope := (sw*swxy - swx*swy) / den
+	intercept := (swy - slope*swx) / sw
+	return intercept + slope*x
+}
+
+// LowessDeviation quantifies Figure 9's visual argument: the mean relative
+// deviation between the LOWESS smooth and the regression line, evaluated at
+// the smoothed xs. Values near zero mean the unconstrained smooth coincides
+// with the line — i.e. the relationship is linear.
+func LowessDeviation(pts []Point, f float64) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	line := Regress(pts)
+	smooth := Lowess(pts, f)
+	var sum float64
+	count := 0
+	scale := meanAbsY(pts)
+	if scale == 0 {
+		return 0
+	}
+	for _, p := range smooth {
+		sum += math.Abs(p.Y-line.Eval(p.X)) / scale
+		count++
+	}
+	return sum / float64(count)
+}
+
+func meanAbsY(pts []Point) float64 {
+	var s float64
+	for _, p := range pts {
+		s += math.Abs(p.Y)
+	}
+	return s / float64(len(pts))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

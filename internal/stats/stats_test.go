@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRegressExactLine(t *testing.T) {
+	var pts []Point
+	for x := 0.0; x < 10; x++ {
+		pts = append(pts, Point{x, 3 + 2*x})
+	}
+	l := Regress(pts)
+	if !approx(l.Slope, 2, 1e-9) || !approx(l.Intercept, 3, 1e-9) || !approx(l.R2, 1, 1e-9) {
+		t.Errorf("fit = %s", l)
+	}
+	if got := l.Eval(100); !approx(got, 203, 1e-9) {
+		t.Errorf("Eval(100) = %v", got)
+	}
+}
+
+func TestRegressNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		pts = append(pts, Point{x, 5 + 0.5*x + rng.NormFloat64()})
+	}
+	l := Regress(pts)
+	if !approx(l.Slope, 0.5, 0.02) || !approx(l.Intercept, 5, 1.0) {
+		t.Errorf("fit = %s", l)
+	}
+	if l.R2 < 0.98 {
+		t.Errorf("R² = %v, want near 1", l.R2)
+	}
+}
+
+func TestRegressPanics(t *testing.T) {
+	for _, pts := range [][]Point{
+		{},
+		{{1, 1}},
+		{{2, 1}, {2, 5}}, // zero x-variance
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Regress(%v) should panic", pts)
+				}
+			}()
+			Regress(pts)
+		}()
+	}
+}
+
+func TestRegressConstantY(t *testing.T) {
+	l := Regress([]Point{{0, 4}, {1, 4}, {2, 4}})
+	if !approx(l.Slope, 0, 1e-12) || !approx(l.R2, 1, 1e-12) {
+		t.Errorf("constant fit = %s", l)
+	}
+}
+
+func TestLowessOnLine(t *testing.T) {
+	var pts []Point
+	for x := 0.0; x < 50; x++ {
+		pts = append(pts, Point{x, 1 + 4*x})
+	}
+	smooth := Lowess(pts, 0.2)
+	if len(smooth) != len(pts) {
+		t.Fatalf("len = %d", len(smooth))
+	}
+	for _, p := range smooth {
+		if !approx(p.Y, 1+4*p.X, 1e-6) {
+			t.Errorf("LOWESS off a perfect line at x=%v: %v", p.X, p.Y)
+		}
+	}
+}
+
+func TestLowessTracksCurve(t *testing.T) {
+	// On a quadratic, LOWESS must follow the curve, diverging from the
+	// global line — that is exactly the diagnostic the paper relies on.
+	var pts []Point
+	for x := 0.0; x <= 40; x++ {
+		pts = append(pts, Point{x, x * x})
+	}
+	smooth := Lowess(pts, 0.25)
+	for _, p := range smooth[5 : len(smooth)-5] {
+		if math.Abs(p.Y-p.X*p.X) > 0.1*p.X*p.X+20 {
+			t.Errorf("LOWESS far from curve at x=%v: %v vs %v", p.X, p.Y, p.X*p.X)
+		}
+	}
+	lin := LowessDeviation(pts, 0.25)
+	if lin < 0.05 {
+		t.Errorf("deviation on a quadratic = %v, should be clearly nonzero", lin)
+	}
+}
+
+func TestLowessDeviationSeparatesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var linear, quadratic []Point
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 100
+		noise := rng.NormFloat64() * 2
+		linear = append(linear, Point{x, 10 + 3*x + noise})
+		quadratic = append(quadratic, Point{x, 10 + 0.2*x*x + noise})
+	}
+	dl := LowessDeviation(linear, 0.1)
+	dq := LowessDeviation(quadratic, 0.1)
+	if dl > 0.02 {
+		t.Errorf("linear data deviation = %v, want ≈ 0", dl)
+	}
+	if dq < 5*dl {
+		t.Errorf("quadratic deviation (%v) should dominate linear (%v)", dq, dl)
+	}
+}
+
+func TestLowessEdgeCases(t *testing.T) {
+	if Lowess(nil, 0.1) != nil {
+		t.Error("empty input should return nil")
+	}
+	one := Lowess([]Point{{1, 2}}, 0.1)
+	if len(one) != 1 || one[0].Y != 2 {
+		t.Errorf("singleton = %v", one)
+	}
+	// Duplicate xs must not divide by zero.
+	dup := Lowess([]Point{{1, 1}, {1, 3}, {1, 5}}, 1.0)
+	for _, p := range dup {
+		if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			t.Errorf("degenerate window produced %v", p.Y)
+		}
+	}
+	if LowessDeviation([]Point{{1, 1}}, 0.1) != 0 {
+		t.Error("tiny input deviation should be 0")
+	}
+	zero := LowessDeviation([]Point{{0, 0}, {1, 0}, {2, 0}}, 0.5)
+	if zero != 0 {
+		t.Errorf("all-zero ys deviation = %v", zero)
+	}
+}
+
+func TestLowessOutputSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		smooth := Lowess(pts, 0.3)
+		if len(smooth) != n {
+			return false
+		}
+		for i := 1; i < len(smooth); i++ {
+			if smooth[i].X < smooth[i-1].X {
+				return false
+			}
+		}
+		for _, p := range smooth {
+			if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(xs), 5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !approx(StdDev(xs), 2, 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	s := Linear{Slope: 2, Intercept: 1, R2: 0.5}.String()
+	if s == "" || !approx(Linear{Slope: 2, Intercept: 1}.Eval(2), 5, 1e-12) {
+		t.Errorf("String/Eval broken: %q", s)
+	}
+}

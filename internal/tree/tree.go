@@ -1,0 +1,321 @@
+// Package tree defines parse trees and forests, and makes the paper's
+// derivation relations (Figure 3) executable:
+//
+//	Trees    v ::= Leaf(t) | Node(X, f)
+//	Forests  f ::= • | v, f
+//
+// The Validate functions implement the judgments s —v→ w and γ —f→ w as
+// checkers: a tree is a correct derivation exactly when Validate accepts it.
+// These checkers are the soundness oracle used throughout the test suite.
+package tree
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"costar/internal/grammar"
+)
+
+// Tree is a parse tree: either a Leaf holding a token, or a Node holding a
+// nonterminal and the forest of subtrees derived from one of its
+// right-hand sides.
+type Tree struct {
+	// Leaf fields; valid when IsLeaf is true.
+	Token grammar.Token
+	// Node fields; valid when IsLeaf is false.
+	NT       string
+	Children []*Tree
+
+	IsLeaf bool
+}
+
+// Leaf constructs a leaf for token t.
+func Leaf(t grammar.Token) *Tree { return &Tree{IsLeaf: true, Token: t} }
+
+// Node constructs an interior node for nonterminal nt over children.
+func Node(nt string, children ...*Tree) *Tree {
+	return &Tree{NT: nt, Children: children}
+}
+
+// Symbol returns the grammar symbol at the root of the tree.
+func (v *Tree) Symbol() grammar.Symbol {
+	if v.IsLeaf {
+		return grammar.T(v.Token.Terminal)
+	}
+	return grammar.NT(v.NT)
+}
+
+// Yield returns the token word at the leaves of v, left to right.
+func (v *Tree) Yield() []grammar.Token {
+	var w []grammar.Token
+	v.appendYield(&w)
+	return w
+}
+
+func (v *Tree) appendYield(w *[]grammar.Token) {
+	if v.IsLeaf {
+		*w = append(*w, v.Token)
+		return
+	}
+	for _, c := range v.Children {
+		c.appendYield(w)
+	}
+}
+
+// Size returns the number of nodes (leaves and interior) in the tree.
+func (v *Tree) Size() int {
+	if v.IsLeaf {
+		return 1
+	}
+	n := 1
+	for _, c := range v.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the tree; a leaf has depth 1.
+func (v *Tree) Depth() int {
+	if v.IsLeaf {
+		return 1
+	}
+	max := 0
+	for _, c := range v.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Equal reports structural equality of two trees, including token literals.
+func (v *Tree) Equal(o *Tree) bool {
+	if v == nil || o == nil {
+		return v == o
+	}
+	if v.IsLeaf != o.IsLeaf {
+		return false
+	}
+	if v.IsLeaf {
+		return v.Token == o.Token
+	}
+	if v.NT != o.NT || len(v.Children) != len(o.Children) {
+		return false
+	}
+	for i := range v.Children {
+		if !v.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a structural hash consistent with Equal.
+func (v *Tree) Hash() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func (v *Tree) hashInto(h hasher) {
+	if v.IsLeaf {
+		h.Write([]byte{0})
+		h.Write([]byte(v.Token.Terminal))
+		h.Write([]byte{0xff})
+		h.Write([]byte(v.Token.Literal))
+		h.Write([]byte{0xff})
+		return
+	}
+	h.Write([]byte{1})
+	h.Write([]byte(v.NT))
+	h.Write([]byte{0xff})
+	for _, c := range v.Children {
+		c.hashInto(h)
+	}
+	h.Write([]byte{2})
+}
+
+// String renders the tree as an s-expression, e.g.
+// (S (A b:"b") d:"d").
+func (v *Tree) String() string {
+	var b strings.Builder
+	v.writeSexp(&b)
+	return b.String()
+}
+
+func (v *Tree) writeSexp(b *strings.Builder) {
+	if v.IsLeaf {
+		fmt.Fprintf(b, "%s:%q", v.Token.Terminal, v.Token.Literal)
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(v.NT)
+	for _, c := range v.Children {
+		b.WriteByte(' ')
+		c.writeSexp(b)
+	}
+	b.WriteByte(')')
+}
+
+// Pretty renders the tree with one node per line, indented by depth.
+func (v *Tree) Pretty() string {
+	var b strings.Builder
+	v.pretty(&b, 0)
+	return b.String()
+}
+
+func (v *Tree) pretty(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if v.IsLeaf {
+		fmt.Fprintf(b, "%s %q\n", v.Token.Terminal, v.Token.Literal)
+		return
+	}
+	b.WriteString(v.NT)
+	b.WriteByte('\n')
+	for _, c := range v.Children {
+		c.pretty(b, depth+1)
+	}
+}
+
+// Walk visits every node of the tree in preorder. If fn returns false the
+// subtree below the node is skipped.
+func (v *Tree) Walk(fn func(*Tree) bool) {
+	if !fn(v) {
+		return
+	}
+	for _, c := range v.Children {
+		c.Walk(fn)
+	}
+}
+
+// CountNTs returns how many interior nodes are labeled nt.
+func (v *Tree) CountNTs(nt string) int {
+	n := 0
+	v.Walk(func(t *Tree) bool {
+		if !t.IsLeaf && t.NT == nt {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// ForestYield concatenates the yields of a forest, left to right.
+func ForestYield(f []*Tree) []grammar.Token {
+	var w []grammar.Token
+	for _, v := range f {
+		v.appendYield(&w)
+	}
+	return w
+}
+
+// ForestEqual reports element-wise equality of two forests.
+func ForestEqual(a, b []*Tree) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the judgment  s —v→ w  of Figure 3: tree v is a correct
+// derivation of word w from symbol s in grammar g. It returns nil when the
+// derivation holds.
+//
+// DerTerminal: a —Leaf(a,l)→ (a,l).
+// DerNonterminal: X → γ ∈ G and γ —f→ w entail X —Node(X,f)→ w.
+func Validate(g *grammar.Grammar, s grammar.Symbol, v *Tree, w []grammar.Token) error {
+	if v == nil {
+		return fmt.Errorf("tree: nil tree for symbol %s", s)
+	}
+	if s.IsT() {
+		if !v.IsLeaf {
+			return fmt.Errorf("tree: symbol %s is a terminal but tree root is node %s", s, v.NT)
+		}
+		if v.Token.Terminal != s.Name {
+			return fmt.Errorf("tree: leaf terminal %s does not match symbol %s", v.Token.Terminal, s)
+		}
+		if len(w) != 1 || w[0] != v.Token {
+			return fmt.Errorf("tree: leaf %s does not derive word %s", v.Token, grammar.WordString(w))
+		}
+		return nil
+	}
+	if v.IsLeaf {
+		return fmt.Errorf("tree: symbol %s is a nonterminal but tree root is leaf %s", s, v.Token)
+	}
+	if v.NT != s.Name {
+		return fmt.Errorf("tree: node label %s does not match symbol %s", v.NT, s)
+	}
+	// The node's children must correspond to one of X's right-hand sides.
+	rhs := make([]grammar.Symbol, len(v.Children))
+	for i, c := range v.Children {
+		rhs[i] = c.Symbol()
+	}
+	found := false
+	for _, alt := range g.RhssFor(s.Name) {
+		if symbolsEqual(alt, rhs) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("tree: node %s has children %s, which is not a right-hand side of %s in the grammar",
+			s.Name, grammar.SymbolsString(rhs), s.Name)
+	}
+	return ValidateForest(g, rhs, v.Children, w)
+}
+
+// ValidateForest checks the judgment  γ —f→ w  of Figure 3: forest f is a
+// correct derivation of word w from sentential form γ.
+//
+// DerNil: • —•→ ε.  DerCons: s —v→ w1 and β —f→ w2 entail sβ —v,f→ w1w2.
+func ValidateForest(g *grammar.Grammar, gamma []grammar.Symbol, f []*Tree, w []grammar.Token) error {
+	if len(gamma) != len(f) {
+		return fmt.Errorf("tree: sentential form %s has %d symbols but forest has %d trees",
+			grammar.SymbolsString(gamma), len(gamma), len(f))
+	}
+	rest := w
+	for i, s := range gamma {
+		y := f[i].Yield()
+		if len(y) > len(rest) {
+			return fmt.Errorf("tree: forest yield overruns word at symbol %d (%s)", i, s)
+		}
+		if err := Validate(g, s, f[i], rest[:len(y)]); err != nil {
+			return err
+		}
+		for j, tok := range y {
+			if rest[j] != tok {
+				return fmt.Errorf("tree: yield mismatch at symbol %d (%s): %s vs %s", i, s, rest[j], tok)
+			}
+		}
+		rest = rest[len(y):]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("tree: forest derives a strict prefix; %d tokens remain (%s...)",
+			len(rest), rest[0])
+	}
+	return nil
+}
+
+func symbolsEqual(a, b []grammar.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
