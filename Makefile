@@ -1,0 +1,33 @@
+# CoStar-Go development targets. `make race` is part of tier-1 verification:
+# the concurrent SLL DFA cache and session API are continuously raced.
+
+GO ?= go
+
+.PHONY: all build test race short-race bench bench-parallel vet
+
+all: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (GOMAXPROCS raised so single-core CI
+# still interleaves goroutines aggressively).
+race:
+	GOMAXPROCS=8 $(GO) test -race ./...
+
+# Quick raced smoke for pre-commit: the packages that own concurrent state.
+short-race:
+	GOMAXPROCS=8 $(GO) test -race -short . ./internal/prediction ./internal/parser
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The parallel batch-parse scaling benchmark behind BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -bench=BenchmarkParallelWarmCache -benchtime=2x -count=1 .
+
+vet:
+	$(GO) vet ./...

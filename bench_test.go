@@ -11,6 +11,8 @@ package costar
 // Figure 8 is a static table (BenchmarkFig8Corpus times corpus+lexing).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"costar/internal/allstar"
@@ -299,6 +301,89 @@ func BenchmarkAblationStacks(b *testing.B) {
 		}
 		reportPerToken(b, len(toks))
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Parallel batch parsing (concurrent sessions PR; results in BENCH_parallel.json)
+// ---------------------------------------------------------------------------
+
+// BenchmarkParallelWarmCache measures warm-cache batch throughput over the
+// JSON corpus at 1/2/4/8 workers, comparing one shared concurrent session
+// (one SLL DFA for everyone) against per-goroutine sessions (each worker
+// owns and warms a private DFA — the pre-concurrency workaround). Scaling
+// requires GOMAXPROCS > 1; the single-threaded shared/j1 case doubles as
+// the lock-free-hit-path regression guard vs. the sequential Fig9 numbers.
+func BenchmarkParallelWarmCache(b *testing.B) {
+	var l bench.Lang
+	for _, cand := range bench.Languages() {
+		if cand.Name == "json" {
+			l = cand
+		}
+	}
+	files, err := bench.Corpus(l, bench.Config{Files: 12, MinTokens: 300, MaxTokens: 2000, Trials: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := make([][]grammar.Token, len(files))
+	tokens := 0
+	for i, f := range files {
+		words[i] = f.Tokens
+		tokens += len(f.Tokens)
+	}
+	checkAll := func(b *testing.B, results []parser.Result) {
+		b.Helper()
+		for _, r := range results {
+			if r.Kind != machine.Unique {
+				b.Fatal(r.Reason)
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("shared/j%d", workers), func(b *testing.B) {
+			p := parser.MustNew(l.Grammar, parser.Options{})
+			checkAll(b, p.ParseAll(words, workers)) // warm the shared DFA
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checkAll(b, p.ParseAll(words, workers))
+			}
+			reportCorpusThroughput(b, tokens)
+		})
+		b.Run(fmt.Sprintf("pergoroutine/j%d", workers), func(b *testing.B) {
+			sessions := make([]*parser.Parser, workers)
+			for k := range sessions {
+				sessions[k] = parser.MustNew(l.Grammar, parser.Options{})
+				for i := k; i < len(words); i += workers {
+					sessions[k].Parse(words[i]) // warm each private DFA
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for k := range sessions {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						for i := k; i < len(words); i += workers {
+							if res := sessions[k].Parse(words[i]); res.Kind != machine.Unique {
+								b.Error(res.Reason)
+								return
+							}
+						}
+					}(k)
+				}
+				wg.Wait()
+			}
+			reportCorpusThroughput(b, tokens)
+		})
+	}
+}
+
+// reportCorpusThroughput reports corpus tokens parsed per second of wall
+// time — the metric BENCH_parallel.json records.
+func reportCorpusThroughput(b *testing.B, tokens int) {
+	b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+	reportPerToken(b, tokens)
 }
 
 // BenchmarkPrediction isolates adaptivePredict on the paper's non-LL(k)

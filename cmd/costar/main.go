@@ -3,11 +3,16 @@
 // Usage:
 //
 //	costar -lang json file.json           # built-in benchmark language
+//	costar -lang json -j 4 a.json b.json  # batch-parse many files in parallel
 //	costar -g4 mygrammar.g4 input.txt     # ANTLR-style grammar + lexer
 //	costar -bnf grammar.bnf -tokens "a b d"  # BNF grammar, pre-tokenized word
 //
+// Multiple input files share one parser session — and therefore one SLL DFA
+// cache — and are parsed by a worker pool (-j).
+//
 // Flags:
 //
+//	-j N       parse input files on N workers (0 = one per CPU)
 //	-tree      print the parse tree (s-expression)
 //	-pretty    print the parse tree (indented)
 //	-stats     print prediction statistics
@@ -35,6 +40,7 @@ func main() {
 		g4Path   = flag.String("g4", "", "path to an ANTLR-style .g4 grammar")
 		bnfPath  = flag.String("bnf", "", "path to a BNF grammar file")
 		tokens   = flag.String("tokens", "", "space-separated terminal names (with -bnf)")
+		workers  = flag.Int("j", 1, "worker goroutines for multiple input files (0 = one per CPU)")
 		showTree = flag.Bool("tree", false, "print the parse tree as an s-expression")
 		pretty   = flag.Bool("pretty", false, "print the parse tree indented")
 		stats    = flag.Bool("stats", false, "print prediction statistics")
@@ -42,75 +48,112 @@ func main() {
 		dot      = flag.Bool("dot", false, "print the parse tree as a Graphviz DOT document")
 	)
 	flag.Parse()
-	if err := run(*langName, *g4Path, *bnfPath, *tokens, *showTree, *pretty, *stats, *check, *dot, flag.Args()); err != nil {
+	opts := cliOptions{
+		workers: *workers, showTree: *showTree, pretty: *pretty,
+		stats: *stats, check: *check, dot: *dot,
+	}
+	if err := run(*langName, *g4Path, *bnfPath, *tokens, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "costar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(langName, g4Path, bnfPath, tokens string, showTree, pretty, stats, check, dot bool, args []string) error {
-	g, toks, err := loadInput(langName, g4Path, bnfPath, tokens, args)
+// cliOptions carries the output/behaviour flags.
+type cliOptions struct {
+	workers                             int
+	showTree, pretty, stats, check, dot bool
+}
+
+func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []string) error {
+	g, inputs, err := loadInputs(langName, g4Path, bnfPath, tokens, args)
 	if err != nil {
 		return err
 	}
-	p, err := costar.NewParser(g, costar.Options{CheckInvariants: check})
+	p, err := costar.NewParser(g, costar.Options{CheckInvariants: opts.check})
 	if err != nil {
 		return err
 	}
 	if lr := p.LeftRecursiveNTs(); len(lr) > 0 {
 		fmt.Fprintf(os.Stderr, "warning: grammar is left-recursive in %v; parsing will report an error\n", lr)
 	}
-	res := p.Parse(toks)
-	switch res.Kind {
-	case costar.Unique:
-		fmt.Printf("Unique parse: %d tokens, %d machine steps\n", len(toks), res.Steps)
-	case costar.Ambig:
-		fmt.Printf("AMBIGUOUS input: returning one of several parse trees (%d tokens)\n", len(toks))
-	case costar.Reject:
-		return fmt.Errorf("input rejected: %s", res.Reason)
-	default:
-		return fmt.Errorf("parse error: %v", res.Err)
+	words := make([][]costar.Token, len(inputs))
+	for i := range inputs {
+		words[i] = inputs[i].tokens
 	}
-	if showTree {
-		fmt.Println(res.Tree)
+	results := p.ParseAll(words, opts.workers)
+	var firstErr error
+	for i, res := range results {
+		prefix := ""
+		if len(inputs) > 1 {
+			prefix = inputs[i].name + ": "
+		}
+		switch res.Kind {
+		case costar.Unique:
+			fmt.Printf("%sUnique parse: %d tokens, %d machine steps\n", prefix, len(words[i]), res.Steps)
+		case costar.Ambig:
+			fmt.Printf("%sAMBIGUOUS input: returning one of several parse trees (%d tokens)\n", prefix, len(words[i]))
+		case costar.Reject:
+			err := fmt.Errorf("%sinput rejected: %s", prefix, res.Reason)
+			if firstErr == nil {
+				firstErr = err
+			} else {
+				fmt.Fprintln(os.Stderr, "costar:", err)
+			}
+			continue
+		default:
+			err := fmt.Errorf("%sparse error: %v", prefix, res.Err)
+			if firstErr == nil {
+				firstErr = err
+			} else {
+				fmt.Fprintln(os.Stderr, "costar:", err)
+			}
+			continue
+		}
+		if opts.showTree {
+			fmt.Println(res.Tree)
+		}
+		if opts.pretty {
+			fmt.Print(res.Tree.Pretty())
+		}
+		if opts.dot {
+			fmt.Print(gviz.TreeDOT(res.Tree))
+		}
+		if opts.stats {
+			s := res.Stats
+			fmt.Printf("%sprediction: %d SLL decisions, %d LL fallbacks, %d trivial, cache %d hits / %d misses, max lookahead %d (%s)\n",
+				prefix, s.SLLCalls, s.LLFallbacks, s.TrivialCalls, s.CacheHits, s.CacheMisses, s.MaxLookahead, s.MaxLookaheadNT)
+		}
 	}
-	if pretty {
-		fmt.Print(res.Tree.Pretty())
-	}
-	if dot {
-		fmt.Print(gviz.TreeDOT(res.Tree))
-	}
-	if stats {
-		s := res.Stats
-		fmt.Printf("prediction: %d SLL decisions, %d LL fallbacks, %d trivial, cache %d hits / %d misses, max lookahead %d (%s)\n",
-			s.SLLCalls, s.LLFallbacks, s.TrivialCalls, s.CacheHits, s.CacheMisses, s.MaxLookahead, s.MaxLookaheadNT)
-	}
-	return nil
+	return firstErr
 }
 
-func loadInput(langName, g4Path, bnfPath, tokens string, args []string) (*costar.Grammar, []costar.Token, error) {
+// input is one word to parse plus a display name.
+type input struct {
+	name   string
+	tokens []costar.Token
+}
+
+// loadInputs resolves the grammar and tokenizes every input file (each
+// positional argument is one file; stdin when absent).
+func loadInputs(langName, g4Path, bnfPath, tokens string, args []string) (*costar.Grammar, []input, error) {
 	switch {
 	case langName != "":
-		src, err := readArg(args)
-		if err != nil {
-			return nil, nil, err
-		}
+		var g *costar.Grammar
+		var tokenize func(string) ([]grammar.Token, error)
 		switch langName {
 		case "json":
-			toks, err := jsonlang.Tokenize(src)
-			return jsonlang.Grammar(), toks, err
+			g, tokenize = jsonlang.Grammar(), jsonlang.Tokenize
 		case "xml":
-			toks, err := xmllang.Tokenize(src)
-			return xmllang.Grammar(), toks, err
+			g, tokenize = xmllang.Grammar(), xmllang.Tokenize
 		case "dot":
-			toks, err := dotlang.Tokenize(src)
-			return dotlang.Grammar(), toks, err
+			g, tokenize = dotlang.Grammar(), dotlang.Tokenize
 		case "python":
-			toks, err := pylang.Tokenize(src)
-			return pylang.Grammar(), toks, err
+			g, tokenize = pylang.Grammar(), pylang.Tokenize
 		default:
 			return nil, nil, fmt.Errorf("unknown language %q (json, xml, dot, python)", langName)
 		}
+		inputs, err := tokenizeArgs(tokenize, args)
+		return g, inputs, err
 	case g4Path != "":
 		gsrc, err := os.ReadFile(g4Path)
 		if err != nil {
@@ -120,12 +163,8 @@ func loadInput(langName, g4Path, bnfPath, tokens string, args []string) (*costar
 		if err != nil {
 			return nil, nil, err
 		}
-		src, err := readArg(args)
-		if err != nil {
-			return nil, nil, err
-		}
-		toks, err := lex.Tokenize(src)
-		return g, toks, err
+		inputs, err := tokenizeArgs(lex.Tokenize, args)
+		return g, inputs, err
 	case bnfPath != "":
 		gsrc, err := os.ReadFile(bnfPath)
 		if err != nil {
@@ -135,32 +174,55 @@ func loadInput(langName, g4Path, bnfPath, tokens string, args []string) (*costar
 		if err != nil {
 			return nil, nil, err
 		}
-		var names []string
-		if tokens != "" {
-			names = strings.Fields(tokens)
-		} else {
-			src, err := readArg(args)
-			if err != nil {
-				return nil, nil, err
+		toWord := func(src string) ([]grammar.Token, error) {
+			names := strings.Fields(src)
+			w := make([]grammar.Token, len(names))
+			for i, n := range names {
+				w[i] = grammar.Tok(n, n)
 			}
-			names = strings.Fields(src)
+			return w, nil
 		}
-		w := make([]grammar.Token, len(names))
-		for i, n := range names {
-			w[i] = grammar.Tok(n, n)
+		if tokens != "" {
+			w, _ := toWord(tokens)
+			return g, []input{{name: "<tokens>", tokens: w}}, nil
 		}
-		return g, w, nil
+		inputs, err := tokenizeArgs(toWord, args)
+		return g, inputs, err
 	default:
 		return nil, nil, fmt.Errorf("one of -lang, -g4, -bnf is required (see -h)")
 	}
 }
 
-// readArg reads the input: a file path argument, or stdin when absent.
-func readArg(args []string) (string, error) {
-	if len(args) >= 1 {
-		b, err := os.ReadFile(args[0])
-		return string(b), err
+// tokenizeArgs lexes each file argument into a word (stdin when no args).
+func tokenizeArgs(tokenize func(string) ([]grammar.Token, error), args []string) ([]input, error) {
+	if len(args) == 0 {
+		src, err := readStdin()
+		if err != nil {
+			return nil, err
+		}
+		toks, err := tokenize(src)
+		if err != nil {
+			return nil, err
+		}
+		return []input{{name: "<stdin>", tokens: toks}}, nil
 	}
+	inputs := make([]input, len(args))
+	for i, path := range args {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		toks, err := tokenize(string(b))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		inputs[i] = input{name: path, tokens: toks}
+	}
+	return inputs, nil
+}
+
+// readStdin slurps standard input.
+func readStdin() (string, error) {
 	var sb strings.Builder
 	buf := make([]byte, 64*1024)
 	for {

@@ -16,21 +16,21 @@ func write(t *testing.T, name, content string) string {
 	return p
 }
 
-func TestLoadInputLang(t *testing.T) {
+func TestLoadInputsLang(t *testing.T) {
 	f := write(t, "t.json", `{"a": [1, true]}`)
-	g, toks, err := loadInput("json", "", "", "", []string{f})
+	g, inputs, err := loadInputs("json", "", "", "", []string{f})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "json" || len(toks) != 9 { // { STRING : [ NUM , true ] }
-		t.Errorf("start=%q tokens=%d", g.Start, len(toks))
+	if g.Start != "json" || len(inputs) != 1 || len(inputs[0].tokens) != 9 { // { STRING : [ NUM , true ] }
+		t.Errorf("start=%q inputs=%d", g.Start, len(inputs))
 	}
-	if _, _, err := loadInput("klingon", "", "", "", []string{f}); err == nil {
+	if _, _, err := loadInputs("klingon", "", "", "", []string{f}); err == nil {
 		t.Error("unknown language accepted")
 	}
 }
 
-func TestLoadInputG4(t *testing.T) {
+func TestLoadInputsG4(t *testing.T) {
 	gf := write(t, "calc.g4", `
 		grammar Calc;
 		e : NUM ('+' NUM)* ;
@@ -38,44 +38,79 @@ func TestLoadInputG4(t *testing.T) {
 		WS : [ ]+ -> skip ;
 	`)
 	inf := write(t, "in.txt", "1 + 2 + 3")
-	g, toks, err := loadInput("", gf, "", "", []string{inf})
+	g, inputs, err := loadInputs("", gf, "", "", []string{inf})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "e" || len(toks) != 5 {
-		t.Errorf("start=%q tokens=%d", g.Start, len(toks))
+	if g.Start != "e" || len(inputs) != 1 || len(inputs[0].tokens) != 5 {
+		t.Errorf("start=%q inputs=%v", g.Start, inputs)
 	}
 }
 
-func TestLoadInputBNF(t *testing.T) {
+func TestLoadInputsBNF(t *testing.T) {
 	bf := write(t, "g.bnf", "S -> a S | b")
-	g, toks, err := loadInput("", "", bf, "a a b", nil)
+	g, inputs, err := loadInputs("", "", bf, "a a b", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "S" || len(toks) != 3 || toks[0].Terminal != "a" {
-		t.Errorf("start=%q toks=%v", g.Start, toks)
+	if g.Start != "S" || len(inputs) != 1 || len(inputs[0].tokens) != 3 || inputs[0].tokens[0].Terminal != "a" {
+		t.Errorf("start=%q inputs=%v", g.Start, inputs)
 	}
-	if _, _, err := loadInput("", "", "", "", nil); err == nil {
+	if _, _, err := loadInputs("", "", "", "", nil); err == nil {
 		t.Error("missing mode flag accepted")
+	}
+}
+
+func TestLoadInputsMultipleFiles(t *testing.T) {
+	a := write(t, "a.json", `{"k": 1}`)
+	b := write(t, "b.json", `[1, 2, 3]`)
+	_, inputs, err := loadInputs("json", "", "", "", []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 2 || inputs[0].name != a || inputs[1].name != b {
+		t.Errorf("inputs = %v", inputs)
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
 	f := write(t, "t.json", `{"k": null}`)
-	if err := run("json", "", "", "", true, true, true, true, true, []string{f}); err != nil {
+	all := cliOptions{workers: 1, showTree: true, pretty: true, stats: true, check: true, dot: true}
+	if err := run("json", "", "", "", all, []string{f}); err != nil {
 		t.Fatal(err)
 	}
 	bad := write(t, "bad.json", `{"k": }`)
-	err := run("json", "", "", "", false, false, false, false, false, []string{bad})
+	err := run("json", "", "", "", cliOptions{workers: 1}, []string{bad})
 	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestRunParallelBatch drives the worker-pool path: several files parsed on
+// a shared session via -j, including a rejecting file whose error must name
+// the offending file and not suppress the other results.
+func TestRunParallelBatch(t *testing.T) {
+	files := []string{
+		write(t, "a.json", `{"a": [1, true]}`),
+		write(t, "b.json", `[null, {"b": "c"}]`),
+		write(t, "c.json", `{"deep": {"deeper": [1, 2, {"deepest": false}]}}`),
+		write(t, "d.json", `[[[1], [2]], []]`),
+	}
+	for _, j := range []int{0, 1, 2, 8} {
+		if err := run("json", "", "", "", cliOptions{workers: j}, files); err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+	}
+	bad := write(t, "bad.json", `{"k": }`)
+	err := run("json", "", "", "", cliOptions{workers: 2}, append(files, bad))
+	if err == nil || !strings.Contains(err.Error(), "rejected") || !strings.Contains(err.Error(), "bad.json") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunLeftRecursionWarning(t *testing.T) {
 	bf := write(t, "lr.bnf", "E -> E plus n | n")
-	err := run("", "", bf, "n", false, false, false, false, false, nil)
+	err := run("", "", bf, "n", cliOptions{workers: 1}, nil)
 	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
 	}

@@ -111,6 +111,15 @@ func MustNewParser(g *Grammar, opts Options) *Parser { return parser.MustNew(g, 
 // in g.
 func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, start, w) }
 
+// ParseAll parses every word from start in g on a pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS), all sharing one SLL DFA
+// cache; results are in input order. For repeated batches construct a
+// Parser once and call its ParseAll method — sessions are safe for
+// concurrent use and keep the DFA warm across batches.
+func ParseAll(g *Grammar, start string, words [][]Token, workers int) []Result {
+	return parser.ParseAll(g, start, words, workers)
+}
+
 // LoadG4 compiles a grammar in the ANTLR-4-like syntax (parser rules with
 // EBNF operators, lexer rules with -> skip): it returns the desugared BNF
 // grammar and the compiled lexer — the paper's grammar-conversion pipeline.

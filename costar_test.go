@@ -2,6 +2,7 @@ package costar
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -73,6 +74,60 @@ func TestFacadeG4Errors(t *testing.T) {
 		}
 	}()
 	MustLoadG4("bogus")
+}
+
+// TestFacadeConcurrentSmoke is the tier-1 concurrency smoke test: one
+// session hammered by goroutines and the batch API, fast enough to run in
+// -short mode and under -race on every `make race`.
+func TestFacadeConcurrentSmoke(t *testing.T) {
+	g := MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	p := MustNewParser(g, Options{})
+	words := [][]Token{
+		Words("a", "b", "d"),
+		Words("b", "c"),
+		Words("a", "a", "a", "b", "c"),
+		Words("a", "b"), // reject
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				w := words[(i+k)%len(words)]
+				res := p.Parse(w)
+				switch res.Kind {
+				case Unique:
+					if err := ValidateTree(g, "S", res.Tree, w); err != nil {
+						t.Error(err)
+						return
+					}
+				case Reject:
+					if len(w) != 2 {
+						t.Errorf("unexpected reject of %v", w)
+						return
+					}
+				default:
+					t.Errorf("unexpected result %s", res)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	results := ParseAll(g, "S", words, 4)
+	for i, res := range results[:3] {
+		if res.Kind != Unique {
+			t.Errorf("batch word %d: %s", i, res)
+		}
+	}
+	if results[3].Kind != Reject {
+		t.Errorf("batch word 3: %s", results[3])
+	}
+	if starts, states := p.CacheSize(); starts == 0 || states == 0 {
+		t.Errorf("concurrent parses left the cache empty (%d, %d)", starts, states)
+	}
 }
 
 func TestFacadeBuilders(t *testing.T) {

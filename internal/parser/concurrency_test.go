@@ -1,0 +1,203 @@
+package parser
+
+// Session concurrency tests: one Parser used from many goroutines, the
+// ParseAll worker pool, and the determinism-under-parallelism property —
+// a concurrently-warmed SLL DFA must yield results identical to a
+// sequentially-warmed one. Run with -race; the differential generators
+// (genGrammar/genWords) supply the random grammar/word corpus.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"costar/internal/analysis"
+	"costar/internal/earley"
+	"costar/internal/grammar"
+)
+
+// multiStartGrammar has several independent decision nonterminals so that
+// concurrent ParseFrom calls with distinct start symbols exercise the lazy
+// per-start targets map.
+func multiStartGrammar() *grammar.Grammar {
+	return grammar.MustParseBNF(`
+		S -> A c | A d ;
+		A -> a A | b ;
+		L -> x L | x ;
+		P -> l P r | m
+	`)
+}
+
+func TestConcurrentParseFromDistinctStarts(t *testing.T) {
+	g := multiStartGrammar()
+	p := MustNew(g, Options{})
+	cases := []struct {
+		start string
+		w     []grammar.Token
+		want  Kind
+	}{
+		{"S", word("a", "a", "b", "c"), Unique},
+		{"A", word("a", "b"), Unique},
+		{"L", word("x", "x", "x"), Unique},
+		{"P", word("l", "l", "m", "r", "r"), Unique},
+		{"S", word("b"), Reject},
+		{"P", word("l", "m"), Reject},
+	}
+	const rounds = 50
+	var wg sync.WaitGroup
+	for k := range cases {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := cases[k]
+			for i := 0; i < rounds; i++ {
+				if res := p.ParseFrom(c.start, c.w); res.Kind != c.want {
+					t.Errorf("ParseFrom(%s, %s) = %v, want %v", c.start, grammar.WordString(c.w), res.Kind, c.want)
+					return
+				}
+			}
+		}(k)
+	}
+	// Concurrent readers of session state while the parses run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s := p.Stats()
+			if s.SLLCalls < 0 {
+				t.Error("negative SLLCalls")
+				return
+			}
+			if starts, states := p.CacheSize(); starts < 0 || states < 0 {
+				t.Error("negative cache size")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s := p.Stats(); s.SLLCalls == 0 {
+		t.Error("no SLL activity accumulated across concurrent parses")
+	}
+}
+
+func TestParseAllMatchesSequential(t *testing.T) {
+	g := multiStartGrammar()
+	words := [][]grammar.Token{
+		word("a", "b", "c"),
+		word("b", "d"),
+		word("a", "a", "a", "b", "d"),
+		word("b"), // reject
+		nil,               // reject (empty)
+		word("a", "b", "c"),
+	}
+	seq := MustNew(g, Options{})
+	want := make([]Result, len(words))
+	for i, w := range words {
+		want[i] = seq.Parse(w)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		par := MustNew(g, Options{})
+		got := par.ParseAll(words, workers)
+		if len(got) != len(words) {
+			t.Fatalf("workers=%d: %d results for %d words", workers, len(got), len(words))
+		}
+		for i := range got {
+			assertSameResult(t, got[i], want[i], g, words[i])
+		}
+	}
+}
+
+func TestParseAllOneShot(t *testing.T) {
+	g := multiStartGrammar()
+	words := [][]grammar.Token{word("b", "c"), word("x")}
+	res := ParseAll(g, "S", words, 2)
+	if res[0].Kind != Unique || res[1].Kind != Reject {
+		t.Errorf("results = %v, %v", res[0], res[1])
+	}
+	// Grammar validation failure is replicated into every result.
+	bad := grammar.New("S", []grammar.Production{{Lhs: "S", Rhs: []grammar.Symbol{grammar.NT("Undefined")}}})
+	res = ParseAll(bad, "S", words, 2)
+	if len(res) != 2 || res[0].Kind != Error || res[1].Kind != Error {
+		t.Errorf("invalid grammar results = %v", res)
+	}
+	if out := ParseAll(g, "S", nil, 4); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// assertSameResult checks the observable parse outcome fields match —
+// everything except Stats, whose cache hit/miss split legitimately depends
+// on warm-up order.
+func assertSameResult(t *testing.T, got, want Result, g *grammar.Grammar, w []grammar.Token) {
+	t.Helper()
+	if got.Kind != want.Kind {
+		t.Fatalf("kind %v != %v\ngrammar:\n%sword: %s", got.Kind, want.Kind, g, grammar.WordString(w))
+	}
+	if got.Steps != want.Steps || got.Consumed != want.Consumed {
+		t.Fatalf("steps/consumed (%d,%d) != (%d,%d) on %s", got.Steps, got.Consumed, want.Steps, want.Consumed, grammar.WordString(w))
+	}
+	if got.Reason != want.Reason {
+		t.Fatalf("reason %q != %q", got.Reason, want.Reason)
+	}
+	if (got.Tree == nil) != (want.Tree == nil) {
+		t.Fatalf("tree presence differs on %s", grammar.WordString(w))
+	}
+	if got.Tree != nil && !got.Tree.Equal(want.Tree) {
+		t.Fatalf("trees differ on %s:\n%s\nvs\n%s", grammar.WordString(w), got.Tree, want.Tree)
+	}
+	if len(got.Expected) != len(want.Expected) {
+		t.Fatalf("expected-set size differs on %s: %v vs %v", grammar.WordString(w), got.Expected, want.Expected)
+	}
+	for i := range got.Expected {
+		if got.Expected[i] != want.Expected[i] {
+			t.Fatalf("expected sets differ on %s: %v vs %v", grammar.WordString(w), got.Expected, want.Expected)
+		}
+	}
+}
+
+// TestConcurrentWarmDeterminism is the determinism-under-parallelism
+// property: over random non-left-recursive grammars, a session whose cache
+// is warmed by 8 goroutines racing over the word set returns results
+// identical to a sequentially-warmed session — and both agree with the
+// Earley oracle on membership. This is the executable statement that the
+// concurrent cache is semantically transparent.
+func TestConcurrentWarmDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8086))
+	grammars := 0
+	target := 40
+	if testing.Short() {
+		target = 8
+	}
+	for grammars < target {
+		g := genGrammar(rng)
+		if g.Validate() != nil || analysis.New(g).HasLeftRecursion() {
+			continue
+		}
+		grammars++
+		words := genWords(rng, g, 10)
+
+		seq := MustNew(g, Options{MaxSteps: 200000})
+		want := make([]Result, len(words))
+		for i, w := range words {
+			want[i] = seq.Parse(w)
+		}
+
+		par := MustNew(g, Options{MaxSteps: 200000})
+		got := par.ParseAll(words, 8)
+		for i := range words {
+			assertSameResult(t, got[i], want[i], g, words[i])
+			// Oracle cross-check: parallel warm-up must not flip membership.
+			if got[i].Kind == Unique || got[i].Kind == Ambig {
+				if !earley.Classify(g, g.Start, words[i]).Member {
+					t.Fatalf("parallel parse accepted a non-member\ngrammar:\n%sword: %s", g, grammar.WordString(words[i]))
+				}
+			}
+		}
+
+		// A second, now fully warm, parallel pass must be stable too.
+		again := par.ParseAll(words, 4)
+		for i := range words {
+			assertSameResult(t, again[i], want[i], g, words[i])
+		}
+	}
+}

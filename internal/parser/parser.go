@@ -13,11 +13,18 @@
 // paper notes (Section 6.2) that CoStar had no way to reuse a cache across
 // inputs while ANTLR does; the session API supplies that extension, and
 // Options.FreshCachePerParse restores the paper's exact configuration.
+//
+// Sessions are additionally safe for concurrent use: many goroutines can
+// parse through one Parser at once, sharing (and jointly growing) a single
+// SLL DFA, and ParseAll exposes a worker-pool batch API on top.
 package parser
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"costar/internal/analysis"
 	"costar/internal/grammar"
@@ -79,12 +86,22 @@ type Options struct {
 }
 
 // Parser is a reusable parsing session for one grammar.
+//
+// A Parser is safe for concurrent use: any number of goroutines may call
+// Parse/ParseFrom (and the read-only accessors) on one session at the same
+// time, all sharing — and jointly warming — the single SLL DFA cache. The
+// grammar and its static analyses are immutable after New; per-start-symbol
+// targets intern through a sync.Map; session statistics accumulate under a
+// mutex; and the cache itself is concurrent (see prediction.Cache).
+// ParseAll layers a worker pool on top for batch workloads.
 type Parser struct {
 	g       *grammar.Grammar
 	an      *analysis.Analysis
 	opts    Options
-	targets map[string]*analysis.Targets // per start symbol
+	targets sync.Map // start symbol → *analysis.Targets, interned lazily
 	cache   *prediction.Cache
+
+	statsMu sync.Mutex
 	stats   prediction.Stats // accumulated across parses
 }
 
@@ -95,11 +112,10 @@ func New(g *grammar.Grammar, opts Options) (*Parser, error) {
 		return nil, err
 	}
 	return &Parser{
-		g:       g,
-		an:      analysis.New(g),
-		opts:    opts,
-		targets: make(map[string]*analysis.Targets),
-		cache:   prediction.NewCache(),
+		g:     g,
+		an:    analysis.New(g),
+		opts:  opts,
+		cache: prediction.NewCache(),
 	}, nil
 }
 
@@ -124,8 +140,13 @@ func (p *Parser) Analysis() *analysis.Analysis { return p.an }
 // procedure is listed as future work in Section 8.)
 func (p *Parser) LeftRecursiveNTs() []string { return p.an.LeftRecursiveNTs() }
 
-// Stats returns prediction statistics accumulated over the session.
-func (p *Parser) Stats() prediction.Stats { return p.stats }
+// Stats returns a snapshot of the prediction statistics accumulated over
+// the session; safe to call while parses are in flight.
+func (p *Parser) Stats() prediction.Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
 
 // CacheSize returns the SLL DFA footprint (start states, interned states).
 func (p *Parser) CacheSize() (starts, states int) { return p.cache.Size() }
@@ -139,15 +160,20 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 	return p.ParseFrom(p.g.Start, w)
 }
 
-// ParseFrom parses w starting from nonterminal start.
+// ParseFrom parses w starting from nonterminal start. It is reentrant:
+// concurrent calls on one session share the SLL DFA cache safely.
 func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
 	if !p.g.HasNT(start) {
 		return Result{Kind: Error, Err: fmt.Errorf("parser: start symbol %q has no productions", start)}
 	}
-	tg, ok := p.targets[start]
-	if !ok {
-		tg = analysis.NewTargetsFor(p.g, start)
-		p.targets[start] = tg
+	var tg *analysis.Targets
+	if v, ok := p.targets.Load(start); ok {
+		tg = v.(*analysis.Targets)
+	} else {
+		// Racing goroutines may both compute (the analysis is pure);
+		// LoadOrStore interns one winner for the session.
+		v, _ := p.targets.LoadOrStore(start, analysis.NewTargetsFor(p.g, start))
+		tg = v.(*analysis.Targets)
 	}
 	cache := p.cache
 	if p.opts.FreshCachePerParse {
@@ -193,7 +219,56 @@ func (p *Parser) Accepts(w []grammar.Token) bool {
 	}
 }
 
+// ParseAll parses every word from the grammar's start symbol on a pool of
+// workers goroutines and returns the results in input order. All workers
+// share the session's SLL DFA, so each word's predictions benefit from
+// states any other word already forced — the cross-input cache monotonicity
+// of the Figure 11 warm-cache experiment, spent on multi-core throughput.
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func (p *Parser) ParseAll(words [][]grammar.Token, workers int) []Result {
+	return p.ParseAllFrom(p.g.Start, words, workers)
+}
+
+// ParseAllFrom is ParseAll starting from nonterminal start.
+func (p *Parser) ParseAllFrom(start string, words [][]grammar.Token, workers int) []Result {
+	out := make([]Result, len(words))
+	if len(words) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(words) {
+		workers = len(words)
+	}
+	if workers == 1 {
+		for i, w := range words {
+			out[i] = p.ParseFrom(start, w)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(words) {
+					return
+				}
+				out[i] = p.ParseFrom(start, words[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 func (p *Parser) accumulate(s prediction.Stats) {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	p.stats.SLLCalls += s.SLLCalls
 	p.stats.LLFallbacks += s.LLFallbacks
 	p.stats.CacheHits += s.CacheHits
@@ -214,6 +289,23 @@ func Parse(g *grammar.Grammar, start string, w []grammar.Token) Result {
 		return Result{Kind: Error, Err: err}
 	}
 	return p.ParseFrom(start, w)
+}
+
+// ParseAll is the one-shot batch API: parse every word from start in g on
+// workers goroutines (workers <= 0 means GOMAXPROCS), sharing one freshly
+// warmed SLL DFA across the whole batch. Results are in input order. It
+// validates the grammar once up front; a validation error is replicated
+// into every Result.
+func ParseAll(g *grammar.Grammar, start string, words [][]grammar.Token, workers int) []Result {
+	p, err := New(g, Options{})
+	if err != nil {
+		out := make([]Result, len(words))
+		for i := range out {
+			out[i] = Result{Kind: Error, Err: err}
+		}
+		return out
+	}
+	return p.ParseAllFrom(start, words, workers)
 }
 
 // expectedAt computes the terminals that could have continued the parse at

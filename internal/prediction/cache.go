@@ -1,43 +1,115 @@
 package prediction
 
-import "strings"
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // dfaState is one state of the SLL prediction DFA: a canonical set of
 // stable subparser configurations plus its precomputed resolution facts and
 // outgoing edges (∆ of Figure 1, with states q as subparser sets).
+//
+// Concurrency: every field except edges is immutable after interning.
+// edges grows copy-on-write — readers follow transitions with a single
+// atomic load (edge), writers serialize on mu and publish a fresh map
+// (setEdge) — so the warm-cache hit path is lock-free.
 type dfaState struct {
 	key        string
-	configs    []config             // stable, canonically ordered (halted included)
-	haltedAlts []int                // alts with a completed simulated parse
-	uniqueAlt  int                  // converged alternative, or -1
-	anomalous  bool                 // construction involved a subparser kill
-	edges      map[string]*dfaState // transitions by terminal name
+	configs    []config // stable, canonically ordered (halted included)
+	haltedAlts []int    // alts with a completed simulated parse
+	uniqueAlt  int      // converged alternative, or -1
+	anomalous  bool     // construction involved a subparser kill
+
+	mu    sync.Mutex // serializes edge additions; readers never take it
+	edges atomic.Pointer[map[string]*dfaState]
+}
+
+// edge returns the successor of st over terminal t, lock-free.
+func (st *dfaState) edge(t string) (*dfaState, bool) {
+	next, ok := (*st.edges.Load())[t]
+	return next, ok
+}
+
+// setEdge publishes t→next and returns the edge's winner. Under a race the
+// first writer wins; because successors are interned by content, racing
+// writers hold the identical *dfaState anyway, so either answer is correct
+// and the loser simply discards its redundant build.
+func (st *dfaState) setEdge(t string, next *dfaState) *dfaState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.edges.Load()
+	if exist, ok := (*m)[t]; ok {
+		return exist
+	}
+	nm := make(map[string]*dfaState, len(*m)+1)
+	for k, v := range *m {
+		nm[k] = v
+	}
+	nm[t] = next
+	st.edges.Store(&nm)
+	return next
+}
+
+// cacheGen is one generation of cached DFA states; Reset swaps the whole
+// generation so in-flight readers keep a consistent snapshot.
+type cacheGen struct {
+	mu      sync.Mutex // serializes copy-on-write updates to starts
+	starts  atomic.Pointer[map[string]*dfaState]
+	states  sync.Map     // fingerprint → *dfaState
+	nStates atomic.Int64 // interned-state count (sync.Map has no cheap len)
+}
+
+func newGen() *cacheGen {
+	g := &cacheGen{}
+	m := make(map[string]*dfaState)
+	g.starts.Store(&m)
+	return g
 }
 
 // Cache is the persistent SLL DFA: start states per decision nonterminal
 // and interned states by fingerprint. A Cache belongs to one grammar; reuse
 // across inputs is safe and is how the "warmed cache" configurations of
-// Figure 11 and the session API work. Not safe for concurrent mutation.
+// Figure 11 and the session API work.
+//
+// A Cache is safe for concurrent use by any number of goroutines. The
+// design exploits ALL(*)'s cache monotonicity: states are content-addressed
+// (interning is idempotent), so goroutines racing to extend the DFA
+// converge on identical states and losers discard their builds. Lookups on
+// the warm path (start-state fetch, edge following) are lock-free; only
+// cache growth takes short mutexes.
 type Cache struct {
-	starts map[string]*dfaState
-	states map[string]*dfaState
+	gen atomic.Pointer[cacheGen]
 }
 
 // NewCache returns an empty DFA cache.
 func NewCache() *Cache {
-	return &Cache{
-		starts: make(map[string]*dfaState),
-		states: make(map[string]*dfaState),
-	}
+	c := &Cache{}
+	c.gen.Store(newGen())
+	return c
 }
 
 // start returns the memoized start state for nt, building it on first use.
+// Racing builders both run build; interning makes their results the
+// identical state, so whichever publishes first wins without divergence.
 func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
-	if st, ok := c.starts[nt]; ok {
+	g := c.gen.Load()
+	if st, ok := (*g.starts.Load())[nt]; ok {
 		return st
 	}
 	st := build()
-	c.starts[nt] = st
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.starts.Load()
+	if exist, ok := (*m)[nt]; ok {
+		return exist
+	}
+	nm := make(map[string]*dfaState, len(*m)+1)
+	for k, v := range *m {
+		nm[k] = v
+	}
+	nm[nt] = st
+	g.starts.Store(&nm)
 	return st
 }
 
@@ -45,6 +117,8 @@ func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
 // existing identical state when possible. Canonical order and identity are
 // content-based (SLL stacks are shallow — bounded by lookahead depth — so
 // serialization is cheap, and it is what lets distinct parses share states).
+// Content addressing also makes interning idempotent under concurrency:
+// LoadOrStore picks one winner per fingerprint and every racer gets it.
 func (c *Cache) intern(res closureResult) *dfaState {
 	keys := sortConfigs(res.stable)
 	var b strings.Builder
@@ -56,8 +130,9 @@ func (c *Cache) intern(res closureResult) *dfaState {
 		b.WriteByte(';')
 	}
 	key := b.String()
-	if st, ok := c.states[key]; ok {
-		return st
+	g := c.gen.Load()
+	if st, ok := g.states.Load(key); ok {
+		return st.(*dfaState)
 	}
 	alts, halted := altSummary(res.stable)
 	st := &dfaState{
@@ -66,24 +141,30 @@ func (c *Cache) intern(res closureResult) *dfaState {
 		haltedAlts: halted,
 		uniqueAlt:  -1,
 		anomalous:  res.anomaly != anomalyNone,
-		edges:      make(map[string]*dfaState),
 	}
+	empty := make(map[string]*dfaState)
+	st.edges.Store(&empty)
 	if len(alts) == 1 && !st.anomalous {
 		st.uniqueAlt = alts[0]
 	}
-	c.states[key] = st
+	if prev, loaded := g.states.LoadOrStore(key, st); loaded {
+		return prev.(*dfaState)
+	}
+	g.nStates.Add(1)
 	return st
 }
 
 // Size returns (#start states, #interned states); benchmarks report it as
-// the cache footprint.
+// the cache footprint. Safe to call while other goroutines parse.
 func (c *Cache) Size() (starts, states int) {
-	return len(c.starts), len(c.states)
+	g := c.gen.Load()
+	return len(*g.starts.Load()), int(g.nStates.Load())
 }
 
 // Reset discards all cached states (the "cold cache" configuration of the
-// Figure 11 experiment).
+// Figure 11 experiment). Safe concurrently with parses: in-flight
+// predictions keep their consistent pre-Reset snapshot and merely stop
+// contributing growth to the new generation.
 func (c *Cache) Reset() {
-	c.starts = make(map[string]*dfaState)
-	c.states = make(map[string]*dfaState)
+	c.gen.Store(newGen())
 }

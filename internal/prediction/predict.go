@@ -34,8 +34,10 @@ type Options struct {
 }
 
 // AdaptivePredictor implements machine.Predictor with the adaptivePredict
-// algorithm. It is not safe for concurrent use (the DFA cache mutates);
-// create one per parsing goroutine, or share sequentially.
+// algorithm. A predictor is cheap and carries per-call scratch (decisionNT,
+// Stats), so create one per parse or per goroutine; the *Cache it uses is
+// safe for concurrent use and is the piece worth sharing — concurrent
+// predictors over one Cache warm a single DFA for all of them.
 type AdaptivePredictor struct {
 	eng        engine
 	cache      *Cache
@@ -210,14 +212,16 @@ func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (m
 		}
 		ap.noteLookahead(depth + 1)
 		term := remaining[depth].Terminal
-		next, ok := st.edges[term]
+		next, ok := st.edge(term)
 		if ok {
 			ap.Stats.CacheHits++
 		} else {
+			// Miss: build the successor and publish it. A goroutine racing
+			// on the same edge interns the identical state (content
+			// addressing), so setEdge converges regardless of who wins.
 			ap.Stats.CacheMisses++
 			res := ap.eng.closure(modeSLL, move(st.configs, term))
-			next = ap.cache.intern(res)
-			st.edges[term] = next
+			next = st.setEdge(term, ap.cache.intern(res))
 		}
 		st = next
 	}

@@ -11,7 +11,10 @@
 // frames" of Section 3.5), which makes SLL an overapproximation of LL.
 // SLL steps are cached in a DFA keyed by subparser-set fingerprints; the
 // cache persists across decisions, across a whole input, and (via parser
-// sessions) across inputs.
+// sessions) across inputs. The cache is safe for concurrent use: states
+// are content-addressed, so goroutines racing to extend the DFA intern
+// identical states and converge (see Cache), which lets one warm DFA
+// serve many parsing goroutines at once.
 package prediction
 
 import (
