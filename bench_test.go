@@ -242,13 +242,17 @@ func BenchmarkAblationInvariants(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationMaps: the Coq-style persistent AVL map (what the
-// verified engine uses for visited sets; Section 6.1 blames its comparisons
-// for Python's slowness) versus Go's native hash map.
+// BenchmarkAblationMaps: the Coq-style persistent AVL map over symbol names
+// (what the verified engine used for visited sets before grammar
+// compilation; Section 6.1 blames its comparisons for Python's slowness)
+// versus Go's native hash map versus the dense NTSet bitset the machine now
+// uses — the three points of the visited-set ablation.
 func BenchmarkAblationMaps(b *testing.B) {
 	keys := make([]string, 64)
+	ids := make([]grammar.NTID, 64)
 	for i := range keys {
 		keys[i] = grammar.NT("NT_" + string(rune('A'+i%26)) + string(rune('0'+i/26))).Name
+		ids[i] = grammar.NTID(i)
 	}
 	b.Run("avl", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -271,6 +275,19 @@ func BenchmarkAblationMaps(b *testing.B) {
 			}
 			for _, k := range keys {
 				if !s[k] {
+					b.Fatal("missing key")
+				}
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var s machine.NTSet
+			for _, id := range ids {
+				s = s.Add(id)
+			}
+			for _, id := range ids {
+				if !s.Contains(id) {
 					b.Fatal("missing key")
 				}
 			}
@@ -396,10 +413,13 @@ func BenchmarkPrediction(b *testing.B) {
 	}
 	w = append(w, grammar.Tok("b", "b"), grammar.Tok("d", "d"))
 	ap := prediction.New(g, prediction.Options{})
-	st := machine.Init("S", w)
+	c := g.Compiled()
+	sID, _ := c.NTIDOf("S")
+	terms := c.InternTerms(w)
+	st := machine.Init(g, "S", w)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := ap.Predict("S", st.Suffix, w)
+		p := ap.Predict(sID, st.Suffix, terms)
 		if p.Kind != machine.PredUnique {
 			b.Fatal("prediction failed")
 		}

@@ -34,7 +34,7 @@ func main() {
 	fmt.Println("machine trace:")
 	pred := prediction.New(g, prediction.Options{})
 	step := 0
-	machine.Multistep(g, pred, machine.Init("S", word), machine.Options{
+	machine.Multistep(g, pred, machine.Init(g, "S", word), machine.Options{
 		OnStep: func(before *machine.State, op machine.OpKind, after *machine.State) {
 			fmt.Printf("  σ%d %-8s %s\n", step, op, before)
 			step++

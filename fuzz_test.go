@@ -46,6 +46,106 @@ func FuzzParseBNF(f *testing.F) {
 	})
 }
 
+// checkCompiled asserts the invariants of the compiled (interned) grammar
+// tables: every string symbol has a dense ID, IDs render back to the same
+// name, and the production tables agree with the string-keyed originals.
+// Grammars reach this check from hostile front-end input, so an
+// inconsistency here would mean the interner can be driven into a state
+// where the engines compare the wrong integers.
+func checkCompiled(t *testing.T, g *Grammar) {
+	t.Helper()
+	c := g.Compiled()
+	if c.NumTerms() != len(g.Terminals()) {
+		t.Fatalf("NumTerms = %d, want %d", c.NumTerms(), len(g.Terminals()))
+	}
+	for _, name := range g.Terminals() {
+		id, ok := c.TermIDOf(name)
+		if !ok || c.TermName(id) != name {
+			t.Fatalf("terminal %q does not round-trip (id=%d ok=%v name=%q)", name, id, ok, c.TermName(id))
+		}
+	}
+	for _, name := range g.Nonterminals() {
+		id, ok := c.NTIDOf(name)
+		if !ok || c.NTName(id) != name || !c.HasNTID(id) {
+			t.Fatalf("nonterminal %q does not round-trip", name)
+		}
+	}
+	if c.NTName(c.Start()) != g.Start {
+		t.Fatalf("compiled start %q, want %q", c.NTName(c.Start()), g.Start)
+	}
+	perNT := make(map[string]int)
+	for i, p := range g.Prods {
+		if c.NTName(c.Lhs(i)) != p.Lhs {
+			t.Fatalf("Lhs(%d) = %q, want %q", i, c.NTName(c.Lhs(i)), p.Lhs)
+		}
+		rhs := c.Rhs(i)
+		if len(rhs) != len(p.Rhs) {
+			t.Fatalf("Rhs(%d) has %d symbols, want %d", i, len(rhs), len(p.Rhs))
+		}
+		for j, s := range c.SymsOf(rhs) {
+			if s != p.Rhs[j] {
+				t.Fatalf("Rhs(%d)[%d] renders as %v, want %v", i, j, s, p.Rhs[j])
+			}
+		}
+		perNT[p.Lhs]++
+	}
+	for _, name := range g.Nonterminals() {
+		id, _ := c.NTIDOf(name)
+		if len(c.ProdsFor(id)) != perNT[name] {
+			t.Fatalf("ProdsFor(%q) has %d productions, want %d", name, len(c.ProdsFor(id)), perNT[name])
+		}
+	}
+}
+
+// FuzzCompileGrammar drives grammar.Compiled construction from hostile BNF
+// and g4 sources: any input either fails cleanly in the front end or yields
+// internally consistent interned tables.
+func FuzzCompileGrammar(f *testing.F) {
+	seeds := []struct {
+		src string
+		g4  bool
+	}{
+		{`S -> A c | A d ; A -> a A | b`, false},
+		{`%start B  A -> a ; B -> A b`, false},
+		{`S -> Undefined x ; T -> y`, false}, // referenced-but-undefined NT
+		{`%start Nowhere  S -> a`, false},    // undefined start symbol
+		{`S -> 'quoted \' lit' | %empty`, false},
+		{`S -> S S | x`, false},
+		{`S -> a ; S -> a ; S -> b`, false},      // duplicate productions
+		{`Σ -> α Σ | β ; S -> Σ`, false},         // unicode names
+		{"grammar G; s : 's' ; S : [a] ;", true}, // rule/token case collision
+
+		{"grammar G; s : 'a' s | 'b' ;", true},
+		{"grammar G; s : X* ; X : [a-z]+ ;", true},
+		{"grammar G; s : ( 'a' | ) + ;", true},
+	}
+	for _, s := range seeds {
+		f.Add(s.src, s.g4)
+	}
+	f.Fuzz(func(t *testing.T, src string, g4 bool) {
+		if len(src) > 4096 {
+			return
+		}
+		var g *Grammar
+		if g4 {
+			lg, _, err := LoadG4(src)
+			if err != nil {
+				return
+			}
+			g = lg
+		} else {
+			bg, err := ParseBNF(src)
+			if err != nil {
+				return
+			}
+			g = bg
+		}
+		checkCompiled(t, g)
+		// A clone must intern identically — compilation is deterministic.
+		checkCompiled(t, g.Clone())
+	})
+}
+
 func FuzzRxParse(f *testing.F) {
 	seeds := []string{
 		`a(b|c)*d`, `[a-z0-9_]+`, `[^"\\]*`, `A+`, `(()|())*`, `a**`, `[]`, `(((`,

@@ -15,6 +15,11 @@
 //     node, different alternatives) instead of scanning to end of input;
 //   - a DFA cache that persists across inputs by default.
 //
+// Since the verified engine moved onto the compiled grammar, both engines
+// read the same grammar.Compiled tables and the same analysis.Targets
+// return-target analysis; what remains distinctive here is the GSS, the
+// mutable state, and early conflict detection.
+//
 // Results are bit-compatible with the verified engine on unambiguous
 // inputs (the differential tests check tree equality), which is what makes
 // the Figure 10 slowdown comparison meaningful.
@@ -23,35 +28,22 @@ package allstar
 import (
 	"fmt"
 
+	"costar/internal/analysis"
 	"costar/internal/grammar"
 )
 
-// igrammar is a grammar with interned symbols: terminals and nonterminals
-// are dense non-negative ints, productions are int32 arrays, and every
-// per-symbol table is a slice indexed by id.
+// igrammar adapts the shared compiled grammar to this engine's packed
+// grammar-position encoding: callSites[nt] holds pos(prod, dot+1) for every
+// stable return target of nt (the same analysis the verified engine's SLL
+// mode uses, converted from (Prod, Dot) pairs to packed ints).
 type igrammar struct {
-	src *grammar.Grammar
+	src   *grammar.Grammar
+	c     *grammar.Compiled
+	start grammar.NTID
 
-	termID map[string]int32 // terminal name → id
-	ntID   map[string]int32 // nonterminal name → id
-	ntName []string
-
-	// prods[p] = right-hand side; symbols encoded as: t >= 0 terminal id,
-	// nt encoded as ^id (negative, bit-complement).
-	prods   [][]int32
-	prodLhs []int32   // nonterminal id per production
-	ntProds [][]int32 // production indices per nonterminal id
-	start   int32
-	maxRhs  int
-	// callSites[nt] = encoded positions (prod<<16|dot+1) after occurrences
-	// of nt; used by SLL pops. canFinish[nt]: a pop chain can end the parse.
-	callSites [][]int32
-	canFinish []bool
+	callSites [][]int32 // by NTID: encoded positions after occurrences
+	canFinish []bool    // by NTID: a pop chain can end the parse
 }
-
-func encNT(id int32) int32 { return ^id }
-func isNT(sym int32) bool  { return sym < 0 }
-func ntOf(sym int32) int32 { return ^sym }
 
 // pos encodes a grammar position (production, dot) in one int32.
 func pos(prod, dot int32) int32 { return prod<<16 | dot }
@@ -60,131 +52,34 @@ func posDot(p int32) int32      { return p & 0xffff }
 
 // intern builds the interned form of g for start symbol start.
 func intern(g *grammar.Grammar, start string) (*igrammar, error) {
-	ig := &igrammar{
-		src:    g,
-		termID: make(map[string]int32),
-		ntID:   make(map[string]int32),
-	}
-	for _, nt := range g.Nonterminals() {
-		ig.ntID[nt] = int32(len(ig.ntName))
-		ig.ntName = append(ig.ntName, nt)
-	}
-	sid, ok := ig.ntID[start]
-	if !ok {
+	c := g.Compiled()
+	sid, ok := c.NTIDOf(start)
+	if !ok || !c.HasNTID(sid) {
 		return nil, fmt.Errorf("allstar: start symbol %q has no productions", start)
 	}
-	ig.start = sid
-	for _, t := range g.Terminals() {
-		ig.termID[t] = int32(len(ig.termID))
+	if g.MaxRhsLen() >= 1<<16 {
+		return nil, fmt.Errorf("allstar: right-hand side too long")
 	}
-	ig.ntProds = make([][]int32, len(ig.ntName))
-	for pi, p := range g.Prods {
-		lhs := ig.ntID[p.Lhs]
-		rhs := make([]int32, len(p.Rhs))
-		for i, s := range p.Rhs {
-			if s.IsT() {
-				id, ok := ig.termID[s.Name]
-				if !ok {
-					id = int32(len(ig.termID))
-					ig.termID[s.Name] = id
-				}
-				rhs[i] = id
-			} else {
-				id, ok := ig.ntID[s.Name]
-				if !ok {
-					return nil, fmt.Errorf("allstar: undefined nonterminal %q", s.Name)
-				}
-				rhs[i] = encNT(id)
+	for _, p := range g.Prods {
+		for _, s := range p.Rhs {
+			if s.IsNT() && !g.HasNT(s.Name) {
+				return nil, fmt.Errorf("allstar: undefined nonterminal %q", s.Name)
 			}
 		}
-		if len(rhs) > ig.maxRhs {
-			ig.maxRhs = len(rhs)
-		}
-		if len(rhs) >= 1<<16 {
-			return nil, fmt.Errorf("allstar: right-hand side too long")
-		}
-		ig.prods = append(ig.prods, rhs)
-		ig.prodLhs = append(ig.prodLhs, lhs)
-		ig.ntProds[lhs] = append(ig.ntProds[lhs], int32(pi))
 	}
-	ig.computeCallSites()
-	ig.computeCanFinish()
+	ig := &igrammar{src: g, c: c, start: sid}
+	tg := analysis.NewTargetsFor(g, start)
+	n := c.NumNTs()
+	ig.callSites = make([][]int32, n)
+	ig.canFinish = make([]bool, n)
+	for nt := grammar.NTID(0); int(nt) < n; nt++ {
+		rts := tg.For(nt)
+		cs := make([]int32, len(rts))
+		for i, rt := range rts {
+			cs[i] = pos(int32(rt.Prod), int32(rt.Dot+1))
+		}
+		ig.callSites[nt] = cs
+		ig.canFinish[nt] = tg.CanFinish(nt)
+	}
 	return ig, nil
-}
-
-// computeCallSites mirrors analysis.NewTargets on the interned form:
-// positions after each occurrence, chased transitively through empty
-// remainders.
-func (ig *igrammar) computeCallSites() {
-	ig.callSites = make([][]int32, len(ig.ntName))
-	for nt := range ig.ntName {
-		seenNT := map[int32]bool{int32(nt): true}
-		dedup := map[int32]bool{}
-		var out []int32
-		var visit func(target int32)
-		visit = func(target int32) {
-			for pi, rhs := range ig.prods {
-				for dot, sym := range rhs {
-					if !isNT(sym) || ntOf(sym) != target {
-						continue
-					}
-					if dot+1 == len(rhs) {
-						lhs := ig.prodLhs[pi]
-						if !seenNT[lhs] {
-							seenNT[lhs] = true
-							visit(lhs)
-						}
-						continue
-					}
-					p := pos(int32(pi), int32(dot+1))
-					if !dedup[p] {
-						dedup[p] = true
-						out = append(out, p)
-					}
-				}
-			}
-		}
-		visit(int32(nt))
-		ig.callSites[nt] = out
-	}
-}
-
-func (ig *igrammar) computeCanFinish() {
-	ig.canFinish = make([]bool, len(ig.ntName))
-	for nt := range ig.ntName {
-		seen := map[int32]bool{}
-		var visit func(target int32) bool
-		visit = func(target int32) bool {
-			if target == ig.start {
-				return true
-			}
-			if seen[target] {
-				return false
-			}
-			seen[target] = true
-			for pi, rhs := range ig.prods {
-				if len(rhs) > 0 && isNT(rhs[len(rhs)-1]) && ntOf(rhs[len(rhs)-1]) == target {
-					if visit(ig.prodLhs[pi]) {
-						return true
-					}
-				}
-			}
-			return false
-		}
-		ig.canFinish[nt] = visit(int32(nt))
-	}
-}
-
-// internWord converts a token word to terminal ids; unknown terminals map
-// to -1 (they can never match, which yields a Reject).
-func (ig *igrammar) internWord(w []grammar.Token) []int32 {
-	out := make([]int32, len(w))
-	for i, t := range w {
-		if id, ok := ig.termID[t.Terminal]; ok {
-			out[i] = id
-		} else {
-			out[i] = -1
-		}
-	}
-	return out
 }

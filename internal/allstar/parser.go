@@ -81,10 +81,10 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 		p.pred.reset()
 	}
 	ig := p.ig
-	toks := ig.internWord(w)
+	toks := ig.c.InternTerms(w)
 	// Guard against runaway non-consuming recursion (left-recursive
 	// grammars): a legitimate stack never outgrows this bound.
-	maxStack := (len(toks) + 2) * (len(ig.ntName) + 2)
+	maxStack := (len(toks) + 2) * (ig.c.NumNTs() + 2)
 	unique := true
 	pos := 0
 	var stack []pframe
@@ -100,10 +100,10 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 	}
 
 	// chooseProd predicts a production for nt.
-	chooseProd := func(nt int32) (int32, *Result) {
-		alts := ig.ntProds[nt]
+	chooseProd := func(nt grammar.NTID) (int32, *Result) {
+		alts := ig.c.ProdsFor(nt)
 		if len(alts) == 1 {
-			return alts[0], nil
+			return int32(alts[0]), nil
 		}
 		out := p.pred.adaptivePredict(nt, toks[pos:], mkContext)
 		switch out.kind {
@@ -114,10 +114,10 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 			return out.alt, nil
 		case predReject:
 			return 0, &Result{Kind: machine.Reject,
-				Reason: fmt.Sprintf("no viable alternative for %s at token %d", ig.ntName[nt], pos)}
+				Reason: fmt.Sprintf("no viable alternative for %s at token %d", ig.c.NTName(nt), pos)}
 		default:
 			return 0, &Result{Kind: machine.ResultError,
-				Err: fmt.Errorf("allstar: prediction for %s exhausted its budget (left-recursive grammar?)", ig.ntName[nt])}
+				Err: fmt.Errorf("allstar: prediction for %s exhausted its budget (left-recursive grammar?)", ig.c.NTName(nt))}
 		}
 	}
 
@@ -130,10 +130,10 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 
 	for {
 		top := &stack[len(stack)-1]
-		rhs := ig.prods[top.prod]
+		rhs := ig.c.Rhs(int(top.prod))
 		if int(top.dot) == len(rhs) {
 			// Reduce.
-			node := tree.Node(ig.ntName[ig.prodLhs[top.prod]], top.children...)
+			node := tree.Node(ig.c.NTName(ig.c.Lhs(int(top.prod))), top.children...)
 			stack = stack[:len(stack)-1]
 			if len(stack) == 0 {
 				if pos != len(toks) {
@@ -152,12 +152,12 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 			continue
 		}
 		sym := rhs[top.dot]
-		if !isNT(sym) {
+		if sym.IsT() {
 			if pos >= len(toks) {
 				return Result{Kind: machine.Reject,
 					Reason: fmt.Sprintf("input exhausted; expected %s", ig.src.Prods[top.prod].Rhs[top.dot])}
 			}
-			if toks[pos] != sym {
+			if toks[pos] != sym.Term() {
 				return Result{Kind: machine.Reject,
 					Reason: fmt.Sprintf("expected %s, found %s at token %d", ig.src.Prods[top.prod].Rhs[top.dot], w[pos], pos)}
 			}
@@ -170,7 +170,7 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 			return Result{Kind: machine.ResultError,
 				Err: fmt.Errorf("allstar: parser stack exceeded %d frames (left-recursive grammar?)", maxStack)}
 		}
-		prod, fail := chooseProd(ntOf(sym))
+		prod, fail := chooseProd(sym.NT())
 		if fail != nil {
 			return *fail
 		}

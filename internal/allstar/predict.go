@@ -1,6 +1,10 @@
 package allstar
 
-import "sort"
+import (
+	"sort"
+
+	"costar/internal/grammar"
+)
 
 // predictor owns the GSS and the persistent DFA cache. One predictor
 // serves a whole session; Reset drops the learned DFA (cold-cache runs).
@@ -8,7 +12,7 @@ type predictor struct {
 	ig  *igrammar
 	gss *gss
 
-	starts map[int32]*pdfaState // per decision nonterminal
+	starts map[grammar.NTID]*pdfaState // per decision nonterminal
 	states map[string]*pdfaState
 }
 
@@ -18,7 +22,7 @@ type pdfaState struct {
 	uniqueAlt  int32 // -1 when unresolved
 	conflict   int32 // lowest alt of an early-detected conflict, or -1
 	anomalous  bool
-	edges      map[int32]*pdfaState
+	edges      map[grammar.TermID]*pdfaState
 }
 
 // predOutcome is the predictor's answer for one decision.
@@ -42,14 +46,14 @@ func newPredictor(ig *igrammar) *predictor {
 	return &predictor{
 		ig:     ig,
 		gss:    newGSS(),
-		starts: make(map[int32]*pdfaState),
+		starts: make(map[grammar.NTID]*pdfaState),
 		states: make(map[string]*pdfaState),
 	}
 }
 
 // reset drops the DFA but keeps the GSS (node ids stay valid).
 func (p *predictor) reset() {
-	p.starts = make(map[int32]*pdfaState)
+	p.starts = make(map[grammar.NTID]*pdfaState)
 	p.states = make(map[string]*pdfaState)
 }
 
@@ -58,7 +62,7 @@ func (p *predictor) size() (starts, states int) { return len(p.starts), len(p.st
 // adaptivePredict picks a production for decision nonterminal nt. The
 // machine's current stack (as GSS continuation chain) is supplied lazily
 // via mkContext, so the common SLL path never materializes it.
-func (p *predictor) adaptivePredict(nt int32, remaining []int32, mkContext func() int32) predOutcome {
+func (p *predictor) adaptivePredict(nt grammar.NTID, remaining []grammar.TermID, mkContext func() int32) predOutcome {
 	st, ok := p.starts[nt]
 	if !ok {
 		st = p.buildStart(nt)
@@ -105,10 +109,10 @@ func resolveEOF(halted []int32) predOutcome {
 	}
 }
 
-func (p *predictor) buildStart(nt int32) *pdfaState {
+func (p *predictor) buildStart(nt grammar.NTID) *pdfaState {
 	var work []config
-	for _, prod := range p.ig.ntProds[nt] {
-		work = append(work, config{alt: prod, stack: p.gss.push(pos(prod, 0), gssEmpty)})
+	for _, prod := range p.ig.c.ProdsFor(nt) {
+		work = append(work, config{alt: int32(prod), stack: p.gss.push(pos(int32(prod), 0), gssEmpty)})
 	}
 	return p.intern(p.closure(modeSLL, work))
 }
@@ -153,14 +157,14 @@ func (p *predictor) closure(m pmode, work []config) pclosure {
 		}
 		f := g.frame(c.stack)
 		prod, dot := posProd(f), posDot(f)
-		rhs := ig.prods[prod]
+		rhs := ig.c.Rhs(int(prod))
 		if int(dot) == len(rhs) {
 			parent := g.parent(c.stack)
 			if parent != gssEmpty {
 				work = append(work, config{alt: c.alt, stack: parent})
 				continue
 			}
-			lhs := ig.prodLhs[prod]
+			lhs := ig.c.Lhs(int(prod))
 			if m == modeLL {
 				work = append(work, config{alt: c.alt, stack: haltedStack})
 				continue
@@ -174,7 +178,7 @@ func (p *predictor) closure(m pmode, work []config) pclosure {
 			continue
 		}
 		sym := rhs[dot]
-		if !isNT(sym) {
+		if sym.IsT() {
 			if !stable[c] {
 				stable[c] = true
 				out.stable = append(out.stable, c)
@@ -185,15 +189,16 @@ func (p *predictor) closure(m pmode, work []config) pclosure {
 		// stopped by the budget; the verified engine is the component that
 		// gives precise LeftRecursive errors.
 		cont := g.push(pos(prod, dot+1), g.parent(c.stack))
-		for _, q := range ig.ntProds[ntOf(sym)] {
-			work = append(work, config{alt: c.alt, stack: g.push(pos(q, 0), cont)})
+		for _, q := range ig.c.ProdsFor(sym.NT()) {
+			work = append(work, config{alt: c.alt, stack: g.push(pos(int32(q), 0), cont)})
 		}
 	}
 	return out
 }
 
 // moveConfigs advances stable configs over terminal t.
-func moveConfigs(ig *igrammar, g *gss, cfgs []config, t int32) []config {
+func moveConfigs(ig *igrammar, g *gss, cfgs []config, t grammar.TermID) []config {
+	want := grammar.TermSym(t)
 	var out []config
 	for _, c := range cfgs {
 		if c.stack == haltedStack {
@@ -201,8 +206,11 @@ func moveConfigs(ig *igrammar, g *gss, cfgs []config, t int32) []config {
 		}
 		f := g.frame(c.stack)
 		prod, dot := posProd(f), posDot(f)
-		rhs := ig.prods[prod]
-		if int(dot) < len(rhs) && rhs[dot] == t {
+		rhs := ig.c.Rhs(int(prod))
+		// Stable configs always dot a terminal, so a plain SymID compare
+		// suffices (an unknown input terminal encodes to a negative SymID
+		// and can never equal one).
+		if int(dot) < len(rhs) && rhs[dot] == want {
 			out = append(out, config{alt: c.alt, stack: g.push(pos(prod, dot+1), g.parent(c.stack))})
 		}
 	}
@@ -233,7 +241,7 @@ func (p *predictor) intern(cl pclosure) *pdfaState {
 		return st
 	}
 	st := &pdfaState{uniqueAlt: -1, conflict: -1, anomalous: cl.anomalous,
-		configs: cfgs, edges: make(map[int32]*pdfaState)}
+		configs: cfgs, edges: make(map[grammar.TermID]*pdfaState)}
 	// Resolution facts.
 	altSet := map[int32]bool{}
 	for _, c := range cfgs {
@@ -274,10 +282,10 @@ func (p *predictor) intern(cl pclosure) *pdfaState {
 }
 
 // llPredict re-runs the decision with the parser's full context.
-func (p *predictor) llPredict(nt int32, remaining []int32, context int32) predOutcome {
+func (p *predictor) llPredict(nt grammar.NTID, remaining []grammar.TermID, context int32) predOutcome {
 	var work []config
-	for _, prod := range p.ig.ntProds[nt] {
-		work = append(work, config{alt: prod, stack: p.gss.push(pos(prod, 0), context)})
+	for _, prod := range p.ig.c.ProdsFor(nt) {
+		work = append(work, config{alt: int32(prod), stack: p.gss.push(pos(int32(prod), 0), context)})
 	}
 	cl := p.closure(modeLL, work)
 	for depth := 0; ; depth++ {

@@ -10,9 +10,16 @@
 //     "stable return frames" that CoStar's SLL mode returns into when a
 //     subparser stack empties (Section 3.5);
 //   - reachability and productivity (useless-symbol detection).
+//
+// The fixpoints run on the compiled grammar: NULLABLE is a []bool indexed
+// by NTID and FIRST/FOLLOW are bitset rows over TermIDs (with EOF as a
+// virtual terminal column), so each fixpoint iteration is word-parallel OR
+// instead of string-map traffic. The string-keyed accessors remain as views
+// materialized once at construction.
 package analysis
 
 import (
+	"math/bits"
 	"sort"
 
 	"costar/internal/grammar"
@@ -34,7 +41,17 @@ type CallSite struct {
 // and safe for concurrent use.
 type Analysis struct {
 	G *grammar.Grammar
+	c *grammar.Compiled
 
+	// Dense tables, indexed by NTID; the columns of the bitset rows are
+	// TermIDs, with column NumTerms standing for EOF.
+	nullableID []bool
+	firstRow   [][]uint64
+	followRow  [][]uint64
+	rowWords   int
+	eofCol     int
+
+	// String views over the dense tables, for the public edge API.
 	nullable  map[string]bool
 	first     map[string]map[string]bool
 	follow    map[string]map[string]bool
@@ -46,31 +63,86 @@ type Analysis struct {
 // New computes all analyses for g. Cost is polynomial in grammar size; the
 // result should be cached alongside the grammar (parser sessions do this).
 func New(g *grammar.Grammar) *Analysis {
+	c := g.Compiled()
 	a := &Analysis{
 		G:         g,
-		nullable:  make(map[string]bool),
-		first:     make(map[string]map[string]bool),
-		follow:    make(map[string]map[string]bool),
+		c:         c,
 		callSites: make(map[string][]CallSite),
 		leftRec:   make(map[string]bool),
 		cycles:    make(map[string][]string),
 	}
+	a.eofCol = c.NumTerms()
+	a.rowWords = (a.eofCol + 1 + 63) / 64
+	n := c.NumNTs()
+	a.nullableID = make([]bool, n)
+	a.firstRow = newRows(n, a.rowWords)
+	a.followRow = newRows(n, a.rowWords)
 	a.computeNullable()
 	a.computeFirst()
 	a.computeFollow()
+	a.materialize()
 	a.computeCallSites()
 	a.computeLeftRecursion()
 	return a
 }
 
+func newRows(n, words int) [][]uint64 {
+	backing := make([]uint64, n*words)
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = backing[i*words : (i+1)*words]
+	}
+	return rows
+}
+
+func setBit(row []uint64, i int) bool {
+	w, b := i>>6, uint(i&63)
+	if row[w]&(1<<b) != 0 {
+		return false
+	}
+	row[w] |= 1 << b
+	return true
+}
+
+func hasBit(row []uint64, i int) bool {
+	return row[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// orRow ORs src into dst, reporting whether dst changed.
+func orRow(dst, src []uint64) bool {
+	changed := false
+	for i, w := range src {
+		if dst[i]|w != dst[i] {
+			dst[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
 // Nullable reports whether nt derives the empty word.
 func (a *Analysis) Nullable(nt string) bool { return a.nullable[nt] }
+
+// NullableID is Nullable on a compiled nonterminal ID — the engines' form.
+func (a *Analysis) NullableID(n grammar.NTID) bool {
+	return n >= 0 && int(n) < len(a.nullableID) && a.nullableID[n]
+}
 
 // NullableForm reports whether every symbol of the sentential form is
 // nullable (terminals never are).
 func (a *Analysis) NullableForm(form []grammar.Symbol) bool {
 	for _, s := range form {
 		if s.IsT() || !a.nullable[s.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// NullableFormIDs is NullableForm on a compiled sentential form.
+func (a *Analysis) NullableFormIDs(form []grammar.SymID) bool {
+	for _, s := range form {
+		if s.IsT() || !a.NullableID(s.NT()) {
 			return false
 		}
 	}
@@ -98,6 +170,39 @@ func (a *Analysis) FirstOfForm(form []grammar.Symbol) map[string]bool {
 		}
 	}
 	return out
+}
+
+// FirstOfFormIDs is FirstOfForm on a compiled sentential form, returning
+// terminal names (it feeds error messages, so the string hop is fine).
+func (a *Analysis) FirstOfFormIDs(form []grammar.SymID) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range form {
+		if s.IsT() {
+			out[a.c.TermName(s.Term())] = true
+			return out
+		}
+		n := s.NT()
+		if n >= 0 && int(n) < len(a.firstRow) {
+			a.addRowNames(out, a.firstRow[n])
+		}
+		if !a.NullableID(n) {
+			return out
+		}
+	}
+	return out
+}
+
+// addRowNames adds the terminal names of a bitset row (excluding EOF) to set.
+func (a *Analysis) addRowNames(set map[string]bool, row []uint64) {
+	for w, word := range row {
+		for ; word != 0; word &= word - 1 {
+			col := w*64 + bits.TrailingZeros64(word)
+			if col == a.eofCol {
+				continue
+			}
+			set[a.c.TermName(grammar.TermID(col))] = true
+		}
+	}
 }
 
 // Follow returns FOLLOW(nt): terminals that can appear immediately after nt
@@ -141,15 +246,24 @@ func FindLeftRecursion(g *grammar.Grammar) []string {
 }
 
 func (a *Analysis) computeNullable() {
+	c := a.c
 	changed := true
 	for changed {
 		changed = false
-		for _, p := range a.G.Prods {
-			if a.nullable[p.Lhs] {
+		for i := 0; i < len(c.Grammar().Prods); i++ {
+			lhs := c.Lhs(i)
+			if a.nullableID[lhs] {
 				continue
 			}
-			if a.NullableForm(p.Rhs) {
-				a.nullable[p.Lhs] = true
+			ok := true
+			for _, s := range c.Rhs(i) {
+				if s.IsT() || !a.nullableID[s.NT()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				a.nullableID[lhs] = true
 				changed = true
 			}
 		}
@@ -157,29 +271,23 @@ func (a *Analysis) computeNullable() {
 }
 
 func (a *Analysis) computeFirst() {
-	for _, nt := range a.G.Nonterminals() {
-		a.first[nt] = make(map[string]bool)
-	}
+	c := a.c
 	changed := true
 	for changed {
 		changed = false
-		for _, p := range a.G.Prods {
-			set := a.first[p.Lhs]
-			for _, s := range p.Rhs {
+		for i := 0; i < len(c.Grammar().Prods); i++ {
+			row := a.firstRow[c.Lhs(i)]
+			for _, s := range c.Rhs(i) {
 				if s.IsT() {
-					if !set[s.Name] {
-						set[s.Name] = true
+					if setBit(row, int(s.Term())) {
 						changed = true
 					}
 					break
 				}
-				for t := range a.first[s.Name] {
-					if !set[t] {
-						set[t] = true
-						changed = true
-					}
+				if orRow(row, a.firstRow[s.NT()]) {
+					changed = true
 				}
-				if !a.nullable[s.Name] {
+				if !a.nullableID[s.NT()] {
 					break
 				}
 			}
@@ -187,39 +295,77 @@ func (a *Analysis) computeFirst() {
 	}
 }
 
-func (a *Analysis) computeFollow() {
-	for _, nt := range a.G.Nonterminals() {
-		a.follow[nt] = make(map[string]bool)
+// firstOfRestInto accumulates FIRST(form) into row, reporting whether the
+// whole form is nullable.
+func (a *Analysis) firstOfRestInto(row []uint64, form []grammar.SymID) (nullable, changed bool) {
+	for _, s := range form {
+		if s.IsT() {
+			return false, setBit(row, int(s.Term()))
+		}
+		if orRow(row, a.firstRow[s.NT()]) {
+			changed = true
+		}
+		if !a.nullableID[s.NT()] {
+			return false, changed
+		}
 	}
-	if set, ok := a.follow[a.G.Start]; ok {
-		set[EOF] = true
+	return true, changed
+}
+
+func (a *Analysis) computeFollow() {
+	c := a.c
+	if start := c.Start(); c.HasNTID(start) {
+		setBit(a.followRow[start], a.eofCol)
 	}
 	changed := true
 	for changed {
 		changed = false
-		for _, p := range a.G.Prods {
-			for i, s := range p.Rhs {
+		for i := 0; i < len(c.Grammar().Prods); i++ {
+			rhs := c.Rhs(i)
+			lhsRow := a.followRow[c.Lhs(i)]
+			for j, s := range rhs {
 				if !s.IsNT() {
 					continue
 				}
-				set := a.follow[s.Name]
-				rest := p.Rhs[i+1:]
-				for t := range a.FirstOfForm(rest) {
-					if !set[t] {
-						set[t] = true
-						changed = true
-					}
+				row := a.followRow[s.NT()]
+				nullable, ch := a.firstOfRestInto(row, rhs[j+1:])
+				if ch {
+					changed = true
 				}
-				if a.NullableForm(rest) {
-					for t := range a.follow[p.Lhs] {
-						if !set[t] {
-							set[t] = true
-							changed = true
-						}
+				if nullable {
+					if orRow(row, lhsRow) {
+						changed = true
 					}
 				}
 			}
 		}
+	}
+}
+
+// materialize builds the string-map views of the dense tables: the public
+// API the front ends, LL(1) checker, and tests consume. Engines never read
+// these on the hot path.
+func (a *Analysis) materialize() {
+	c := a.c
+	a.nullable = make(map[string]bool)
+	a.first = make(map[string]map[string]bool, len(a.G.Nonterminals()))
+	a.follow = make(map[string]map[string]bool, len(a.G.Nonterminals()))
+	for id := grammar.NTID(0); int(id) < c.NumNTs(); id++ {
+		if a.nullableID[id] {
+			a.nullable[c.NTName(id)] = true
+		}
+	}
+	for _, nt := range a.G.Nonterminals() {
+		id, _ := c.NTIDOf(nt)
+		first := make(map[string]bool)
+		a.addRowNames(first, a.firstRow[id])
+		follow := make(map[string]bool)
+		a.addRowNames(follow, a.followRow[id])
+		if hasBit(a.followRow[id], a.eofCol) {
+			follow[EOF] = true
+		}
+		a.first[nt] = first
+		a.follow[nt] = follow
 	}
 }
 
@@ -236,6 +382,8 @@ func (a *Analysis) computeCallSites() {
 // computeLeftRecursion builds the "nullable-left-corner" graph — an edge
 // X → Y exists when some production X → αYβ has nullable α — and marks every
 // nonterminal that lies on a cycle through itself, recording a witness.
+// It stays on names: it runs once per session, and its job is to produce
+// human-readable witnesses.
 func (a *Analysis) computeLeftRecursion() {
 	edges := make(map[string][]string)
 	for _, p := range a.G.Prods {

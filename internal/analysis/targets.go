@@ -11,27 +11,34 @@ import (
 // ReturnTarget is a static continuation an SLL subparser may return into
 // when its local stack empties at nonterminal X: the remainder Rest of some
 // production of Lhs after an occurrence of X (chased transitively through
-// empty remainders). Rest is always non-empty.
+// empty remainders). Rest is always non-empty; it aliases the compiled
+// production array, so the address of its first element pins the grammar
+// position (prediction's config dedup relies on that).
 //
 // This is the Section 3.5 "stable return frames" idea: rather than tracking
 // the true caller (which SLL, by design, does not know), the subparser
 // simulates a return into every statically possible continuation.
 type ReturnTarget struct {
-	Lhs  string
-	Rest []grammar.Symbol
+	Lhs  grammar.NTID    // enclosing production's left-hand side
+	Rest []grammar.SymID // compiled remainder after the occurrence
+	Prod int             // production the occurrence sits in
+	Dot  int             // occurrence position: Rest == Rhs(Prod)[Dot+1:]
 }
 
-// String renders the target as "Lhs: rest…".
-func (rt ReturnTarget) String() string {
-	return rt.Lhs + ": " + grammar.SymbolsString(rt.Rest)
+// StringWith renders the target as "Lhs: rest…".
+func (rt ReturnTarget) StringWith(c *grammar.Compiled) string {
+	return c.NTName(rt.Lhs) + ": " + c.FormString(rt.Rest)
 }
 
 // Targets holds, for every nonterminal, its stable return targets and
-// whether a pop chain from it can reach the end of the whole parse.
-// Construct with NewTargets.
+// whether a pop chain from it can reach the end of the whole parse, both
+// indexed densely by NTID. Construct with NewTargets; both the verified
+// machine's SLL mode and the imperative allstar baseline read it, so the
+// two engines share one computation of the static return frames.
 type Targets struct {
-	byNT      map[string][]ReturnTarget
-	canFinish map[string]bool
+	c         *grammar.Compiled
+	byNT      [][]ReturnTarget
+	canFinish []bool
 }
 
 // NewTargets computes stable return targets for every nonterminal of g,
@@ -43,72 +50,96 @@ func NewTargets(g *grammar.Grammar) *Targets {
 // NewTargetsFor is NewTargets with an explicit start symbol (the start
 // symbol determines which pop chains can finish the parse).
 func NewTargetsFor(g *grammar.Grammar, start string) *Targets {
+	c := g.Compiled()
+	n := c.NumNTs()
 	t := &Targets{
-		byNT:      make(map[string][]ReturnTarget),
-		canFinish: make(map[string]bool),
+		c:         c,
+		byNT:      make([][]ReturnTarget, n),
+		canFinish: make([]bool, n),
 	}
-	for _, nt := range g.Nonterminals() {
-		t.byNT[nt] = computeTargets(g, nt)
-		t.canFinish[nt] = computeCanFinish(g, nt, start)
+	startID, startOK := c.NTIDOf(start)
+	for id := grammar.NTID(0); int(id) < n; id++ {
+		t.byNT[id] = computeTargets(c, id)
+		if startOK {
+			t.canFinish[id] = computeCanFinish(c, id, startID)
+		}
 	}
 	return t
 }
 
+// Compiled returns the compiled grammar the targets index into.
+func (t *Targets) Compiled() *grammar.Compiled { return t.c }
+
 // For returns the stable return targets of nt. The slice must not be
-// modified.
-func (t *Targets) For(nt string) []ReturnTarget { return t.byNT[nt] }
+// modified. Out-of-range IDs have no targets.
+func (t *Targets) For(nt grammar.NTID) []ReturnTarget {
+	if nt < 0 || int(nt) >= len(t.byNT) {
+		return nil
+	}
+	return t.byNT[nt]
+}
 
 // CanFinish reports whether an SLL pop chain from nt can reach the bottom
 // of the parse — i.e. some derivation from the start symbol ends exactly
 // with nt (possibly through trailing occurrences chained transitively).
 // A subparser whose stack empties at such an nt may legitimately stop at
 // end of input.
-func (t *Targets) CanFinish(nt string) bool { return t.canFinish[nt] }
+func (t *Targets) CanFinish(nt grammar.NTID) bool {
+	return nt >= 0 && int(nt) < len(t.canFinish) && t.canFinish[nt]
+}
 
 // computeTargets chases call sites of x; occurrences with an empty
 // remainder delegate transitively to the call sites of the enclosing
 // left-hand side. Cycles of empty remainders are cut with a seen set.
-func computeTargets(g *grammar.Grammar, x string) []ReturnTarget {
+func computeTargets(c *grammar.Compiled, x grammar.NTID) []ReturnTarget {
 	var out []ReturnTarget
-	dedup := make(map[string]bool)
-	seen := map[string]bool{x: true}
-	var visit func(nt string)
-	visit = func(nt string) {
-		for i, p := range g.Prods {
-			for j, s := range p.Rhs {
-				if !s.IsNT() || s.Name != nt {
+	nProds := len(c.Grammar().Prods)
+	dedup := make(map[int]bool) // occurrence key Prod*maxLen+Dot
+	maxLen := c.Grammar().MaxRhsLen() + 1
+	seen := make(map[grammar.NTID]bool)
+	seen[x] = true
+	var visit func(nt grammar.NTID)
+	visit = func(nt grammar.NTID) {
+		want := grammar.NTSym(nt)
+		for i := 0; i < nProds; i++ {
+			rhs := c.Rhs(i)
+			for j, s := range rhs {
+				if s != want {
 					continue
 				}
-				rest := p.Rhs[j+1:]
+				rest := rhs[j+1:]
 				if len(rest) == 0 {
-					if !seen[p.Lhs] {
-						seen[p.Lhs] = true
-						visit(p.Lhs)
+					if lhs := c.Lhs(i); !seen[lhs] {
+						seen[lhs] = true
+						visit(lhs)
 					}
 					continue
 				}
-				key := fmt.Sprintf("%s@%d.%d", p.Lhs, i, j)
+				key := i*maxLen + j
 				if !dedup[key] {
 					dedup[key] = true
-					out = append(out, ReturnTarget{Lhs: p.Lhs, Rest: rest})
+					out = append(out, ReturnTarget{Lhs: c.Lhs(i), Rest: rest, Prod: i, Dot: j})
 				}
 			}
 		}
 	}
 	visit(x)
+	// Canonical order: grammar position. Deterministic, and cheap — no
+	// string rendering in the comparator.
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Lhs != out[j].Lhs {
-			return out[i].Lhs < out[j].Lhs
+		if out[i].Prod != out[j].Prod {
+			return out[i].Prod < out[j].Prod
 		}
-		return grammar.SymbolsString(out[i].Rest) < grammar.SymbolsString(out[j].Rest)
+		return out[i].Dot < out[j].Dot
 	})
 	return out
 }
 
-func computeCanFinish(g *grammar.Grammar, x, start string) bool {
-	seen := map[string]bool{}
-	var visit func(nt string) bool
-	visit = func(nt string) bool {
+func computeCanFinish(c *grammar.Compiled, x, start grammar.NTID) bool {
+	seen := make(map[grammar.NTID]bool)
+	nProds := len(c.Grammar().Prods)
+	var visit func(nt grammar.NTID) bool
+	visit = func(nt grammar.NTID) bool {
 		if nt == start {
 			return true
 		}
@@ -116,12 +147,12 @@ func computeCanFinish(g *grammar.Grammar, x, start string) bool {
 			return false
 		}
 		seen[nt] = true
-		for _, p := range g.Prods {
-			for j, s := range p.Rhs {
-				if s.IsNT() && s.Name == nt && j == len(p.Rhs)-1 {
-					if visit(p.Lhs) {
-						return true
-					}
+		want := grammar.NTSym(nt)
+		for i := 0; i < nProds; i++ {
+			rhs := c.Rhs(i)
+			if len(rhs) > 0 && rhs[len(rhs)-1] == want {
+				if visit(c.Lhs(i)) {
+					return true
 				}
 			}
 		}
@@ -130,18 +161,22 @@ func computeCanFinish(g *grammar.Grammar, x, start string) bool {
 	return visit(x)
 }
 
-// DebugString renders all targets, for golden tests.
+// DebugString renders all targets by nonterminal name, for golden tests.
 func (t *Targets) DebugString() string {
-	nts := make([]string, 0, len(t.byNT))
-	for nt := range t.byNT {
-		nts = append(nts, nt)
+	type row struct {
+		name string
+		id   grammar.NTID
 	}
-	sort.Strings(nts)
+	rows := make([]row, 0, len(t.byNT))
+	for id := range t.byNT {
+		rows = append(rows, row{t.c.NTName(grammar.NTID(id)), grammar.NTID(id)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	var b strings.Builder
-	for _, nt := range nts {
-		fmt.Fprintf(&b, "%s (finish=%v):", nt, t.canFinish[nt])
-		for _, rt := range t.byNT[nt] {
-			fmt.Fprintf(&b, " [%s]", rt)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (finish=%v):", r.name, t.canFinish[r.id])
+		for _, rt := range t.byNT[r.id] {
+			fmt.Fprintf(&b, " [%s]", rt.StringWith(t.c))
 		}
 		b.WriteByte('\n')
 	}

@@ -7,33 +7,55 @@ import (
 	"costar/internal/grammar"
 )
 
+// ntid resolves a nonterminal name for tests; the name must be interned.
+func ntid(g *grammar.Grammar, name string) grammar.NTID {
+	id, ok := g.Compiled().NTIDOf(name)
+	if !ok {
+		panic("test nonterminal not interned: " + name)
+	}
+	return id
+}
+
+func restString(g *grammar.Grammar, rt ReturnTarget) string {
+	return g.Compiled().FormString(rt.Rest)
+}
+
 func TestTargetsFig2(t *testing.T) {
 	g := grammar.MustParseBNF(`S -> A c | A d ; A -> a A | b`)
+	c := g.Compiled()
 	tg := NewTargets(g)
 	// A occurs before c, before d, and at the end of "a A"; the trailing
 	// occurrence chases S's call sites (none) — so exactly two targets.
-	got := tg.For("A")
+	got := tg.For(ntid(g, "A"))
 	if len(got) != 2 {
 		t.Fatalf("targets(A) = %v", got)
 	}
-	if got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "c" {
-		t.Errorf("targets(A)[0] = %v", got[0])
+	if c.NTName(got[0].Lhs) != "S" || restString(g, got[0]) != "c" {
+		t.Errorf("targets(A)[0] = %v", got[0].StringWith(c))
 	}
-	if got[1].Lhs != "S" || grammar.SymbolsString(got[1].Rest) != "d" {
-		t.Errorf("targets(A)[1] = %v", got[1])
+	if c.NTName(got[1].Lhs) != "S" || restString(g, got[1]) != "d" {
+		t.Errorf("targets(A)[1] = %v", got[1].StringWith(c))
 	}
-	// A at the end of "a A" chains to A's enclosing lhs A (already seen)
-	// and to S; S never occurs in an RHS, so A cannot finish... except via
-	// the chain A ← end of A ← ... S is the start: the trailing A in
-	// "a A" belongs to A itself, and S -> A c ends with c, so no.
-	if tg.CanFinish("A") {
+	// Rest must alias the compiled production arrays so that the address of
+	// its first element pins the grammar position (config dedup relies on it).
+	if &got[0].Rest[0] != &c.Rhs(got[0].Prod)[got[0].Dot+1] {
+		t.Error("Rest does not alias the compiled production array")
+	}
+	if tg.CanFinish(ntid(g, "A")) {
 		t.Error("A should not be able to finish the parse (c/d always follow)")
 	}
-	if !tg.CanFinish("S") {
+	if !tg.CanFinish(ntid(g, "S")) {
 		t.Error("the start symbol can always finish")
 	}
-	if tg.For("S") != nil && len(tg.For("S")) != 0 {
-		t.Errorf("targets(S) = %v, want none", tg.For("S"))
+	if len(tg.For(ntid(g, "S"))) != 0 {
+		t.Errorf("targets(S) = %v, want none", tg.For(ntid(g, "S")))
+	}
+	// Out-of-range IDs: no targets, cannot finish, no panic.
+	if tg.For(grammar.NoNT) != nil || tg.For(999) != nil {
+		t.Error("out-of-range NTID should have no targets")
+	}
+	if tg.CanFinish(grammar.NoNT) || tg.CanFinish(999) {
+		t.Error("out-of-range NTID should not finish")
 	}
 }
 
@@ -46,11 +68,11 @@ func TestTargetsEmptyRemainderChaining(t *testing.T) {
 		X -> x
 	`)
 	tg := NewTargets(g)
-	got := tg.For("X")
-	if len(got) != 1 || got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "t" {
+	got := tg.For(ntid(g, "X"))
+	if len(got) != 1 || g.Compiled().NTName(got[0].Lhs) != "S" || restString(g, got[0]) != "t" {
 		t.Fatalf("targets(X) = %v, want [S: t]", got)
 	}
-	if tg.CanFinish("X") {
+	if tg.CanFinish(ntid(g, "X")) {
 		t.Error("X cannot finish: t always follows via the chain")
 	}
 }
@@ -63,7 +85,7 @@ func TestCanFinishChain(t *testing.T) {
 	`)
 	tg := NewTargets(g)
 	for _, nt := range []string{"S", "Q", "P"} {
-		if !tg.CanFinish(nt) {
+		if !tg.CanFinish(ntid(g, nt)) {
 			t.Errorf("CanFinish(%s) = false, want true", nt)
 		}
 	}
@@ -78,18 +100,18 @@ func TestTargetsCyclicEmptyRemainders(t *testing.T) {
 		B -> b A | c
 	`)
 	tg := NewTargets(g)
-	a := tg.For("A")
+	a := tg.For(ntid(g, "A"))
 	// A occurs: end of "b A" (chase B: B occurs before y in S, end of
 	// "a B" → chase A: A occurs before x in S). Targets: S:x, S:y.
 	var rendered []string
 	for _, rt := range a {
-		rendered = append(rendered, rt.String())
+		rendered = append(rendered, rt.StringWith(g.Compiled()))
 	}
 	joined := strings.Join(rendered, "; ")
 	if !strings.Contains(joined, "S: x") || !strings.Contains(joined, "S: y") {
 		t.Errorf("targets(A) = %s", joined)
 	}
-	if tg.CanFinish("A") || tg.CanFinish("B") {
+	if tg.CanFinish(ntid(g, "A")) || tg.CanFinish(ntid(g, "B")) {
 		t.Error("neither A nor B can finish (x or y always follows)")
 	}
 	if !strings.Contains(tg.DebugString(), "A (finish=false)") {
@@ -106,12 +128,12 @@ func TestTargetsSelfRecursion(t *testing.T) {
 		Item -> i
 	`)
 	tg := NewTargets(g)
-	got := tg.For("List")
-	if len(got) != 1 || got[0].Lhs != "S" || grammar.SymbolsString(got[0].Rest) != "']'" {
+	got := tg.For(ntid(g, "List"))
+	if len(got) != 1 || g.Compiled().NTName(got[0].Lhs) != "S" || restString(g, got[0]) != "']'" {
 		t.Fatalf("targets(List) = %v", got)
 	}
-	item := tg.For("Item")
-	if len(item) != 1 || item[0].Lhs != "List" {
+	item := tg.For(ntid(g, "Item"))
+	if len(item) != 1 || g.Compiled().NTName(item[0].Lhs) != "List" {
 		t.Fatalf("targets(Item) = %v", item)
 	}
 }

@@ -54,7 +54,10 @@ func PrintFig8(w io.Writer, rows []Fig8Row) {
 // Figure 9: input size vs. CoStar parse time, regression + LOWESS
 // ---------------------------------------------------------------------------
 
-// Fig9Point is one scatter point: file size in tokens, mean parse seconds.
+// Fig9Point is one scatter point: file size in tokens, best-of-trials parse
+// seconds. The minimum is the robust estimator of the true cost when the
+// host is contended (scheduler noise only ever adds time); the per-trial
+// spread is kept in StdDev for the error bars.
 type Fig9Point struct {
 	Tokens  int
 	Seconds float64
@@ -87,13 +90,24 @@ func Fig9(cfg Config) ([]Fig9Series, error) {
 		var ys []float64
 		for _, f := range files {
 			f := f
-			mean, samples := timeIt(cfg.Trials, func() {
+			// One untimed warm-up parse: first-touch allocator growth
+			// otherwise lands on whichever file is measured first and bends
+			// the small-corpus series. The prediction cache is fresh per
+			// parse either way, so this warms the heap, not the DFA.
+			mustUnique(p.Parse(f.Tokens).Kind, l.Name, f.Seed, "warm-up")
+			_, samples := timeIt(cfg.Trials, func() {
 				res := p.Parse(f.Tokens)
 				mustUnique(res.Kind, l.Name, f.Seed, res.Reason)
 			})
+			best := samples[0]
+			for _, s := range samples[1:] {
+				if s < best {
+					best = s
+				}
+			}
 			pt := Fig9Point{
 				Tokens:  len(f.Tokens),
-				Seconds: mean.Seconds(),
+				Seconds: best / float64(time.Second),
 				StdDev:  stats.StdDev(samples) / float64(time.Second),
 			}
 			s.Points = append(s.Points, pt)

@@ -12,6 +12,11 @@
 //     Counting diverges exactly on grammars with derivation cycles
 //     (A ⇒+ A), which are left-recursive by the nullable-path definition;
 //     those return ErrCyclic.
+//
+// The public API stays name-based (it is the test-facing oracle surface),
+// but both engines run on the compiled grammar internally: items dot dense
+// production arrays and words are interned to terminal IDs up front, so the
+// chart loops compare integers, not names.
 package earley
 
 import (
@@ -30,11 +35,31 @@ type item struct {
 	origin int
 }
 
+// internWord maps terminal names to dense IDs; unknown names become NoTerm,
+// which matches no grammar terminal.
+func internWord(c *grammar.Compiled, word []string) []grammar.TermID {
+	out := make([]grammar.TermID, len(word))
+	for i, name := range word {
+		if id, ok := c.TermIDOf(name); ok {
+			out[i] = id
+		} else {
+			out[i] = grammar.NoTerm
+		}
+	}
+	return out
+}
+
 // Recognize reports whether word (a sequence of terminal names) is derivable
 // from start in g.
 func Recognize(g *grammar.Grammar, start string, word []string) bool {
+	c := g.Compiled()
+	startID, ok := c.NTIDOf(start)
+	if !ok {
+		return false
+	}
 	an := analysis.New(g)
-	n := len(word)
+	toks := internWord(c, word)
+	n := len(toks)
 	sets := make([]map[item]bool, n+1)
 	order := make([][]item, n+1) // insertion order worklists
 	for i := range sets {
@@ -46,43 +71,43 @@ func Recognize(g *grammar.Grammar, start string, word []string) bool {
 			order[i] = append(order[i], it)
 		}
 	}
-	for _, pi := range g.ProductionIndices(start) {
+	for _, pi := range c.ProdsFor(startID) {
 		add(0, item{prod: pi, origin: 0})
 	}
 	for i := 0; i <= n; i++ {
 		for k := 0; k < len(order[i]); k++ {
 			it := order[i][k]
-			rhs := g.Prods[it.prod].Rhs
+			rhs := c.Rhs(it.prod)
 			if it.dot < len(rhs) {
 				s := rhs[it.dot]
 				if s.IsNT() {
 					// Predictor.
-					for _, pi := range g.ProductionIndices(s.Name) {
+					for _, pi := range c.ProdsFor(s.NT()) {
 						add(i, item{prod: pi, origin: i})
 					}
 					// Aycock–Horspool: if the predicted nonterminal is
 					// nullable, also advance over it immediately.
-					if an.Nullable(s.Name) {
+					if an.NullableID(s.NT()) {
 						add(i, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
 					}
-				} else if i < n && word[i] == s.Name {
+				} else if i < n && toks[i] == s.Term() {
 					// Scanner.
 					add(i+1, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
 				}
 				continue
 			}
 			// Completer: the production's Lhs spans [it.origin, i).
-			lhs := g.Prods[it.prod].Lhs
+			want := grammar.NTSym(c.Lhs(it.prod))
 			for _, parent := range order[it.origin] {
-				prhs := g.Prods[parent.prod].Rhs
-				if parent.dot < len(prhs) && prhs[parent.dot].IsNT() && prhs[parent.dot].Name == lhs {
+				prhs := c.Rhs(parent.prod)
+				if parent.dot < len(prhs) && prhs[parent.dot] == want {
 					add(i, item{prod: parent.prod, dot: parent.dot + 1, origin: parent.origin})
 				}
 			}
 		}
 	}
 	for it := range sets[n] {
-		if it.origin == 0 && it.dot == len(g.Prods[it.prod].Rhs) && g.Prods[it.prod].Lhs == start {
+		if it.origin == 0 && it.dot == len(c.Rhs(it.prod)) && c.Lhs(it.prod) == startID {
 			return true
 		}
 	}
@@ -102,13 +127,18 @@ var ErrCyclic = errors.New("earley: grammar has a derivation cycle; tree count i
 // CountTrees counts the distinct parse trees deriving word from start,
 // saturating at cap (so cap=2 distinguishes unique/ambiguous cheaply).
 func CountTrees(g *grammar.Grammar, start string, word []string, cap int) (int, error) {
-	c := &counter{g: g, word: word, cap: cap,
+	cg := g.Compiled()
+	startID, ok := cg.NTIDOf(start)
+	if !ok {
+		return 0, nil
+	}
+	c := &counter{c: cg, word: internWord(cg, word), cap: cap,
 		ntMemo:  make(map[spanKey]int),
 		seqMemo: make(map[seqKey]int),
 		onStack: make(map[spanKey]bool),
 	}
 	total := 0
-	for _, pi := range g.ProductionIndices(start) {
+	for _, pi := range cg.ProdsFor(startID) {
 		n, err := c.seq(pi, 0, 0, len(word))
 		if err != nil {
 			return 0, err
@@ -119,7 +149,7 @@ func CountTrees(g *grammar.Grammar, start string, word []string, cap int) (int, 
 }
 
 type spanKey struct {
-	nt   string
+	nt   grammar.NTID
 	i, j int
 }
 
@@ -128,8 +158,8 @@ type seqKey struct {
 }
 
 type counter struct {
-	g       *grammar.Grammar
-	word    []string
+	c       *grammar.Compiled
+	word    []grammar.TermID
 	cap     int
 	ntMemo  map[spanKey]int
 	seqMemo map[seqKey]int
@@ -144,18 +174,18 @@ func (c *counter) sat(n int) int {
 }
 
 // nt counts trees for nonterminal x over word[i:j].
-func (c *counter) nt(x string, i, j int) (int, error) {
+func (c *counter) nt(x grammar.NTID, i, j int) (int, error) {
 	key := spanKey{x, i, j}
 	if v, ok := c.ntMemo[key]; ok {
 		return v, nil
 	}
 	if c.onStack[key] {
-		return 0, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, x, i, j)
+		return 0, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, c.c.NTName(x), i, j)
 	}
 	c.onStack[key] = true
 	defer delete(c.onStack, key)
 	total := 0
-	for _, pi := range c.g.ProductionIndices(x) {
+	for _, pi := range c.c.ProdsFor(x) {
 		n, err := c.seq(pi, 0, i, j)
 		if err != nil {
 			return 0, err
@@ -168,7 +198,7 @@ func (c *counter) nt(x string, i, j int) (int, error) {
 
 // seq counts derivations of word[i:j) from Rhs[dot:] of production prod.
 func (c *counter) seq(prod, dot, i, j int) (int, error) {
-	rhs := c.g.Prods[prod].Rhs
+	rhs := c.c.Rhs(prod)
 	if dot == len(rhs) {
 		if i == j {
 			return 1, nil
@@ -182,7 +212,7 @@ func (c *counter) seq(prod, dot, i, j int) (int, error) {
 	s := rhs[dot]
 	total := 0
 	if s.IsT() {
-		if i < j && c.word[i] == s.Name {
+		if i < j && c.word[i] == s.Term() {
 			n, err := c.seq(prod, dot+1, i+1, j)
 			if err != nil {
 				return 0, err
@@ -191,7 +221,7 @@ func (c *counter) seq(prod, dot, i, j int) (int, error) {
 		}
 	} else {
 		for m := i; m <= j; m++ {
-			left, err := c.nt(s.Name, i, m)
+			left, err := c.nt(s.NT(), i, m)
 			if err != nil {
 				return 0, err
 			}

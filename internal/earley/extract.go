@@ -16,8 +16,13 @@ func ExtractTrees(g *grammar.Grammar, start string, w []grammar.Token, max int) 
 	if max <= 0 {
 		return nil, nil
 	}
-	e := &extractor{g: g, w: w, max: max, onStack: map[spanKey]bool{}}
-	out, err := e.nt(start, 0, len(w))
+	c := g.Compiled()
+	startID, ok := c.NTIDOf(start)
+	if !ok {
+		return nil, nil
+	}
+	e := &extractor{c: c, w: w, toks: c.InternTerms(w), max: max, onStack: map[spanKey]bool{}}
+	out, err := e.nt(startID, 0, len(w))
 	if err != nil {
 		return nil, err
 	}
@@ -28,28 +33,30 @@ func ExtractTrees(g *grammar.Grammar, start string, w []grammar.Token, max int) 
 }
 
 type extractor struct {
-	g       *grammar.Grammar
+	c       *grammar.Compiled
 	w       []grammar.Token
+	toks    []grammar.TermID
 	max     int
 	onStack map[spanKey]bool
 }
 
 // nt enumerates trees for nonterminal x over w[i:j), capped at max.
-func (e *extractor) nt(x string, i, j int) ([]*tree.Tree, error) {
+func (e *extractor) nt(x grammar.NTID, i, j int) ([]*tree.Tree, error) {
 	key := spanKey{x, i, j}
 	if e.onStack[key] {
-		return nil, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, x, i, j)
+		return nil, fmt.Errorf("%w (nonterminal %s over [%d,%d))", ErrCyclic, e.c.NTName(x), i, j)
 	}
 	e.onStack[key] = true
 	defer delete(e.onStack, key)
 	var out []*tree.Tree
-	for _, pi := range e.g.ProductionIndices(x) {
-		forests, err := e.seq(e.g.Prods[pi].Rhs, i, j)
+	name := e.c.NTName(x)
+	for _, pi := range e.c.ProdsFor(x) {
+		forests, err := e.seq(e.c.Rhs(pi), i, j)
 		if err != nil {
 			return nil, err
 		}
 		for _, f := range forests {
-			out = append(out, tree.Node(x, f...))
+			out = append(out, tree.Node(name, f...))
 			if len(out) >= e.max {
 				return out, nil
 			}
@@ -59,7 +66,7 @@ func (e *extractor) nt(x string, i, j int) ([]*tree.Tree, error) {
 }
 
 // seq enumerates forests deriving w[i:j) from the sentential form.
-func (e *extractor) seq(form []grammar.Symbol, i, j int) ([][]*tree.Tree, error) {
+func (e *extractor) seq(form []grammar.SymID, i, j int) ([][]*tree.Tree, error) {
 	if len(form) == 0 {
 		if i == j {
 			return [][]*tree.Tree{nil}, nil
@@ -69,7 +76,7 @@ func (e *extractor) seq(form []grammar.Symbol, i, j int) ([][]*tree.Tree, error)
 	s := form[0]
 	var out [][]*tree.Tree
 	if s.IsT() {
-		if i < j && e.w[i].Terminal == s.Name {
+		if i < j && e.toks[i] == s.Term() {
 			rests, err := e.seq(form[1:], i+1, j)
 			if err != nil {
 				return nil, err
@@ -85,7 +92,7 @@ func (e *extractor) seq(form []grammar.Symbol, i, j int) ([][]*tree.Tree, error)
 		return out, nil
 	}
 	for m := i; m <= j; m++ {
-		heads, err := e.nt(s.Name, i, m)
+		heads, err := e.nt(s.NT(), i, m)
 		if err != nil {
 			return nil, err
 		}

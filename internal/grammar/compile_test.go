@@ -1,0 +1,226 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genGrammar builds a random grammar over a small symbol pool. It
+// deliberately produces referenced-but-undefined nonterminals (names drawn
+// from undef) and occasionally an undefined start symbol, because the
+// interner must assign IDs to every name the machine could be asked to
+// render, not just the well-formed prefix.
+func genCompileGrammar(rng *rand.Rand) *Grammar {
+	nts := []string{"S", "A", "B", "C", "D"}[:2+rng.Intn(4)]
+	undef := []string{"U", "V"}
+	ts := []string{"a", "b", "c", "d"}[:1+rng.Intn(4)]
+	start := "S"
+	if rng.Intn(8) == 0 {
+		start = "Z" // never defined: interned last
+	}
+	b := NewBuilder(start)
+	for _, nt := range nts {
+		alts := 1 + rng.Intn(3)
+		for i := 0; i < alts; i++ {
+			n := rng.Intn(4)
+			rhs := make([]Symbol, 0, n)
+			for j := 0; j < n; j++ {
+				switch rng.Intn(6) {
+				case 0:
+					rhs = append(rhs, NT(nts[rng.Intn(len(nts))]))
+				case 1:
+					rhs = append(rhs, NT(undef[rng.Intn(len(undef))]))
+				default:
+					rhs = append(rhs, T(ts[rng.Intn(len(ts))]))
+				}
+			}
+			b.Add(nt, rhs...)
+		}
+	}
+	return b.Grammar()
+}
+
+// TestCompileRoundTrip is the interner's central property: for random
+// grammars, compiling a name to an ID and rendering it back is the identity,
+// and every dense table agrees with the string-keyed source tables.
+func TestCompileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240805))
+	for trial := 0; trial < 500; trial++ {
+		g := genCompileGrammar(rng)
+		c := g.Compiled()
+
+		// Terminals: dense IDs in Terminals() order, name↔ID round trip.
+		if c.NumTerms() != len(g.Terminals()) {
+			t.Fatalf("NumTerms = %d, want %d", c.NumTerms(), len(g.Terminals()))
+		}
+		for i, name := range g.Terminals() {
+			id, ok := c.TermIDOf(name)
+			if !ok || id != TermID(i) {
+				t.Fatalf("TermIDOf(%q) = %d, %v; want %d, true", name, id, ok, i)
+			}
+			if got := c.TermName(id); got != name {
+				t.Fatalf("TermName(%d) = %q, want %q", id, got, name)
+			}
+		}
+
+		// Defined nonterminals: a prefix of the NT table in definition order.
+		for i, name := range g.Nonterminals() {
+			id, ok := c.NTIDOf(name)
+			if !ok || id != NTID(i) {
+				t.Fatalf("NTIDOf(%q) = %d, %v; want %d, true", name, id, ok, i)
+			}
+			if got := c.NTName(id); got != name {
+				t.Fatalf("NTName(%d) = %q, want %q", id, got, name)
+			}
+			if !c.HasNTID(id) {
+				t.Fatalf("HasNTID(%d) = false for defined %q", id, name)
+			}
+		}
+		// Interned-but-undefined nonterminals still round-trip by name but
+		// are not "defined".
+		for id := NTID(len(g.Nonterminals())); int(id) < c.NumNTs(); id++ {
+			name := c.NTName(id)
+			back, ok := c.NTIDOf(name)
+			if !ok || back != id {
+				t.Fatalf("undefined NT %q: NTIDOf = %d, %v; want %d", name, back, ok, id)
+			}
+			if c.HasNTID(id) {
+				t.Fatalf("HasNTID(%d) = true for undefined %q", id, name)
+			}
+			if g.HasNT(name) {
+				t.Fatalf("NT %q interned after the defined prefix but has productions", name)
+			}
+		}
+
+		// The start symbol is always interned, even when undefined.
+		if got := c.NTName(c.Start()); got != g.Start {
+			t.Fatalf("Start = %q, want %q", got, g.Start)
+		}
+
+		// Productions: Lhs/Rhs agree with the string tables, CompileForm is
+		// consistent with compile-time interning, and SymsOf inverts it.
+		for i, p := range g.Prods {
+			if got := c.NTName(c.Lhs(i)); got != p.Lhs {
+				t.Fatalf("Lhs(%d) = %q, want %q", i, got, p.Lhs)
+			}
+			rhs := c.Rhs(i)
+			want := c.CompileForm(p.Rhs)
+			if len(rhs) != len(want) {
+				t.Fatalf("Rhs(%d) len = %d, want %d", i, len(rhs), len(want))
+			}
+			for j := range rhs {
+				if rhs[j] != want[j] {
+					t.Fatalf("Rhs(%d)[%d] = %d, CompileForm gives %d", i, j, rhs[j], want[j])
+				}
+			}
+			back := c.SymsOf(rhs)
+			for j, s := range back {
+				if s != p.Rhs[j] {
+					t.Fatalf("SymsOf(Rhs(%d))[%d] = %v, want %v", i, j, s, p.Rhs[j])
+				}
+			}
+			if got := c.FormString(rhs); got != SymbolsString(p.Rhs) {
+				t.Fatalf("FormString(Rhs(%d)) = %q, want %q", i, got, SymbolsString(p.Rhs))
+			}
+		}
+
+		// ProdsFor mirrors ProductionIndices for every defined nonterminal
+		// and is empty for undefined ones.
+		for _, name := range g.Nonterminals() {
+			id, _ := c.NTIDOf(name)
+			got := c.ProdsFor(id)
+			want := g.ProductionIndices(name)
+			if len(got) != len(want) {
+				t.Fatalf("ProdsFor(%q) = %v, want %v", name, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("ProdsFor(%q) = %v, want %v", name, got, want)
+				}
+			}
+		}
+		for id := NTID(len(g.Nonterminals())); int(id) < c.NumNTs(); id++ {
+			if len(c.ProdsFor(id)) != 0 {
+				t.Fatalf("ProdsFor(undefined %d) = %v, want empty", id, c.ProdsFor(id))
+			}
+		}
+
+		// InternTerms: known terminals round-trip, unknown ones map to NoTerm.
+		w := make([]Token, 0, len(g.Terminals())+1)
+		for _, name := range g.Terminals() {
+			w = append(w, Tok(name, name))
+		}
+		w = append(w, Tok("not-a-terminal", "?"))
+		ids := c.InternTerms(w)
+		for i, name := range g.Terminals() {
+			if c.TermName(ids[i]) != name {
+				t.Fatalf("InternTerms[%d] = %d, want id of %q", i, ids[i], name)
+			}
+		}
+		if ids[len(ids)-1] != NoTerm {
+			t.Fatalf("InternTerms(unknown) = %d, want NoTerm", ids[len(ids)-1])
+		}
+
+		// Compilation is deterministic: a clone interns identically.
+		cc := g.Clone().Compiled()
+		if cc.NumTerms() != c.NumTerms() || cc.NumNTs() != c.NumNTs() || cc.Start() != c.Start() {
+			t.Fatalf("clone compiled differently: (%d,%d,%d) vs (%d,%d,%d)",
+				cc.NumTerms(), cc.NumNTs(), cc.Start(), c.NumTerms(), c.NumNTs(), c.Start())
+		}
+		for id := NTID(0); int(id) < c.NumNTs(); id++ {
+			if cc.NTName(id) != c.NTName(id) {
+				t.Fatalf("clone NTName(%d) = %q, want %q", id, cc.NTName(id), c.NTName(id))
+			}
+		}
+	}
+}
+
+// TestCompileFormUnknownSymbols: unknown names intern to out-of-range IDs of
+// the right kind, which can never equal a real compiled symbol. In
+// particular TermSym(NoTerm) is NOT the right encoding for an unknown
+// terminal — SymID(-1) is the encoding of nonterminal 0.
+func TestCompileFormUnknownSymbols(t *testing.T) {
+	g := MustParseBNF(`S -> a S | b`)
+	c := g.Compiled()
+	form := c.CompileForm([]Symbol{T("zz"), NT("ZZ")})
+	if !form[0].IsT() || int(form[0].Term()) != c.NumTerms() {
+		t.Errorf("unknown terminal compiled to %d, want out-of-range terminal", form[0])
+	}
+	if !form[1].IsNT() || int(form[1].NT()) != c.NumNTs() {
+		t.Errorf("unknown nonterminal compiled to %d, want out-of-range nonterminal", form[1])
+	}
+	// Neither may collide with any real production symbol.
+	for i := range g.Prods {
+		for _, s := range c.Rhs(i) {
+			if s == form[0] || s == form[1] {
+				t.Fatalf("unknown-symbol encoding %v collides with real symbol %v", form, s)
+			}
+		}
+	}
+	// And an unknown terminal must not look like a defined nonterminal.
+	if form[1].IsNT() && c.HasNTID(form[1].NT()) {
+		t.Error("unknown nonterminal decodes as defined")
+	}
+	// Rendering stays total on out-of-range IDs.
+	if c.TermName(NoTerm) != "<term#-1>" {
+		t.Errorf("TermName(NoTerm) = %q", c.TermName(NoTerm))
+	}
+	if c.NTName(999) != "<nt#999>" {
+		t.Errorf("NTName(999) = %q", c.NTName(999))
+	}
+}
+
+// TestSymIDEncoding pins the sign-split symbol encoding: terminals are
+// nonnegative, nonterminals negative, and both decode losslessly.
+func TestSymIDEncoding(t *testing.T) {
+	for id := int32(0); id < 1000; id += 37 {
+		ts := TermSym(TermID(id))
+		if !ts.IsT() || ts.IsNT() || ts.Term() != TermID(id) {
+			t.Fatalf("TermSym(%d) does not round-trip", id)
+		}
+		ns := NTSym(NTID(id))
+		if !ns.IsNT() || ns.IsT() || ns.NT() != NTID(id) {
+			t.Fatalf("NTSym(%d) does not round-trip", id)
+		}
+	}
+}

@@ -142,23 +142,27 @@ type Grammar struct {
 	Start string
 	Prods []Production
 
-	byLhs     map[string][]int // production indices for each nonterminal
-	terminals []string         // sorted, deduplicated
-	nts       []string         // in order of first definition
+	terminals []string // sorted, deduplicated
+	nts       []string // in order of first definition
 	maxRhsLen int
+	c         *Compiled // dense interned form; single source of truth for
+	// the productions-by-LHS index (the old byLhs map is folded into it)
 }
 
 // New builds a Grammar from a start symbol and productions. The production
 // slice is retained. New does not validate; call Validate for the
-// well-formedness check the parser's guarantees assume.
+// well-formedness check the parser's guarantees assume. New also compiles
+// the grammar: every symbol is interned to a dense ID (see Compiled), and
+// the string accessors below are views over the compiled tables.
 func New(start string, prods []Production) *Grammar {
-	g := &Grammar{Start: start, Prods: prods, byLhs: make(map[string][]int)}
+	g := &Grammar{Start: start, Prods: prods}
 	tset := make(map[string]bool)
-	for i, p := range prods {
-		if _, seen := g.byLhs[p.Lhs]; !seen {
+	ntSeen := make(map[string]bool)
+	for _, p := range prods {
+		if !ntSeen[p.Lhs] {
+			ntSeen[p.Lhs] = true
 			g.nts = append(g.nts, p.Lhs)
 		}
-		g.byLhs[p.Lhs] = append(g.byLhs[p.Lhs], i)
 		if len(p.Rhs) > g.maxRhsLen {
 			g.maxRhsLen = len(p.Rhs)
 		}
@@ -173,17 +177,28 @@ func New(start string, prods []Production) *Grammar {
 		g.terminals = append(g.terminals, t)
 	}
 	sort.Strings(g.terminals)
+	g.c = compile(g)
 	return g
 }
+
+// Compiled returns the dense interned form of the grammar, built once by
+// New. All engines run on it; the string API remains for the edges.
+func (g *Grammar) Compiled() *Compiled { return g.c }
 
 // ProductionIndices returns the indices into Prods of the productions whose
 // left-hand side is nt, in grammar order. The returned slice must not be
 // modified.
-func (g *Grammar) ProductionIndices(nt string) []int { return g.byLhs[nt] }
+func (g *Grammar) ProductionIndices(nt string) []int {
+	id, ok := g.c.ntIDs[nt]
+	if !ok {
+		return nil
+	}
+	return g.c.ntProds[id]
+}
 
 // RhssFor returns the right-hand sides for nt in grammar order.
 func (g *Grammar) RhssFor(nt string) [][]Symbol {
-	idxs := g.byLhs[nt]
+	idxs := g.ProductionIndices(nt)
 	rhss := make([][]Symbol, len(idxs))
 	for i, j := range idxs {
 		rhss[i] = g.Prods[j].Rhs
@@ -193,8 +208,8 @@ func (g *Grammar) RhssFor(nt string) [][]Symbol {
 
 // HasNT reports whether nt is defined (appears as a left-hand side).
 func (g *Grammar) HasNT(nt string) bool {
-	_, ok := g.byLhs[nt]
-	return ok
+	id, ok := g.c.ntIDs[nt]
+	return ok && len(g.c.ntProds[id]) > 0
 }
 
 // Nonterminals returns the defined nonterminals in order of first definition.

@@ -76,10 +76,15 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("lexer: no rule matches at line %d, col %d: %q…", e.Line, e.Col, e.Snippet)
 }
 
-// Lexer is a compiled Spec, safe for concurrent use.
+// Lexer is a compiled Spec, safe for concurrent use. Mode names are
+// interned to dense ints at compile time (mode 0 is the default mode), so
+// the scan loop indexes a slice and pushes ints — no per-token map lookup
+// or string mode keys.
 type Lexer struct {
-	spec  Spec
-	modes map[string]*modeDFA
+	spec    Spec
+	modes   []*modeDFA     // by mode id; 0 = default mode
+	actions []modeAction   // by rule index: precompiled mode switch
+	modeIDs map[string]int // mode name → id (construction and diagnostics)
 }
 
 // modeDFA is the automaton for one mode plus the mapping from its pattern
@@ -89,11 +94,30 @@ type modeDFA struct {
 	rules []int
 }
 
+// modeAction is a rule's compiled mode switch: at most one of push/set
+// (target mode ids, -1 = none) and pop is active.
+type modeAction struct {
+	push int
+	set  int
+	pop  bool
+}
+
 // New compiles the spec. It rejects rules that accept the empty string
 // (which would stall the scanner), mode actions targeting undefined modes,
 // and rules combining Push/Pop/Set.
 func New(spec Spec) (*Lexer, error) {
-	byMode := map[string][]int{}
+	modeIDs := map[string]int{"": 0} // the default mode is always id 0
+	var byMode [][]int
+	byMode = append(byMode, nil)
+	modeID := func(name string) int {
+		if id, ok := modeIDs[name]; ok {
+			return id
+		}
+		id := len(byMode)
+		modeIDs[name] = id
+		byMode = append(byMode, nil)
+		return id
+	}
 	for i, r := range spec.Rules {
 		if r.Name == "" {
 			return nil, fmt.Errorf("lexer: rule %d has no name", i)
@@ -114,26 +138,40 @@ func New(spec Spec) (*Lexer, error) {
 		if actions > 1 {
 			return nil, fmt.Errorf("lexer: rule %s combines multiple mode actions", r.Name)
 		}
-		byMode[r.Mode] = append(byMode[r.Mode], i)
+		m := modeID(r.Mode)
+		byMode[m] = append(byMode[m], i)
 	}
-	l := &Lexer{spec: spec, modes: make(map[string]*modeDFA, len(byMode))}
+	l := &Lexer{spec: spec, modes: make([]*modeDFA, len(byMode)), modeIDs: modeIDs}
 	for mode, idxs := range byMode {
+		if len(idxs) == 0 {
+			continue
+		}
 		nodes := make([]rx.Node, len(idxs))
 		for j, i := range idxs {
 			nodes[j] = spec.Rules[i].Pattern
 		}
 		l.modes[mode] = &modeDFA{multi: rx.CompileMulti(nodes), rules: idxs}
 	}
-	for _, r := range spec.Rules {
+	l.actions = make([]modeAction, len(spec.Rules))
+	for i, r := range spec.Rules {
+		a := modeAction{push: -1, set: -1, pop: r.Pop}
 		for _, target := range []string{r.Push, r.Set} {
 			if target != "" {
-				if _, ok := l.modes[target]; !ok {
+				id, ok := modeIDs[target]
+				if !ok || l.modes[id] == nil {
 					return nil, fmt.Errorf("lexer: rule %s targets undefined mode %q", r.Name, target)
 				}
 			}
 		}
+		if r.Push != "" {
+			a.push = modeIDs[r.Push]
+		}
+		if r.Set != "" {
+			a.set = modeIDs[r.Set]
+		}
+		l.actions[i] = a
 	}
-	if _, ok := l.modes[""]; !ok {
+	if l.modes[0] == nil {
 		return nil, fmt.Errorf("lexer: no rules in the default mode")
 	}
 	return l, nil
@@ -155,7 +193,7 @@ func (l *Lexer) Scan(src string) ([]Lexeme, error) {
 	var out []Lexeme
 	line, col := 1, 1
 	i := 0
-	modeStack := []string{""}
+	modeStack := []int{0}
 	for i < len(src) {
 		cur := l.modes[modeStack[len(modeStack)-1]]
 		n, pat, ok := cur.multi.LongestPrefix(src, i)
@@ -185,12 +223,12 @@ func (l *Lexer) Scan(src string) ([]Lexeme, error) {
 			}
 		}
 		i += n
-		switch {
-		case r.Push != "":
-			modeStack = append(modeStack, r.Push)
-		case r.Set != "":
-			modeStack[len(modeStack)-1] = r.Set
-		case r.Pop:
+		switch a := l.actions[rule]; {
+		case a.push >= 0:
+			modeStack = append(modeStack, a.push)
+		case a.set >= 0:
+			modeStack[len(modeStack)-1] = a.set
+		case a.pop:
 			if len(modeStack) == 1 {
 				return nil, &Error{Line: line, Col: col, Offset: i, Snippet: "popMode on an empty mode stack"}
 			}

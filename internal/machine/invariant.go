@@ -22,7 +22,10 @@ import (
 //
 // It returns nil when the invariant holds. Lemma 5.2 proves it is preserved
 // by every step; TestStacksWfPreserved replays that proof dynamically.
+// The check runs on compiled symbol IDs and only decodes names when
+// composing an error message (i.e. never on a healthy run).
 func CheckStacksWf(g *grammar.Grammar, st *State) error {
+	c := st.C
 	ph, sh := st.Prefix.Height(), st.Suffix.Height()
 	if ph != sh {
 		return fmt.Errorf("stack heights differ: prefix %d, suffix %d", ph, sh)
@@ -30,7 +33,7 @@ func CheckStacksWf(g *grammar.Grammar, st *State) error {
 	p, s := st.Prefix, st.Suffix
 	var above *SuffixFrame
 	for level := 0; s != nil; level++ {
-		if err := checkPrefixFrame(p.F); err != nil {
+		if err := checkPrefixFrame(c, p.F); err != nil {
 			return fmt.Errorf("prefix frame %d: %w", level, err)
 		}
 		// Reconstruct the full sentential form this frame is processing:
@@ -39,28 +42,28 @@ func CheckStacksWf(g *grammar.Grammar, st *State) error {
 		// unprocessed remainder.
 		form := p.F.ProcInOrder()
 		if above != nil {
-			form = append(form, grammar.NT(above.Lhs))
+			form = append(form, grammar.NTSym(above.Lhs))
 		}
 		form = append(form, s.F.Rest...)
 
 		if s.Below == nil {
 			// Bottom frame: WfInit / WfFinal — holds only the start symbol.
-			if s.F.Lhs != "" {
-				return fmt.Errorf("bottom suffix frame has open nonterminal %s", s.F.Lhs)
+			if s.F.Lhs != grammar.NoNT {
+				return fmt.Errorf("bottom suffix frame has open nonterminal %s", c.NTName(s.F.Lhs))
 			}
-			if len(form) != 1 || form[0] != grammar.NT(st.Start) {
+			if len(form) != 1 || form[0] != grammar.NTSym(st.Start) {
 				return fmt.Errorf("bottom frames hold %s, want exactly the start symbol %s",
-					grammar.SymbolsString(form), st.Start)
+					c.FormString(form), c.NTName(st.Start))
 			}
 		} else {
 			// Upper frame: WfUpper — form must be a right-hand side of the
 			// frame's open nonterminal.
-			if s.F.Lhs == "" {
+			if s.F.Lhs == grammar.NoNT {
 				return fmt.Errorf("non-bottom suffix frame %d has no open nonterminal", level)
 			}
-			if !isRhsOf(g, s.F.Lhs, form) {
+			if !isRhsOf(c, s.F.Lhs, form) {
 				return fmt.Errorf("frame %d holds %s, which is not a right-hand side of %s",
-					level, grammar.SymbolsString(form), s.F.Lhs)
+					level, c.FormString(form), c.NTName(s.F.Lhs))
 			}
 		}
 		above = &s.F
@@ -69,28 +72,28 @@ func CheckStacksWf(g *grammar.Grammar, st *State) error {
 	return nil
 }
 
-func checkPrefixFrame(f PrefixFrame) error {
+func checkPrefixFrame(c *grammar.Compiled, f PrefixFrame) error {
 	if len(f.Proc) != len(f.Trees) {
 		return fmt.Errorf("%d processed symbols vs %d trees", len(f.Proc), len(f.Trees))
 	}
 	for i, sym := range f.Proc {
-		if got := f.Trees[i].Symbol(); got != sym {
-			return fmt.Errorf("tree %d roots %s but processed symbol is %s", i, got, sym)
+		if got := f.Trees[i].Symbol(); got != c.SymOf(sym) {
+			return fmt.Errorf("tree %d roots %s but processed symbol is %s", i, got, c.SymOf(sym))
 		}
 	}
 	return nil
 }
 
-func isRhsOf(g *grammar.Grammar, nt string, form []grammar.Symbol) bool {
-	for _, rhs := range g.RhssFor(nt) {
-		if symsEqual(rhs, form) {
+func isRhsOf(c *grammar.Compiled, nt grammar.NTID, form []grammar.SymID) bool {
+	for _, i := range c.ProdsFor(nt) {
+		if idsEqual(c.Rhs(i), form) {
 			return true
 		}
 	}
 	return false
 }
 
-func symsEqual(a, b []grammar.Symbol) bool {
+func idsEqual(a, b []grammar.SymID) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -17,19 +17,21 @@ import (
 // oraclePredictor is an idealized LL prediction: it tries every right-hand
 // side with a budgeted backtracking recognizer over the full remaining
 // input. It exists so the machine can be tested before (and independently
-// of) the real adaptivePredict.
+// of) the real adaptivePredict. Like the machine, it runs entirely on
+// compiled symbol IDs.
 type oraclePredictor struct {
 	g *grammar.Grammar
 }
 
-func (o oraclePredictor) Predict(nt string, suffix *SuffixStack, remaining []grammar.Token) Prediction {
+func (o oraclePredictor) Predict(nt grammar.NTID, suffix *SuffixStack, remaining []grammar.TermID) Prediction {
+	c := o.g.Compiled()
 	cont := suffix.Unproc()[1:] // drop the decision nonterminal itself
-	word := grammar.TerminalsOf(remaining)
-	var viable [][]grammar.Symbol
-	for _, rhs := range o.g.RhssFor(nt) {
-		form := append(append([]grammar.Symbol{}, rhs...), cont...)
+	var viable [][]grammar.SymID
+	for _, pi := range c.ProdsFor(nt) {
+		rhs := c.Rhs(pi)
+		form := append(append([]grammar.SymID{}, rhs...), cont...)
 		budget := 100000
-		if recognizes(o.g, form, word, 0, &budget) {
+		if recognizes(c, form, remaining, 0, &budget) {
 			viable = append(viable, rhs)
 		}
 	}
@@ -45,7 +47,7 @@ func (o oraclePredictor) Predict(nt string, suffix *SuffixStack, remaining []gra
 
 // recognizes reports whether form derives exactly word[pos:], by naive
 // backtracking with a step budget (sufficient for the tiny test grammars).
-func recognizes(g *grammar.Grammar, form []grammar.Symbol, word []string, pos int, budget *int) bool {
+func recognizes(c *grammar.Compiled, form []grammar.SymID, word []grammar.TermID, pos int, budget *int) bool {
 	if *budget <= 0 {
 		return false
 	}
@@ -55,14 +57,14 @@ func recognizes(g *grammar.Grammar, form []grammar.Symbol, word []string, pos in
 	}
 	s := form[0]
 	if s.IsT() {
-		if pos < len(word) && word[pos] == s.Name {
-			return recognizes(g, form[1:], word, pos+1, budget)
+		if pos < len(word) && word[pos] == s.Term() {
+			return recognizes(c, form[1:], word, pos+1, budget)
 		}
 		return false
 	}
-	for _, rhs := range g.RhssFor(s.Name) {
-		next := append(append([]grammar.Symbol{}, rhs...), form[1:]...)
-		if recognizes(g, next, word, pos, budget) {
+	for _, pi := range c.ProdsFor(s.NT()) {
+		next := append(append([]grammar.SymID{}, c.Rhs(pi)...), form[1:]...)
+		if recognizes(c, next, word, pos, budget) {
 			return true
 		}
 	}
@@ -75,7 +77,7 @@ type scriptedPredictor struct {
 	calls  int
 }
 
-func (s *scriptedPredictor) Predict(string, *SuffixStack, []grammar.Token) Prediction {
+func (s *scriptedPredictor) Predict(grammar.NTID, *SuffixStack, []grammar.TermID) Prediction {
 	if s.calls >= len(s.script) {
 		return Prediction{Kind: PredReject}
 	}
@@ -104,8 +106,13 @@ func word(terms ...string) []grammar.Token {
 	return w
 }
 
+// rhsIDs returns the compiled RHS of nt's alternative number alt.
+func rhsIDs(g *grammar.Grammar, nt string, alt int) []grammar.SymID {
+	return g.Compiled().Rhs(g.ProductionIndices(nt)[alt])
+}
+
 func run(g *grammar.Grammar, w []grammar.Token, opts Options) Result {
-	return Multistep(g, oraclePredictor{g}, Init(g.Start, w), opts)
+	return Multistep(g, oraclePredictor{g}, Init(g, g.Start, w), opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -148,7 +155,7 @@ func TestFig2VisitedSetDynamics(t *testing.T) {
 	var visited []string
 	run(g, word("a", "b", "d"), Options{
 		OnStep: func(before *State, _ OpKind, _ *State) {
-			visited = append(visited, before.Visited.String())
+			visited = append(visited, before.Visited.StringWith(before.C))
 		},
 	})
 	want := []string{"{}", "{S}", "{A, S}", "{}", "{A}", "{}", "{}", "{}", "{}", "{}"}
@@ -270,10 +277,10 @@ func TestDynamicLeftRecursionDetection(t *testing.T) {
 	g := grammar.MustParseBNF(`E -> E plus | n`)
 	// Force prediction to choose the left-recursive alternative forever.
 	pred := &scriptedPredictor{script: []Prediction{
-		{Kind: PredUnique, Rhs: g.RhssFor("E")[0]},
-		{Kind: PredUnique, Rhs: g.RhssFor("E")[0]},
+		{Kind: PredUnique, Rhs: rhsIDs(g, "E", 0)},
+		{Kind: PredUnique, Rhs: rhsIDs(g, "E", 0)},
 	}}
-	res := Multistep(g, pred, Init("E", word("n")), Options{})
+	res := Multistep(g, pred, Init(g, "E", word("n")), Options{})
 	if res.Kind != ResultError {
 		t.Fatalf("result = %v, want Error", res.Kind)
 	}
@@ -290,13 +297,13 @@ func TestPredictorErrorPropagates(t *testing.T) {
 	pred := &scriptedPredictor{script: []Prediction{
 		{Kind: PredError, Err: InvalidState("boom")},
 	}}
-	res := Multistep(g, pred, Init("S", word("b", "c")), Options{})
+	res := Multistep(g, pred, Init(g, "S", word("b", "c")), Options{})
 	if res.Kind != ResultError || res.Err.Kind != ErrInvalidState {
 		t.Fatalf("result = %v / %v", res.Kind, res.Err)
 	}
 	// A PredError with a nil error must not crash.
 	pred2 := &scriptedPredictor{script: []Prediction{{Kind: PredError}}}
-	res2 := Multistep(g, pred2, Init("S", word("b", "c")), Options{})
+	res2 := Multistep(g, pred2, Init(g, "S", word("b", "c")), Options{})
 	if res2.Kind != ResultError || res2.Err == nil {
 		t.Fatalf("nil PredError mishandled: %v", res2)
 	}
@@ -305,7 +312,7 @@ func TestPredictorErrorPropagates(t *testing.T) {
 func TestPredictorRejectPropagates(t *testing.T) {
 	g := fig2()
 	pred := &scriptedPredictor{} // empty script rejects immediately
-	res := Multistep(g, pred, Init("S", word("b", "c")), Options{})
+	res := Multistep(g, pred, Init(g, "S", word("b", "c")), Options{})
 	if res.Kind != Reject {
 		t.Fatalf("result = %v, want Reject", res.Kind)
 	}
@@ -315,16 +322,21 @@ func TestPredictorRejectPropagates(t *testing.T) {
 }
 
 func TestUndefinedNonterminalIsError(t *testing.T) {
-	// Bypass Validate deliberately: an RHS references an undefined NT.
+	// Bypass Validate deliberately: an RHS references an undefined NT. The
+	// compiler interns referenced-only nonterminals, so "Ghost" has an ID
+	// but no productions and the push step must report InvalidState.
 	g := grammar.New("S", []grammar.Production{
 		{Lhs: "S", Rhs: []grammar.Symbol{grammar.NT("Ghost")}},
 	})
 	pred := &scriptedPredictor{script: []Prediction{
-		{Kind: PredUnique, Rhs: g.Prods[0].Rhs},
+		{Kind: PredUnique, Rhs: g.Compiled().Rhs(0)},
 	}}
-	res := Multistep(g, pred, Init("S", nil), Options{})
+	res := Multistep(g, pred, Init(g, "S", nil), Options{})
 	if res.Kind != ResultError || res.Err.Kind != ErrInvalidState {
 		t.Fatalf("result = %v / %v, want InvalidState", res.Kind, res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "Ghost") {
+		t.Errorf("error should name the undefined nonterminal: %v", res.Err)
 	}
 }
 
@@ -332,10 +344,10 @@ func TestScriptedConsumeMismatchRejects(t *testing.T) {
 	g := fig2()
 	// Predict S -> A c on input that ends with d: consume fails at c.
 	pred := &scriptedPredictor{script: []Prediction{
-		{Kind: PredUnique, Rhs: g.RhssFor("S")[0]}, // A c
-		{Kind: PredUnique, Rhs: g.RhssFor("A")[1]}, // b
+		{Kind: PredUnique, Rhs: rhsIDs(g, "S", 0)}, // A c
+		{Kind: PredUnique, Rhs: rhsIDs(g, "A", 1)}, // b
 	}}
-	res := Multistep(g, pred, Init("S", word("b", "d")), Options{})
+	res := Multistep(g, pred, Init(g, "S", word("b", "d")), Options{})
 	if res.Kind != Reject {
 		t.Fatalf("result = %v, want Reject", res.Kind)
 	}
@@ -347,9 +359,9 @@ func TestScriptedConsumeMismatchRejects(t *testing.T) {
 func TestInvariantCheckerCatchesBogusRhs(t *testing.T) {
 	g := fig2()
 	pred := &scriptedPredictor{script: []Prediction{
-		{Kind: PredUnique, Rhs: []grammar.Symbol{grammar.T("b")}}, // not an RHS of S
+		{Kind: PredUnique, Rhs: g.Compiled().CompileForm([]grammar.Symbol{grammar.T("b")})}, // not an RHS of S
 	}}
-	res := Multistep(g, pred, Init("S", word("b")), Options{CheckInvariants: true})
+	res := Multistep(g, pred, Init(g, "S", word("b")), Options{CheckInvariants: true})
 	if res.Kind != ResultError {
 		t.Fatalf("bogus RHS not caught: %v", res.Kind)
 	}
@@ -381,7 +393,7 @@ func TestMeasureDecreasesEveryStep(t *testing.T) {
 		{grammar.MustParseBNF(`S -> A B ; A -> %empty | a ; B -> b`), word("b")},
 	} {
 		g := tc.g
-		Multistep(g, oraclePredictor{g}, Init(g.Start, tc.w), Options{
+		Multistep(g, oraclePredictor{g}, Init(g, g.Start, tc.w), Options{
 			OnStep: func(before *State, op OpKind, after *State) {
 				if after == nil {
 					return
@@ -430,7 +442,7 @@ func TestMeasureLess(t *testing.T) {
 
 func TestStacksWfPreserved(t *testing.T) {
 	g := fig2()
-	st := Init("S", word("a", "b", "d"))
+	st := Init(g, "S", word("a", "b", "d"))
 	if err := CheckStacksWf(g, st); err != nil {
 		t.Fatalf("initial state violates invariant: %v", err)
 	}
@@ -450,20 +462,21 @@ func TestStacksWfPreserved(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------------
-// Stack utilities
+// Stack utilities and the visited bitset
 // ---------------------------------------------------------------------------
 
 func TestStackHelpers(t *testing.T) {
-	st := Init("S", word("a"))
+	g := fig2()
+	st := Init(g, "S", word("a"))
 	if st.Prefix.Height() != 1 || st.Suffix.Height() != 1 {
 		t.Error("initial heights wrong")
 	}
 	sym, ok := st.Suffix.TopSymbol()
-	if !ok || sym != grammar.NT("S") {
+	if !ok || st.C.SymOf(sym) != grammar.NT("S") {
 		t.Errorf("TopSymbol = %v, %v", sym, ok)
 	}
 	up := st.Suffix.Unproc()
-	if len(up) != 1 || up[0] != grammar.NT("S") {
+	if len(up) != 1 || st.C.SymOf(up[0]) != grammar.NT("S") {
 		t.Errorf("Unproc = %v", up)
 	}
 	var empty *SuffixStack
@@ -480,18 +493,61 @@ func TestStackHelpers(t *testing.T) {
 
 func TestPrefixFrameOrdering(t *testing.T) {
 	f := PrefixFrame{}
-	f = f.consProc(grammar.T("a"), tree.Leaf(grammar.Tok("a", "1")))
-	f = f.consProc(grammar.T("b"), tree.Leaf(grammar.Tok("b", "2")))
+	f = f.consProc(grammar.TermSym(0), tree.Leaf(grammar.Tok("a", "1")))
+	f = f.consProc(grammar.TermSym(1), tree.Leaf(grammar.Tok("b", "2")))
 	proc := f.ProcInOrder()
-	if len(proc) != 2 || proc[0] != grammar.T("a") || proc[1] != grammar.T("b") {
+	if len(proc) != 2 || proc[0] != grammar.TermSym(0) || proc[1] != grammar.TermSym(1) {
 		t.Errorf("ProcInOrder = %v", proc)
 	}
 	forest := f.ForestInOrder()
 	if forest[0].Token.Literal != "1" || forest[1].Token.Literal != "2" {
 		t.Errorf("ForestInOrder = %v", forest)
 	}
-	if got := frameSummary(f); !strings.Contains(got, "2 trees") {
-		t.Errorf("frameSummary = %q", got)
+}
+
+func TestNTSetPersistence(t *testing.T) {
+	// The visited bitset must behave persistently across the inline word
+	// and the overflow words (IDs >= 64).
+	var s NTSet
+	ids := []grammar.NTID{0, 3, 63, 64, 100, 200}
+	sets := []NTSet{s}
+	for _, id := range ids {
+		s = s.Add(id)
+		sets = append(sets, s)
+	}
+	if s.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ids))
+	}
+	for i, id := range ids {
+		// Earlier snapshots must not contain later additions.
+		if sets[i].Contains(id) {
+			t.Errorf("snapshot %d already contains %d", i, id)
+		}
+		if !s.Contains(id) {
+			t.Errorf("final set lost %d", id)
+		}
+	}
+	if s.Contains(grammar.NoNT) || s.Add(grammar.NoNT).Len() != s.Len() {
+		t.Error("NoNT must never be a member")
+	}
+	removed := s.Remove(100)
+	if removed.Contains(100) || !s.Contains(100) {
+		t.Error("Remove must be persistent")
+	}
+	if got := removed.Len(); got != len(ids)-1 {
+		t.Errorf("Len after remove = %d", got)
+	}
+	members := s.Members()
+	if len(members) != len(ids) {
+		t.Fatalf("Members = %v", members)
+	}
+	for i, id := range ids {
+		if members[i] != id {
+			t.Errorf("Members[%d] = %d, want %d (ascending order)", i, members[i], id)
+		}
+	}
+	if !(NTSet{}).Empty() || s.Empty() {
+		t.Error("Empty() wrong")
 	}
 }
 
@@ -549,7 +605,7 @@ func TestVisitedRemovalOnReturnKeepsMeasureLemma(t *testing.T) {
 	// returns hit the "score remains constant" branch of Lemma 4.4.
 	g := grammar.MustParseBNF(`S -> A A ; A -> %empty | a`)
 	sawConstantReturn := false
-	Multistep(g, oraclePredictor{g}, Init("S", word("a")), Options{
+	Multistep(g, oraclePredictor{g}, Init(g, "S", word("a")), Options{
 		OnStep: func(before *State, op OpKind, after *State) {
 			if after == nil {
 				return

@@ -1,13 +1,9 @@
 package machine
 
 import (
-	"costar/internal/avl"
 	"costar/internal/grammar"
 	"costar/internal/tree"
 )
-
-// avlEmpty is the shared empty visited set; consume transitions reset to it.
-var avlEmpty avl.Set
 
 // Result is a terminal machine outcome (Figure 1: R ::= Unique(v) |
 // Ambig(v) | Reject | Error(e)).

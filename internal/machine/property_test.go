@@ -22,16 +22,17 @@ type chaosPredictor struct {
 	rng *rand.Rand
 }
 
-func (c chaosPredictor) Predict(nt string, _ *SuffixStack, _ []grammar.Token) Prediction {
-	rhss := c.g.RhssFor(nt)
-	if len(rhss) == 0 {
+func (c chaosPredictor) Predict(nt grammar.NTID, _ *SuffixStack, _ []grammar.TermID) Prediction {
+	cc := c.g.Compiled()
+	idxs := cc.ProdsFor(nt)
+	if len(idxs) == 0 {
 		return Prediction{Kind: PredReject}
 	}
 	kind := PredUnique
 	if c.rng.Intn(8) == 0 {
 		kind = PredAmbig
 	}
-	return Prediction{Kind: kind, Rhs: rhss[c.rng.Intn(len(rhss))]}
+	return Prediction{Kind: kind, Rhs: cc.Rhs(idxs[c.rng.Intn(len(idxs))])}
 }
 
 func randomGrammarFor(rng *rand.Rand) *grammar.Grammar {
@@ -71,7 +72,7 @@ func TestMeasureAndInvariantsRandomized(t *testing.T) {
 			w[i] = grammar.Tok(name, name)
 		}
 		pred := chaosPredictor{g: g, rng: rng}
-		res := Multistep(g, pred, Init("S", w), Options{
+		res := Multistep(g, pred, Init(g, "S", w), Options{
 			MaxSteps: 5000,
 			OnStep: func(before *State, op OpKind, after *State) {
 				if after == nil {
@@ -106,7 +107,7 @@ func TestMeasureAndInvariantsRandomized(t *testing.T) {
 func TestStackScoreMonotoneInVisited(t *testing.T) {
 	// Adding to the visited set shrinks |U \ V|, so the score never grows.
 	g := fig2()
-	st := Init("S", word("a", "b", "d"))
+	st := Init(g, "S", word("a", "b", "d"))
 	s0 := StackScore(g, st.Suffix, 0)
 	s1 := StackScore(g, st.Suffix, 1)
 	s2 := StackScore(g, st.Suffix, 2)
@@ -125,7 +126,7 @@ func TestUnprocFlattening(t *testing.T) {
 	// speaks about; it must be the concatenation of frame remainders.
 	g := fig2()
 	var sawMulti bool
-	Multistep(g, oraclePredictor{g}, Init("S", word("a", "b", "d")), Options{
+	Multistep(g, oraclePredictor{g}, Init(g, "S", word("a", "b", "d")), Options{
 		OnStep: func(before *State, _ OpKind, _ *State) {
 			up := before.Suffix.Unproc()
 			total := 0

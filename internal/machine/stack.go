@@ -6,13 +6,16 @@
 //
 // The implementation is deliberately purely functional, mirroring the
 // Gallina original: stacks are persistent linked lists, frames are
-// copied-on-write, and each step produces a fresh state. The mutable
-// imperative counterpart lives in internal/allstar and serves as the
-// "ANTLR-style" performance baseline.
+// copied-on-write, and each step produces a fresh state. Unlike the Coq
+// development, the machine runs on the compiled grammar (grammar.Compiled):
+// stack frames hold dense symbol IDs, so the hot-path comparisons —
+// consume's terminal match, the visited-set membership test — are integer
+// operations, not the string compares the paper's §6.1 identifies as
+// CoStar's bottleneck. The mutable imperative counterpart lives in
+// internal/allstar and serves as the "ANTLR-style" performance baseline.
 package machine
 
 import (
-	"fmt"
 	"strings"
 
 	"costar/internal/grammar"
@@ -24,8 +27,8 @@ import (
 // are stored in reverse order (most recently processed first), the standard
 // functional-accumulator layout; they are reversed once at return time.
 type PrefixFrame struct {
-	Proc  []grammar.Symbol // processed symbols α, reversed
-	Trees []*tree.Tree     // partial derivation f, reversed
+	Proc  []grammar.SymID // processed symbols α, reversed
+	Trees []*tree.Tree    // partial derivation f, reversed
 }
 
 // PrefixStack is a persistent stack of prefix frames; nil is invalid — a
@@ -36,8 +39,8 @@ type PrefixStack struct {
 }
 
 // SuffixFrame is one frame [β] of the suffix stack Ψ. Lhs is the open
-// nonterminal whose right-hand-side remainder Rest is ("" for the bottom
-// frame, which holds the start symbol).
+// nonterminal whose right-hand-side remainder Rest is (grammar.NoNT for the
+// bottom frame, which holds the start symbol).
 //
 // Note on representation: the paper's presentation leaves the open
 // nonterminal X at the head of the caller frame until return; like the Coq
@@ -46,8 +49,8 @@ type PrefixStack struct {
 // and this one makes the stackScore lemmas (4.3/4.4) direct: a frame's
 // unprocessed-symbol count is simply len(Rest).
 type SuffixFrame struct {
-	Lhs  string           // open nonterminal; "" only in the bottom frame
-	Rest []grammar.Symbol // unprocessed symbols β
+	Lhs  grammar.NTID    // open nonterminal; NoNT only in the bottom frame
+	Rest []grammar.SymID // unprocessed symbols β
 }
 
 // SuffixStack is a persistent stack of suffix frames; nil is invalid inside
@@ -86,9 +89,9 @@ func (s *SuffixStack) Height() int {
 }
 
 // TopSymbol returns the head of the top frame's unprocessed symbols, if any.
-func (s *SuffixStack) TopSymbol() (grammar.Symbol, bool) {
+func (s *SuffixStack) TopSymbol() (grammar.SymID, bool) {
 	if s == nil || len(s.F.Rest) == 0 {
-		return grammar.Symbol{}, false
+		return 0, false
 	}
 	return s.F.Rest[0], true
 }
@@ -96,8 +99,8 @@ func (s *SuffixStack) TopSymbol() (grammar.Symbol, bool) {
 // Unproc flattens the unprocessed symbols of the whole stack, top to
 // bottom — the unproc() function of Figure 5/7. It is the sentential form
 // the machine still has to match against the remaining tokens.
-func (s *SuffixStack) Unproc() []grammar.Symbol {
-	var out []grammar.Symbol
+func (s *SuffixStack) Unproc() []grammar.SymID {
+	var out []grammar.SymID
 	for ; s != nil; s = s.Below {
 		out = append(out, s.F.Rest...)
 	}
@@ -108,8 +111,8 @@ func (s *SuffixStack) Unproc() []grammar.Symbol {
 // the processed accumulators. Copying keeps older states intact; frames are
 // bounded by the grammar's longest right-hand side, so the copy is O(1) per
 // grammar.
-func (f PrefixFrame) consProc(s grammar.Symbol, v *tree.Tree) PrefixFrame {
-	proc := make([]grammar.Symbol, 0, len(f.Proc)+1)
+func (f PrefixFrame) consProc(s grammar.SymID, v *tree.Tree) PrefixFrame {
+	proc := make([]grammar.SymID, 0, len(f.Proc)+1)
 	proc = append(proc, s)
 	proc = append(proc, f.Proc...)
 	trees := make([]*tree.Tree, 0, len(f.Trees)+1)
@@ -128,29 +131,30 @@ func (f PrefixFrame) ForestInOrder() []*tree.Tree {
 }
 
 // ProcInOrder returns the frame's processed symbols in left-to-right order.
-func (f PrefixFrame) ProcInOrder() []grammar.Symbol {
-	out := make([]grammar.Symbol, len(f.Proc))
+func (f PrefixFrame) ProcInOrder() []grammar.SymID {
+	out := make([]grammar.SymID, len(f.Proc))
 	for i, s := range f.Proc {
 		out[len(f.Proc)-1-i] = s
 	}
 	return out
 }
 
-// String renders the suffix stack top-to-bottom, e.g. "[A d] [S]".
-func (s *SuffixStack) String() string {
+// StringWith renders the suffix stack top-to-bottom, e.g. "[A d] [S]",
+// decoding symbol IDs through the compiled grammar.
+func (s *SuffixStack) StringWith(c *grammar.Compiled) string {
 	var parts []string
 	for ; s != nil; s = s.Below {
 		head := ""
-		if s.F.Lhs != "" {
-			head = s.F.Lhs + ": "
+		if s.F.Lhs != grammar.NoNT {
+			head = c.NTName(s.F.Lhs) + ": "
 		}
-		parts = append(parts, "["+head+grammar.SymbolsString(s.F.Rest)+"]")
+		parts = append(parts, "["+head+c.FormString(s.F.Rest)+"]")
 	}
 	return strings.Join(parts, " ")
 }
 
-// String renders the prefix stack top-to-bottom with tree summaries.
-func (s *PrefixStack) String() string {
+// StringWith renders the prefix stack top-to-bottom with tree summaries.
+func (s *PrefixStack) StringWith(c *grammar.Compiled) string {
 	var parts []string
 	for ; s != nil; s = s.Below {
 		var ts []string
@@ -160,9 +164,4 @@ func (s *PrefixStack) String() string {
 		parts = append(parts, "["+strings.Join(ts, " ")+"]")
 	}
 	return strings.Join(parts, " ")
-}
-
-// sexpr helper used by state printing.
-func frameSummary(f PrefixFrame) string {
-	return fmt.Sprintf("%d trees / %s", len(f.Trees), grammar.SymbolsString(f.ProcInOrder()))
 }

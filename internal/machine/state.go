@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 
-	"costar/internal/avl"
 	"costar/internal/grammar"
 	"costar/internal/tree"
 )
@@ -12,24 +11,41 @@ import (
 // prediction cache ∆ is owned by the Predictor rather than stored here; it
 // is threaded through prediction calls exactly as in the paper, but keeping
 // it out of State lets the same cache serve a whole parsing session.
+//
+// A state runs on the compiled grammar: stacks hold dense symbol IDs, the
+// remaining input carries pre-interned terminal IDs (Terms, parallel to
+// Tokens), and the visited set is a bitset over NTIDs.
 type State struct {
-	Start   string // start nonterminal (for invariant checking and finalization)
+	C       *grammar.Compiled // compiled grammar the IDs index into
+	Start   grammar.NTID      // start nonterminal (for invariant checking and finalization)
 	Prefix  *PrefixStack
 	Suffix  *SuffixStack
-	Tokens  []grammar.Token // remaining input
-	Visited avl.Set         // nonterminals opened since the last consume (Section 4.1)
-	Unique  bool            // false once prediction has detected ambiguity
+	Tokens  []grammar.Token  // remaining input (literals feed the leaves)
+	Terms   []grammar.TermID // remaining input terminal IDs, parallel to Tokens
+	Visited NTSet            // nonterminals opened since the last consume (Section 4.1)
+	Unique  bool             // false once prediction has detected ambiguity
 }
 
 // Init builds the initial machine state for start symbol start and word w:
 // one empty prefix frame, one suffix frame holding the start symbol, all
 // tokens remaining, empty visited set, unique flag true (σ0 of Figure 2).
-func Init(start string, w []grammar.Token) *State {
+// The word's terminals are interned once here; every later consume is an
+// integer compare. Init panics if start was never interned (i.e. it is
+// neither defined nor referenced in g); Parser.ParseFrom screens that out
+// with HasNT before reaching the machine.
+func Init(g *grammar.Grammar, start string, w []grammar.Token) *State {
+	c := g.Compiled()
+	sid, ok := c.NTIDOf(start)
+	if !ok {
+		panic(fmt.Sprintf("machine: start symbol %q is not in the grammar", start))
+	}
 	return &State{
-		Start:  start,
+		C:      c,
+		Start:  sid,
 		Prefix: PushPrefix(PrefixFrame{}, nil),
-		Suffix: PushSuffix(SuffixFrame{Rest: []grammar.Symbol{grammar.NT(start)}}, nil),
+		Suffix: PushSuffix(SuffixFrame{Lhs: grammar.NoNT, Rest: []grammar.SymID{grammar.NTSym(sid)}}, nil),
 		Tokens: w,
+		Terms:  c.InternTerms(w),
 		Unique: true,
 	}
 }
@@ -42,7 +58,8 @@ func (st *State) String() string {
 		flag = "ambig"
 	}
 	return fmt.Sprintf("⟨%s | %s | %d tokens | %s | %s⟩",
-		st.Prefix, st.Suffix, len(st.Tokens), st.Visited, flag)
+		st.Prefix.StringWith(st.C), st.Suffix.StringWith(st.C), len(st.Tokens),
+		st.Visited.StringWith(st.C), flag)
 }
 
 // ErrKind classifies machine errors (Figure 1: e ::= InvalidState |
@@ -107,8 +124,8 @@ const (
 // Prediction is the result of an adaptivePredict call.
 type Prediction struct {
 	Kind PredKind
-	Rhs  []grammar.Symbol // for PredUnique / PredAmbig
-	Err  *Error           // for PredError
+	Rhs  []grammar.SymID // for PredUnique / PredAmbig (compiled RHS)
+	Err  *Error          // for PredError
 	// FailDepth, for PredReject, is how many lookahead tokens prediction
 	// examined before ruling every alternative out — the "farthest
 	// failure" error-reporting heuristic.
@@ -116,11 +133,11 @@ type Prediction struct {
 }
 
 // Predictor chooses a right-hand side for decision nonterminal nt given the
-// machine's current suffix stack (whose top symbol is nt) and remaining
-// tokens. adaptivePredict (internal/prediction) is the production
-// implementation; tests substitute simpler ones.
+// machine's current suffix stack (whose top symbol is nt) and the terminal
+// IDs of the remaining tokens. adaptivePredict (internal/prediction) is the
+// production implementation; tests substitute simpler ones.
 type Predictor interface {
-	Predict(nt string, suffix *SuffixStack, remaining []grammar.Token) Prediction
+	Predict(nt grammar.NTID, suffix *SuffixStack, remaining []grammar.TermID) Prediction
 }
 
 // StepKind classifies step results (Figure 1: r ::= AcceptS(v) | RejectS |

@@ -18,7 +18,9 @@ import (
 //     then call the predictor and push the chosen right-hand side.
 //
 // Step never mutates st; continuing results carry a fresh state sharing
-// structure with the old one.
+// structure with the old one. All symbol dispatch and matching is on dense
+// IDs: consume compares two int32s, the left-recursion check is one bitset
+// probe — no string touches the hot path.
 func Step(g *grammar.Grammar, pred Predictor, st *State) StepResult {
 	top := st.Suffix
 	if len(top.F.Rest) == 0 {
@@ -29,17 +31,17 @@ func Step(g *grammar.Grammar, pred Predictor, st *State) StepResult {
 	}
 	head := top.F.Rest[0]
 	if head.IsT() {
-		return stepConsume(st, head)
+		return stepConsume(st, head.Term())
 	}
-	return stepPush(g, pred, st, head)
+	return stepPush(g, pred, st, head.NT())
 }
 
 // finalize handles the final configuration: no unprocessed symbols and a
 // single frame on each stack.
 func finalize(st *State) StepResult {
-	if st.Suffix.F.Lhs != "" {
+	if st.Suffix.F.Lhs != grammar.NoNT {
 		return StepResult{Kind: StepError, Err: InvalidState(
-			"bottom suffix frame carries open nonterminal %s", st.Suffix.F.Lhs)}
+			"bottom suffix frame carries open nonterminal %s", st.C.NTName(st.Suffix.F.Lhs))}
 	}
 	if st.Prefix == nil || st.Prefix.Below != nil {
 		return StepResult{Kind: StepError, Err: InvalidState(
@@ -59,7 +61,7 @@ func finalize(st *State) StepResult {
 // caller's prefix frame (the (σ5) → (σ6) transition of Figure 2).
 func stepReturn(st *State) StepResult {
 	x := st.Suffix.F.Lhs
-	if x == "" {
+	if x == grammar.NoNT {
 		return StepResult{Kind: StepError, Err: InvalidState(
 			"return with no open nonterminal in a non-bottom frame")}
 	}
@@ -68,17 +70,19 @@ func stepReturn(st *State) StepResult {
 			"return: prefix stack height %d below suffix stack height %d",
 			st.Prefix.Height(), st.Suffix.Height())}
 	}
-	node := tree.Node(x, st.Prefix.F.ForestInOrder()...)
-	caller := st.Prefix.Below.F.consProc(grammar.NT(x), node)
+	node := tree.Node(st.C.NTName(x), st.Prefix.F.ForestInOrder()...)
+	caller := st.Prefix.Below.F.consProc(grammar.NTSym(x), node)
 	// X is now fully processed, so it leaves the visited set (it is present
 	// only when X derived ε-so-far, i.e. no token was consumed since its
 	// push). The two cases are exactly Lemma 4.4's "(a) decreases or
 	// (b) remains constant" split for the stack score.
 	next := &State{
+		C:       st.C,
 		Start:   st.Start,
 		Prefix:  PushPrefix(caller, st.Prefix.Below.Below),
 		Suffix:  st.Suffix.Below,
 		Tokens:  st.Tokens,
+		Terms:   st.Terms,
 		Visited: st.Visited.Remove(x),
 		Unique:  st.Unique,
 	}
@@ -87,44 +91,44 @@ func stepReturn(st *State) StepResult {
 
 // stepConsume matches terminal a against the next token (the (σ2) → (σ3)
 // transition of Figure 2). A successful consume empties the visited set.
-func stepConsume(st *State, a grammar.Symbol) StepResult {
+func stepConsume(st *State, a grammar.TermID) StepResult {
 	if len(st.Tokens) == 0 {
 		return StepResult{Kind: StepReject,
-			Reason: "input exhausted while expecting terminal " + a.String()}
+			Reason: "input exhausted while expecting terminal " + grammar.T(st.C.TermName(a)).String()}
 	}
-	t := st.Tokens[0]
-	if t.Terminal != a.Name {
+	if st.Terms[0] != a {
 		return StepResult{Kind: StepReject,
-			Reason: "expected terminal " + a.String() + ", found " + t.String()}
+			Reason: "expected terminal " + grammar.T(st.C.TermName(a)).String() + ", found " + st.Tokens[0].String()}
 	}
 	topSuffix := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
-	topPrefix := st.Prefix.F.consProc(a, tree.Leaf(t))
+	topPrefix := st.Prefix.F.consProc(grammar.TermSym(a), tree.Leaf(st.Tokens[0]))
 	next := &State{
-		Start:   st.Start,
-		Prefix:  PushPrefix(topPrefix, st.Prefix.Below),
-		Suffix:  PushSuffix(topSuffix, st.Suffix.Below),
-		Tokens:  st.Tokens[1:],
-		Visited: avlEmpty,
-		Unique:  st.Unique,
+		C:      st.C,
+		Start:  st.Start,
+		Prefix: PushPrefix(topPrefix, st.Prefix.Below),
+		Suffix: PushSuffix(topSuffix, st.Suffix.Below),
+		Tokens: st.Tokens[1:],
+		Terms:  st.Terms[1:],
+		Unique: st.Unique,
 	}
 	return StepResult{Kind: StepCont, Op: OpConsume, State: next}
 }
 
 // stepPush checks for left recursion, asks the predictor for a right-hand
 // side for x, and pushes it (the (σ0) → (σ1) transition of Figure 2).
-func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.Symbol) StepResult {
-	if st.Visited.Contains(x.Name) {
-		return StepResult{Kind: StepError, Err: LeftRecursive(x.Name,
+func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) StepResult {
+	if st.Visited.Contains(x) {
+		return StepResult{Kind: StepError, Err: LeftRecursive(st.C.NTName(x),
 			"nonterminal re-opened without consuming a token")}
 	}
-	if !g.HasNT(x.Name) {
+	if !st.C.HasNTID(x) {
 		return StepResult{Kind: StepError, Err: InvalidState(
-			"top stack nonterminal %s has no productions", x.Name)}
+			"top stack nonterminal %s has no productions", st.C.NTName(x))}
 	}
-	p := pred.Predict(x.Name, st.Suffix, st.Tokens)
+	p := pred.Predict(x, st.Suffix, st.Terms)
 	switch p.Kind {
 	case PredReject:
-		reason := "no viable right-hand side for nonterminal " + x.Name
+		reason := "no viable right-hand side for nonterminal " + st.C.NTName(x)
 		if p.FailDepth > 0 {
 			reason += fmt.Sprintf(" (last alternative died %d tokens ahead)", p.FailDepth)
 		}
@@ -137,13 +141,15 @@ func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.Symbol) S
 		return StepResult{Kind: StepError, Err: err}
 	}
 	caller := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
-	pushed := SuffixFrame{Lhs: x.Name, Rest: p.Rhs}
+	pushed := SuffixFrame{Lhs: x, Rest: p.Rhs}
 	next := &State{
+		C:       st.C,
 		Start:   st.Start,
 		Prefix:  PushPrefix(PrefixFrame{}, st.Prefix),
 		Suffix:  PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
 		Tokens:  st.Tokens,
-		Visited: st.Visited.Add(x.Name),
+		Terms:   st.Terms,
+		Visited: st.Visited.Add(x),
 		Unique:  st.Unique && p.Kind != PredAmbig,
 	}
 	return StepResult{Kind: StepCont, Op: OpPush, State: next}

@@ -87,7 +87,7 @@ func TestParseAllMatchesSequential(t *testing.T) {
 		word("b", "d"),
 		word("a", "a", "a", "b", "d"),
 		word("b"), // reject
-		nil,               // reject (empty)
+		nil,       // reject (empty)
 		word("a", "b", "c"),
 	}
 	seq := MustNew(g, Options{})

@@ -183,7 +183,7 @@ func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
 		DisableSLL: p.opts.DisableSLL,
 		Cache:      cache,
 	})
-	mres := machine.Multistep(p.g, ap, machine.Init(start, w), machine.Options{
+	mres := machine.Multistep(p.g, ap, machine.Init(p.g, start, w), machine.Options{
 		CheckInvariants: p.opts.CheckInvariants,
 		MaxSteps:        p.opts.MaxSteps,
 	})
@@ -318,9 +318,9 @@ func (p *Parser) expectedAt(st *machine.State) []string {
 		return nil
 	}
 	unproc := st.Suffix.Unproc()
-	set := p.an.FirstOfForm(unproc)
+	set := p.an.FirstOfFormIDs(unproc)
 	out := analysis.SortedSet(set)
-	if p.an.NullableForm(unproc) {
+	if p.an.NullableFormIDs(unproc) {
 		out = append(out, "<end of input>")
 	}
 	return out

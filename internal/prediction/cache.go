@@ -1,9 +1,10 @@
 package prediction
 
 import (
-	"strings"
 	"sync"
 	"sync/atomic"
+
+	"costar/internal/grammar"
 )
 
 // dfaState is one state of the SLL prediction DFA: a canonical set of
@@ -13,7 +14,9 @@ import (
 // Concurrency: every field except edges is immutable after interning.
 // edges grows copy-on-write — readers follow transitions with a single
 // atomic load (edge), writers serialize on mu and publish a fresh map
-// (setEdge) — so the warm-cache hit path is lock-free.
+// (setEdge) — so the warm-cache hit path is lock-free. Edges are keyed by
+// dense terminal IDs and state identity is a packed-int32 byte string;
+// neither hashes a symbol name.
 type dfaState struct {
 	key        string
 	configs    []config // stable, canonically ordered (halted included)
@@ -22,11 +25,11 @@ type dfaState struct {
 	anomalous  bool     // construction involved a subparser kill
 
 	mu    sync.Mutex // serializes edge additions; readers never take it
-	edges atomic.Pointer[map[string]*dfaState]
+	edges atomic.Pointer[map[grammar.TermID]*dfaState]
 }
 
 // edge returns the successor of st over terminal t, lock-free.
-func (st *dfaState) edge(t string) (*dfaState, bool) {
+func (st *dfaState) edge(t grammar.TermID) (*dfaState, bool) {
 	next, ok := (*st.edges.Load())[t]
 	return next, ok
 }
@@ -35,14 +38,14 @@ func (st *dfaState) edge(t string) (*dfaState, bool) {
 // first writer wins; because successors are interned by content, racing
 // writers hold the identical *dfaState anyway, so either answer is correct
 // and the loser simply discards its redundant build.
-func (st *dfaState) setEdge(t string, next *dfaState) *dfaState {
+func (st *dfaState) setEdge(t grammar.TermID, next *dfaState) *dfaState {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	m := st.edges.Load()
 	if exist, ok := (*m)[t]; ok {
 		return exist
 	}
-	nm := make(map[string]*dfaState, len(*m)+1)
+	nm := make(map[grammar.TermID]*dfaState, len(*m)+1)
 	for k, v := range *m {
 		nm[k] = v
 	}
@@ -55,14 +58,14 @@ func (st *dfaState) setEdge(t string, next *dfaState) *dfaState {
 // generation so in-flight readers keep a consistent snapshot.
 type cacheGen struct {
 	mu      sync.Mutex // serializes copy-on-write updates to starts
-	starts  atomic.Pointer[map[string]*dfaState]
+	starts  atomic.Pointer[map[grammar.NTID]*dfaState]
 	states  sync.Map     // fingerprint → *dfaState
 	nStates atomic.Int64 // interned-state count (sync.Map has no cheap len)
 }
 
 func newGen() *cacheGen {
 	g := &cacheGen{}
-	m := make(map[string]*dfaState)
+	m := make(map[grammar.NTID]*dfaState)
 	g.starts.Store(&m)
 	return g
 }
@@ -92,7 +95,7 @@ func NewCache() *Cache {
 // start returns the memoized start state for nt, building it on first use.
 // Racing builders both run build; interning makes their results the
 // identical state, so whichever publishes first wins without divergence.
-func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
+func (c *Cache) start(nt grammar.NTID, build func() *dfaState) *dfaState {
 	g := c.gen.Load()
 	if st, ok := (*g.starts.Load())[nt]; ok {
 		return st
@@ -104,7 +107,7 @@ func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
 	if exist, ok := (*m)[nt]; ok {
 		return exist
 	}
-	nm := make(map[string]*dfaState, len(*m)+1)
+	nm := make(map[grammar.NTID]*dfaState, len(*m)+1)
 	for k, v := range *m {
 		nm[k] = v
 	}
@@ -116,20 +119,28 @@ func (c *Cache) start(nt string, build func() *dfaState) *dfaState {
 // intern canonicalizes a closure result into a DFA state, reusing an
 // existing identical state when possible. Canonical order and identity are
 // content-based (SLL stacks are shallow — bounded by lookahead depth — so
-// serialization is cheap, and it is what lets distinct parses share states).
+// serialization is cheap, and it is what lets distinct parses share
+// states). Identity is a packed byte string of config fingerprints, each
+// length-prefixed so the binary keys cannot collide across configs.
 // Content addressing also makes interning idempotent under concurrency:
 // LoadOrStore picks one winner per fingerprint and every racer gets it.
 func (c *Cache) intern(res closureResult) *dfaState {
 	keys := sortConfigs(res.stable)
-	var b strings.Builder
+	size := 1
+	for _, k := range keys {
+		size += 4 + len(k)
+	}
+	b := make([]byte, 0, size)
 	if res.anomaly != anomalyNone {
-		b.WriteString("ANOM;")
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
 	}
 	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteByte(';')
+		b = appendInt32(b, int32(len(k)))
+		b = append(b, k...)
 	}
-	key := b.String()
+	key := string(b)
 	g := c.gen.Load()
 	if st, ok := g.states.Load(key); ok {
 		return st.(*dfaState)
@@ -142,7 +153,7 @@ func (c *Cache) intern(res closureResult) *dfaState {
 		uniqueAlt:  -1,
 		anomalous:  res.anomaly != anomalyNone,
 	}
-	empty := make(map[string]*dfaState)
+	empty := make(map[grammar.TermID]*dfaState)
 	st.edges.Store(&empty)
 	if len(alts) == 1 && !st.anomalous {
 		st.uniqueAlt = alts[0]

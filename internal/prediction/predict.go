@@ -2,7 +2,6 @@ package prediction
 
 import (
 	"costar/internal/analysis"
-	"costar/internal/avl"
 	"costar/internal/grammar"
 	"costar/internal/machine"
 )
@@ -42,7 +41,7 @@ type AdaptivePredictor struct {
 	eng        engine
 	cache      *Cache
 	opts       Options
-	decisionNT string // current decision, for lookahead attribution
+	decisionNT grammar.NTID // current decision, for lookahead attribution
 	Stats      Stats
 }
 
@@ -60,7 +59,7 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 		c = NewCache()
 	}
 	return &AdaptivePredictor{
-		eng:   engine{g: g, targets: targets},
+		eng:   engine{c: g.Compiled(), targets: targets},
 		cache: c,
 		opts:  opts,
 	}
@@ -72,17 +71,17 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 func (ap *AdaptivePredictor) Cache() *Cache { return ap.cache }
 
 // Predict implements machine.Predictor: adaptivePredict for decision
-// nonterminal nt with the machine's current suffix stack and remaining
-// tokens.
-func (ap *AdaptivePredictor) Predict(nt string, suffix *machine.SuffixStack, remaining []grammar.Token) machine.Prediction {
-	idxs := ap.eng.g.ProductionIndices(nt)
+// nonterminal nt with the machine's current suffix stack and the terminal
+// IDs of the remaining tokens.
+func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStack, remaining []grammar.TermID) machine.Prediction {
+	idxs := ap.eng.c.ProdsFor(nt)
 	switch len(idxs) {
 	case 0:
 		return machine.Prediction{Kind: machine.PredReject}
 	case 1:
 		// A single alternative is not a decision; no subparsers needed.
 		ap.Stats.TrivialCalls++
-		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[idxs[0]].Rhs}
+		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(idxs[0])}
 	}
 	ap.decisionNT = nt
 	if !ap.opts.DisableSLL {
@@ -104,16 +103,16 @@ func (ap *AdaptivePredictor) Predict(nt string, suffix *machine.SuffixStack, rem
 // they all agree (UniqueP), all die (RejectP), or several complete parses
 // survive to the end of the input (AmbigP). Left recursion discovered here
 // is genuine and yields ErrorP.
-func (ap *AdaptivePredictor) llPredict(nt string, suffix *machine.SuffixStack, remaining []grammar.Token) machine.Prediction {
-	g := ap.eng.g
+func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixStack, remaining []grammar.TermID) machine.Prediction {
+	c := ap.eng.c
 	caller := machine.SuffixFrame{Lhs: suffix.F.Lhs, Rest: suffix.F.Rest[1:]}
 	below := machine.PushSuffix(caller, suffix.Below)
-	v0 := avl.SetOf(nt)
+	v0 := machine.NTSet{}.Add(nt)
 	var initial []config
-	for _, idx := range g.ProductionIndices(nt) {
+	for _, idx := range c.ProdsFor(nt) {
 		initial = append(initial, config{
 			alt:     idx,
-			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: g.Prods[idx].Rhs}, below),
+			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, below),
 			visited: v0,
 		})
 	}
@@ -126,7 +125,7 @@ func (ap *AdaptivePredictor) llPredict(nt string, suffix *machine.SuffixStack, r
 			return ap.resolveAtEOF(cfgs, depth)
 		}
 		ap.noteLookahead(depth + 1)
-		cfgs, pred = ap.closeAndCheckLL(move(cfgs, remaining[depth].Terminal), depth+1)
+		cfgs, pred = ap.closeAndCheckLL(move(cfgs, remaining[depth]), depth+1)
 		if pred != nil {
 			return *pred
 		}
@@ -140,7 +139,7 @@ func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config
 	switch res.anomaly {
 	case anomalyLeftRec:
 		p := machine.Prediction{Kind: machine.PredError,
-			Err: machine.LeftRecursive(res.lrNT, "detected during LL prediction")}
+			Err: machine.LeftRecursive(ap.eng.c.NTName(res.lrNT), "detected during LL prediction")}
 		return nil, &p
 	case anomalyBudget:
 		p := machine.Prediction{Kind: machine.PredError,
@@ -154,7 +153,7 @@ func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config
 	}
 	alts, _ := altSummary(cfgs)
 	if len(alts) == 1 {
-		p := machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[alts[0]].Rhs}
+		p := machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(alts[0])}
 		return nil, &p
 	}
 	return cfgs, nil
@@ -168,11 +167,11 @@ func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Pred
 	case 0:
 		return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}
 	case 1:
-		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[halted[0]].Rhs}
+		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(halted[0])}
 	default:
 		// Multiple complete parses: the input is ambiguous. Choose the
 		// lowest-numbered alternative, as ANTLR does.
-		return machine.Prediction{Kind: machine.PredAmbig, Rhs: ap.eng.g.Prods[halted[0]].Rhs}
+		return machine.Prediction{Kind: machine.PredAmbig, Rhs: ap.eng.c.Rhs(halted[0])}
 	}
 }
 
@@ -186,14 +185,14 @@ func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Pred
 // and on any anomaly (left-recursion kills may be spurious under
 // overapproximated context, and killed subparsers would also make RejectP
 // unsound).
-func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (machine.Prediction, bool) {
+func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, remaining []grammar.TermID) (machine.Prediction, bool) {
 	st := ap.cache.start(nt, func() *dfaState { return ap.buildStart(nt) })
 	for depth := 0; ; depth++ {
 		if st.anomalous {
 			return machine.Prediction{}, false
 		}
 		if st.uniqueAlt >= 0 {
-			return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[st.uniqueAlt].Rhs}, true
+			return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(st.uniqueAlt)}, true
 		}
 		if len(st.configs) == 0 && len(st.haltedAlts) == 0 {
 			return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
@@ -203,7 +202,7 @@ func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (m
 			case 0:
 				return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
 			case 1:
-				return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.g.Prods[st.haltedAlts[0]].Rhs}, true
+				return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(st.haltedAlts[0])}, true
 			default:
 				// SLL "ambiguity" merely means the overapproximation could
 				// not separate the alternatives — recompute precisely.
@@ -211,7 +210,7 @@ func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (m
 			}
 		}
 		ap.noteLookahead(depth + 1)
-		term := remaining[depth].Terminal
+		term := remaining[depth]
 		next, ok := st.edge(term)
 		if ok {
 			ap.Stats.CacheHits++
@@ -228,14 +227,14 @@ func (ap *AdaptivePredictor) sllPredict(nt string, remaining []grammar.Token) (m
 }
 
 // buildStart computes the DFA start state for decision nonterminal nt.
-func (ap *AdaptivePredictor) buildStart(nt string) *dfaState {
-	g := ap.eng.g
-	v0 := avl.SetOf(nt)
+func (ap *AdaptivePredictor) buildStart(nt grammar.NTID) *dfaState {
+	c := ap.eng.c
+	v0 := machine.NTSet{}.Add(nt)
 	var initial []config
-	for _, idx := range g.ProductionIndices(nt) {
+	for _, idx := range c.ProdsFor(nt) {
 		initial = append(initial, config{
 			alt:     idx,
-			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: g.Prods[idx].Rhs}, nil),
+			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, nil),
 			visited: v0,
 		})
 	}
@@ -246,6 +245,6 @@ func (ap *AdaptivePredictor) noteLookahead(depth int) {
 	ap.Stats.TokensScanned++
 	if depth > ap.Stats.MaxLookahead {
 		ap.Stats.MaxLookahead = depth
-		ap.Stats.MaxLookaheadNT = ap.decisionNT
+		ap.Stats.MaxLookaheadNT = ap.eng.c.NTName(ap.decisionNT)
 	}
 }

@@ -1,7 +1,6 @@
 package prediction
 
 import (
-	"strings"
 	"testing"
 
 	"costar/internal/grammar"
@@ -18,7 +17,7 @@ func word(terms ...string) []grammar.Token {
 }
 
 func parse(g *grammar.Grammar, ap *AdaptivePredictor, w []grammar.Token) machine.Result {
-	return machine.Multistep(g, ap, machine.Init(g.Start, w), machine.Options{CheckInvariants: true})
+	return machine.Multistep(g, ap, machine.Init(g, g.Start, w), machine.Options{CheckInvariants: true})
 }
 
 func fig2() *grammar.Grammar {
@@ -222,11 +221,16 @@ func TestTrivialDecisions(t *testing.T) {
 }
 
 func TestPredictUndefinedNT(t *testing.T) {
+	// An NTID outside the compiled tables (never interned) has no
+	// productions; prediction must reject rather than panic.
 	g := fig2()
 	ap := New(g, Options{})
-	p := ap.Predict("Ghost", machine.Init("S", nil).Suffix, nil)
+	p := ap.Predict(grammar.NTID(999), machine.Init(g, "S", nil).Suffix, nil)
 	if p.Kind != machine.PredReject {
 		t.Errorf("undefined NT prediction = %v, want Reject", p.Kind)
+	}
+	if p := ap.Predict(grammar.NoNT, machine.Init(g, "S", nil).Suffix, nil); p.Kind != machine.PredReject {
+		t.Errorf("NoNT prediction = %v, want Reject", p.Kind)
 	}
 }
 
@@ -279,20 +283,31 @@ func TestStatsLookaheadAccounting(t *testing.T) {
 }
 
 func TestFingerprints(t *testing.T) {
-	st := machine.PushSuffix(machine.SuffixFrame{Lhs: "A", Rest: []grammar.Symbol{grammar.T("a"), grammar.NT("B")}}, nil)
+	st := machine.PushSuffix(machine.SuffixFrame{Lhs: 0, Rest: []grammar.SymID{grammar.TermSym(0), grammar.NTSym(1)}}, nil)
 	c1 := config{alt: 1, stack: st}
 	c2 := config{alt: 2, stack: st}
 	if c1.fingerprint(false) == c2.fingerprint(false) {
 		t.Error("alt not encoded in fingerprint")
 	}
+	// A halted config (nil stack) must differ from a live config whose
+	// stack has one frame with an empty Rest.
 	halted := config{alt: 1}
-	if !strings.Contains(halted.fingerprint(false), "HALT") {
+	emptyFrame := config{alt: 1, stack: machine.PushSuffix(machine.SuffixFrame{Lhs: 0}, nil)}
+	if halted.fingerprint(false) == emptyFrame.fingerprint(false) {
 		t.Error("halted configs must be distinguishable from empty stacks")
 	}
-	// Terminal "X" vs nonterminal X must differ.
-	sa := machine.PushSuffix(machine.SuffixFrame{Lhs: "A", Rest: []grammar.Symbol{grammar.T("B")}}, nil)
-	sb := machine.PushSuffix(machine.SuffixFrame{Lhs: "A", Rest: []grammar.Symbol{grammar.NT("B")}}, nil)
+	// Terminal 1 vs nonterminal 1: the sign encoding must separate them.
+	sa := machine.PushSuffix(machine.SuffixFrame{Lhs: 0, Rest: []grammar.SymID{grammar.TermSym(1)}}, nil)
+	sb := machine.PushSuffix(machine.SuffixFrame{Lhs: 0, Rest: []grammar.SymID{grammar.NTSym(1)}}, nil)
 	if (config{alt: 1, stack: sa}).fingerprint(false) == (config{alt: 1, stack: sb}).fingerprint(false) {
 		t.Error("terminal/nonterminal kind not encoded in fingerprint")
+	}
+	// Visited sets participate only when requested.
+	cv := config{alt: 1, stack: st, visited: machine.NTSet{}.Add(3)}
+	if c1.fingerprint(false) != cv.fingerprint(false) {
+		t.Error("visited set must not affect canonical identity")
+	}
+	if c1.fingerprint(true) == cv.fingerprint(true) {
+		t.Error("visited set must affect dedup identity")
 	}
 }

@@ -43,10 +43,12 @@ func TestCacheConcurrentWarm(t *testing.T) {
 	g := fig2()
 	words := raceWords(64)
 
+	c := g.Compiled()
+	startID, _ := c.NTIDOf("S")
 	ref := New(g, Options{})
 	want := make([]machine.Prediction, len(words))
 	for i, w := range words {
-		want[i] = ref.Predict("S", machine.Init(g.Start, w).Suffix, w)
+		want[i] = ref.Predict(startID, machine.Init(g, g.Start, w).Suffix, c.InternTerms(w))
 	}
 
 	shared := NewCache()
@@ -61,7 +63,7 @@ func TestCacheConcurrentWarm(t *testing.T) {
 			for off := 0; off < len(words); off++ {
 				i := (off + k*7) % len(words) // distinct orders per goroutine
 				w := words[i]
-				got := ap.Predict("S", machine.Init(g.Start, w).Suffix, w)
+				got := ap.Predict(startID, machine.Init(g, g.Start, w).Suffix, c.InternTerms(w))
 				if got.Kind != want[i].Kind {
 					errs <- fmt.Sprintf("word %s: kind %v, want %v", grammar.WordString(w), got.Kind, want[i].Kind)
 				} else if got.Kind == machine.PredUnique && &got.Rhs[0] != &want[i].Rhs[0] {
@@ -130,6 +132,9 @@ func TestCacheConcurrentParses(t *testing.T) {
 // successor pointer.
 func TestCacheEdgeIdempotence(t *testing.T) {
 	g := fig2()
+	c := g.Compiled()
+	startID, _ := c.NTIDOf("S")
+	aID, _ := c.TermIDOf("a")
 	shared := NewCache()
 	const goroutines = 16
 	got := make([]*dfaState, goroutines)
@@ -139,9 +144,9 @@ func TestCacheEdgeIdempotence(t *testing.T) {
 		go func(k int) {
 			defer wg.Done()
 			ap := New(g, Options{Cache: shared})
-			st := shared.start("S", func() *dfaState { return ap.buildStart("S") })
-			res := ap.eng.closure(modeSLL, move(st.configs, "a"))
-			got[k] = st.setEdge("a", shared.intern(res))
+			st := shared.start(startID, func() *dfaState { return ap.buildStart(startID) })
+			res := ap.eng.closure(modeSLL, move(st.configs, aID))
+			got[k] = st.setEdge(aID, shared.intern(res))
 		}(k)
 	}
 	wg.Wait()

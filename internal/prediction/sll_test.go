@@ -60,7 +60,10 @@ func TestSLLStateSharingAcrossDecisions(t *testing.T) {
 func TestSLLRejectFailDepth(t *testing.T) {
 	g := grammar.MustParseBNF(`S -> a a a b | a a a c`)
 	ap := New(g, Options{})
-	p := ap.Predict("S", machine.Init("S", word("a", "a", "a", "x")).Suffix, word("a", "a", "a", "x"))
+	c := g.Compiled()
+	w := word("a", "a", "a", "x")
+	sID, _ := c.NTIDOf("S")
+	p := ap.Predict(sID, machine.Init(g, "S", w).Suffix, c.InternTerms(w))
 	if p.Kind != machine.PredReject {
 		t.Fatalf("kind = %v", p.Kind)
 	}

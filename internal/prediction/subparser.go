@@ -15,14 +15,16 @@
 // are content-addressed, so goroutines racing to extend the DFA intern
 // identical states and converge (see Cache), which lets one warm DFA
 // serve many parsing goroutines at once.
+//
+// Everything here runs on the compiled grammar: configs hold dense symbol
+// IDs, the visited sets are bitsets, and DFA fingerprints are packed int32
+// byte strings rather than symbol names — the §6.1 string-comparison cost
+// the paper measures is gone from this hot path.
 package prediction
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
-	"costar/internal/avl"
 	"costar/internal/grammar"
 	"costar/internal/machine"
 )
@@ -34,7 +36,7 @@ import (
 type config struct {
 	alt     int
 	stack   *machine.SuffixStack
-	visited avl.Set
+	visited machine.NTSet
 }
 
 // anomalyKind classifies events that make an SLL outcome untrustworthy.
@@ -57,7 +59,7 @@ const (
 type closureResult struct {
 	stable  []config
 	anomaly anomalyKind
-	lrNT    string // offending nonterminal for anomalyLeftRec
+	lrNT    grammar.NTID // offending nonterminal for anomalyLeftRec
 }
 
 // closureBudget bounds the number of closure expansions per call; generous
@@ -76,7 +78,7 @@ const (
 
 // engine carries the immutable pieces shared by all prediction calls.
 type engine struct {
-	g       *grammar.Grammar
+	c       *grammar.Compiled
 	targets *Targets
 }
 
@@ -85,18 +87,18 @@ type engine struct {
 type Targets = targetsAlias
 
 // dedupKey identifies a config cheaply for closure-time merging: the top
-// frame by content (Rest slices alias production arrays, so the address of
-// their first element pins the grammar position) and the tail by pointer.
-// The visited set is deliberately excluded: within a round every config
-// starts with an empty visited set (move clears it), so two configs with
-// equal (alt, stack) have futures that differ at most in when a
+// frame by content (Rest slices alias compiled production arrays, so the
+// address of their first element pins the grammar position) and the tail by
+// pointer. The visited set is deliberately excluded: within a round every
+// config starts with an empty visited set (move clears it), so two configs
+// with equal (alt, stack) have futures that differ at most in when a
 // left-recursion kill fires — and any such kill still witnesses a genuine
 // nullable loop. Merging is therefore sound, and it is what keeps closure
 // polynomial on deep expression grammars.
 type dedupKey struct {
 	alt      int
-	lhs      string
-	restHead *grammar.Symbol
+	lhs      grammar.NTID
+	restHead *grammar.SymID
 	restLen  int
 	below    *machine.SuffixStack
 	halted   bool
@@ -155,7 +157,7 @@ func (e *engine) closure(m mode, work []config) closureResult {
 				})
 				continue
 			}
-			if m == modeLL || top.Lhs == "" {
+			if m == modeLL || top.Lhs == grammar.NoNT {
 				// Bottom of the real parse: a complete simulated parse.
 				work = append(work, config{alt: cfg.alt, visited: cfg.visited})
 				continue
@@ -181,26 +183,27 @@ func (e *engine) closure(m mode, work []config) closureResult {
 			continue
 		}
 		// Push: expand the nonterminal into each right-hand side.
-		if cfg.visited.Contains(head.Name) {
+		x := head.NT()
+		if cfg.visited.Contains(x) {
 			if res.anomaly == anomalyNone {
 				res.anomaly = anomalyLeftRec
-				res.lrNT = head.Name
+				res.lrNT = x
 			}
 			continue // kill this subparser
 		}
-		rhss := e.g.RhssFor(head.Name)
-		if len(rhss) == 0 {
+		prods := e.c.ProdsFor(x)
+		if len(prods) == 0 {
 			// Undefined nonterminal: derives nothing; the subparser dies.
 			// (Validated grammars never reach this.)
 			continue
 		}
 		caller := machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}
 		below := machine.PushSuffix(caller, cfg.stack.Below)
-		v := cfg.visited.Add(head.Name)
-		for _, rhs := range rhss {
+		v := cfg.visited.Add(x)
+		for _, pi := range prods {
 			work = append(work, config{
 				alt:     cfg.alt,
-				stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: head.Name, Rest: rhs}, below),
+				stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: x, Rest: e.c.Rhs(pi)}, below),
 				visited: v,
 			})
 		}
@@ -219,15 +222,16 @@ func (e *engine) addStable(res *closureResult, stableSeen map[dedupKey]bool, cfg
 
 // move advances every stable config across terminal t: configs whose top
 // symbol matches consume it (and reset their visited set, mirroring the
-// machine's consume); mismatching and halted configs die.
-func move(cfgs []config, t string) []config {
+// machine's consume); mismatching and halted configs die. An input terminal
+// the grammar does not mention (NoTerm) matches nothing.
+func move(cfgs []config, t grammar.TermID) []config {
 	var out []config
 	for _, cfg := range cfgs {
 		if cfg.stack == nil {
 			continue // claimed the parse ends here, but input continues
 		}
 		top := cfg.stack.F
-		if len(top.Rest) == 0 || !top.Rest[0].IsT() || top.Rest[0].Name != t {
+		if len(top.Rest) == 0 || !top.Rest[0].IsT() || top.Rest[0].Term() != t {
 			continue
 		}
 		out = append(out, config{
@@ -238,32 +242,51 @@ func move(cfgs []config, t string) []config {
 	return out
 }
 
-// fingerprint serializes the config for dedup (withVisited=true, used
-// during closure) or for canonical state identity (withVisited=false; the
-// visited set is irrelevant once stable, because the next move clears it).
-func (c config) fingerprint(withVisited bool) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d", c.alt)
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Fingerprint frame markers: every frame is introduced by fpFrame and the
+// serialization ends with fpLive or fpHalted, so the packed byte string is
+// prefix-free across configs with different stack shapes.
+const (
+	fpLive   = 0
+	fpFrame  = 1
+	fpHalted = 2
+	fpVisit  = 3
+)
+
+// appendFingerprint serializes the config as packed int32 bytes for dedup
+// (withVisited=true, used during closure) or for canonical state identity
+// (withVisited=false; the visited set is irrelevant once stable, because
+// the next move clears it). Unlike the pre-compilation fingerprint, no
+// symbol name is rendered: identity is a flat byte-compare over IDs, which
+// is what makes DFA-state interning cheap enough for the warm path.
+func (c config) appendFingerprint(b []byte, withVisited bool) []byte {
+	b = appendInt32(b, int32(c.alt))
 	for s := c.stack; s != nil; s = s.Below {
-		b.WriteByte('|')
-		b.WriteString(s.F.Lhs)
-		b.WriteByte(':')
+		b = append(b, fpFrame)
+		b = appendInt32(b, int32(s.F.Lhs))
+		b = appendInt32(b, int32(len(s.F.Rest)))
 		for _, sym := range s.F.Rest {
-			if sym.IsNT() {
-				b.WriteByte('@')
-			}
-			b.WriteString(sym.Name)
-			b.WriteByte(',')
+			b = appendInt32(b, int32(sym))
 		}
 	}
 	if c.stack == nil {
-		b.WriteString("|HALT")
+		b = append(b, fpHalted)
+	} else {
+		b = append(b, fpLive)
 	}
 	if withVisited {
-		b.WriteByte('!')
-		b.WriteString(c.visited.String())
+		b = append(b, fpVisit)
+		b = c.visited.AppendWords(b)
 	}
-	return b.String()
+	return b
+}
+
+// fingerprint is appendFingerprint as an immutable string key.
+func (c config) fingerprint(withVisited bool) string {
+	return string(c.appendFingerprint(nil, withVisited))
 }
 
 // sortConfigs orders configs canonically (by alt, then content
