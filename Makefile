@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race bench bench-parallel vet
+.PHONY: all build test race short-race bench bench-parallel bench-stream fuzz-smoke vet
 
 all: build test race
 
@@ -28,6 +28,16 @@ bench:
 # The parallel batch-parse scaling benchmark behind BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -bench=BenchmarkParallelWarmCache -benchtime=2x -count=1 .
+
+# The streaming-window benchmark behind BENCH_stream.json: ns/token, B/op,
+# and the peak retained-window size for the reader pipeline.
+bench-stream:
+	$(GO) test -bench=BenchmarkStreamingWindow -benchmem -count=1 .
+
+# Short fuzz of the stream/slice equivalence contract: chunked reads through
+# the incremental lexer must agree with batch lexing on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzStreamEquivalence -fuzztime=20s -run=FuzzStreamEquivalence .
 
 vet:
 	$(GO) vet ./...

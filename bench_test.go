@@ -12,6 +12,7 @@ package costar
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -19,9 +20,14 @@ import (
 	"costar/internal/avl"
 	"costar/internal/bench"
 	"costar/internal/grammar"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/langkit"
+	"costar/internal/languages/pylang"
+	"costar/internal/languages/xmllang"
 	"costar/internal/machine"
 	"costar/internal/parser"
 	"costar/internal/prediction"
+	"costar/internal/source"
 )
 
 // corpusFile returns a ~tokens-sized token word for the named language.
@@ -403,6 +409,54 @@ func reportCorpusThroughput(b *testing.B, tokens int) {
 	reportPerToken(b, tokens)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming pipeline: end-to-end reader parsing and window residency
+// ---------------------------------------------------------------------------
+
+// BenchmarkStreamingWindow measures the demand-driven pipeline end to end —
+// incremental lexing, layout (Python), and cursor-fed parsing from an
+// io.Reader — reporting ns/token, allocations, and the peak number of
+// tokens the sliding window ever retained (peak-window). The peak must
+// track the grammar's lookahead needs, not the input size; the equivalence
+// and bounded-window tests enforce that, this benchmark makes it visible.
+func BenchmarkStreamingWindow(b *testing.B) {
+	langs := []struct {
+		name string
+		l    *langkit.Language
+		gen  func(int64, int) string
+	}{
+		{"json", jsonlang.Lang, jsonlang.Generate},
+		{"xml", xmllang.Lang, xmllang.Generate},
+		{"python", pylang.Lang, pylang.Generate},
+	}
+	for _, lg := range langs {
+		lg := lg
+		b.Run(lg.name, func(b *testing.B) {
+			src := lg.gen(42, 4000)
+			toks, err := lg.l.Tokenize(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := parser.MustNew(lg.l.Grammar(), parser.Options{})
+			p.Parse(toks) // prime analyses and the SLL cache
+			peak := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur := lg.l.Cursor(strings.NewReader(src))
+				if res := p.ParseSource(cur); res.Kind != machine.Unique {
+					b.Fatal(res.Reason)
+				}
+				if w := cur.PeakWindow(); w > peak {
+					peak = w
+				}
+			}
+			reportPerToken(b, len(toks))
+			b.ReportMetric(float64(peak), "peak-window")
+		})
+	}
+}
+
 // BenchmarkPrediction isolates adaptivePredict on the paper's non-LL(k)
 // XML decision with a long attribute prefix.
 func BenchmarkPrediction(b *testing.B) {
@@ -415,11 +469,11 @@ func BenchmarkPrediction(b *testing.B) {
 	ap := prediction.New(g, prediction.Options{})
 	c := g.Compiled()
 	sID, _ := c.NTIDOf("S")
-	terms := c.InternTerms(w)
+	la := source.FromTokens(c, w)
 	st := machine.Init(g, "S", w)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := ap.Predict(sID, st.Suffix, terms)
+		p := ap.Predict(sID, st.Suffix, la)
 		if p.Kind != machine.PredUnique {
 			b.Fatal("prediction failed")
 		}

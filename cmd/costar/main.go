@@ -7,8 +7,12 @@
 //	costar -g4 mygrammar.g4 input.txt     # ANTLR-style grammar + lexer
 //	costar -bnf grammar.bnf -tokens "a b d"  # BNF grammar, pre-tokenized word
 //
-// Multiple input files share one parser session — and therefore one SLL DFA
-// cache — and are parsed by a worker pool (-j).
+// Inputs stream: each file (or stdin) is lexed and parsed incrementally
+// through a demand-driven token cursor, so memory stays bounded by the
+// parser's lookahead window rather than the input size. Multiple input
+// files share one parser session — and therefore one SLL DFA cache — and
+// are parsed by a worker pool (-j); files are opened only when a worker
+// picks them up.
 //
 // Flags:
 //
@@ -20,8 +24,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,6 +36,7 @@ import (
 	"costar/internal/gviz"
 	"costar/internal/languages/dotlang"
 	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/langkit"
 	"costar/internal/languages/pylang"
 	"costar/internal/languages/xmllang"
 )
@@ -76,11 +83,9 @@ func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []strin
 	if lr := p.LeftRecursiveNTs(); len(lr) > 0 {
 		fmt.Fprintf(os.Stderr, "warning: grammar is left-recursive in %v; parsing will report an error\n", lr)
 	}
-	words := make([][]costar.Token, len(inputs))
-	for i := range inputs {
-		words[i] = inputs[i].tokens
-	}
-	results := p.ParseAll(words, opts.workers)
+	results := p.ParseSourceAll(len(inputs), func(i int) (*costar.TokenSource, func(), error) {
+		return inputs[i].open()
+	}, opts.workers)
 	var firstErr error
 	for i, res := range results {
 		prefix := ""
@@ -89,9 +94,9 @@ func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []strin
 		}
 		switch res.Kind {
 		case costar.Unique:
-			fmt.Printf("%sUnique parse: %d tokens, %d machine steps\n", prefix, len(words[i]), res.Steps)
+			fmt.Printf("%sUnique parse: %d tokens, %d machine steps\n", prefix, res.Consumed, res.Steps)
 		case costar.Ambig:
-			fmt.Printf("%sAMBIGUOUS input: returning one of several parse trees (%d tokens)\n", prefix, len(words[i]))
+			fmt.Printf("%sAMBIGUOUS input: returning one of several parse trees (%d tokens)\n", prefix, res.Consumed)
 		case costar.Reject:
 			err := fmt.Errorf("%sinput rejected: %s", prefix, res.Reason)
 			if firstErr == nil {
@@ -127,33 +132,36 @@ func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []strin
 	return firstErr
 }
 
-// input is one word to parse plus a display name.
+// input is one parse input: a display name plus a deferred open — the file
+// is not touched (and nothing is lexed) until a worker starts parsing it.
+// open returns a fresh token cursor and a cleanup to run after the parse
+// (nil when there is nothing to release).
 type input struct {
-	name   string
-	tokens []costar.Token
+	name string
+	open func() (*costar.TokenSource, func(), error)
 }
 
-// loadInputs resolves the grammar and tokenizes every input file (each
-// positional argument is one file; stdin when absent).
+// loadInputs resolves the grammar and builds a deferred-open input per
+// positional argument (stdin when absent). Lexing errors surface later, as
+// Error results of the parse that pulled the offending bytes.
 func loadInputs(langName, g4Path, bnfPath, tokens string, args []string) (*costar.Grammar, []input, error) {
 	switch {
 	case langName != "":
-		var g *costar.Grammar
-		var tokenize func(string) ([]grammar.Token, error)
+		var lang *langkit.Language
 		switch langName {
 		case "json":
-			g, tokenize = jsonlang.Grammar(), jsonlang.Tokenize
+			lang = jsonlang.Lang
 		case "xml":
-			g, tokenize = xmllang.Grammar(), xmllang.Tokenize
+			lang = xmllang.Lang
 		case "dot":
-			g, tokenize = dotlang.Grammar(), dotlang.Tokenize
+			lang = dotlang.Lang
 		case "python":
-			g, tokenize = pylang.Grammar(), pylang.Tokenize
+			lang = pylang.Lang
 		default:
 			return nil, nil, fmt.Errorf("unknown language %q (json, xml, dot, python)", langName)
 		}
-		inputs, err := tokenizeArgs(tokenize, args)
-		return g, inputs, err
+		cursor := func(r io.Reader) *costar.TokenSource { return lang.Cursor(r) }
+		return lang.Grammar(), fileInputs(cursor, args), nil
 	case g4Path != "":
 		gsrc, err := os.ReadFile(g4Path)
 		if err != nil {
@@ -163,8 +171,8 @@ func loadInputs(langName, g4Path, bnfPath, tokens string, args []string) (*costa
 		if err != nil {
 			return nil, nil, err
 		}
-		inputs, err := tokenizeArgs(lex.Tokenize, args)
-		return g, inputs, err
+		cursor := func(r io.Reader) *costar.TokenSource { return costar.NewTokenSource(g, lex.Pull(r)) }
+		return g, fileInputs(cursor, args), nil
 	case bnfPath != "":
 		gsrc, err := os.ReadFile(bnfPath)
 		if err != nil {
@@ -174,63 +182,59 @@ func loadInputs(langName, g4Path, bnfPath, tokens string, args []string) (*costa
 		if err != nil {
 			return nil, nil, err
 		}
-		toWord := func(src string) ([]grammar.Token, error) {
-			names := strings.Fields(src)
-			w := make([]grammar.Token, len(names))
-			for i, n := range names {
-				w[i] = grammar.Tok(n, n)
-			}
-			return w, nil
-		}
+		cursor := func(r io.Reader) *costar.TokenSource { return costar.NewTokenSource(g, wordPull(r)) }
 		if tokens != "" {
-			w, _ := toWord(tokens)
-			return g, []input{{name: "<tokens>", tokens: w}}, nil
+			return g, []input{{
+				name: "<tokens>",
+				open: func() (*costar.TokenSource, func(), error) {
+					return cursor(strings.NewReader(tokens)), nil, nil
+				},
+			}}, nil
 		}
-		inputs, err := tokenizeArgs(toWord, args)
-		return g, inputs, err
+		return g, fileInputs(cursor, args), nil
 	default:
 		return nil, nil, fmt.Errorf("one of -lang, -g4, -bnf is required (see -h)")
 	}
 }
 
-// tokenizeArgs lexes each file argument into a word (stdin when no args).
-func tokenizeArgs(tokenize func(string) ([]grammar.Token, error), args []string) ([]input, error) {
+// fileInputs wraps each file argument (stdin when none) as a deferred-open
+// input over the given cursor constructor.
+func fileInputs(cursor func(io.Reader) *costar.TokenSource, args []string) []input {
 	if len(args) == 0 {
-		src, err := readStdin()
-		if err != nil {
-			return nil, err
-		}
-		toks, err := tokenize(src)
-		if err != nil {
-			return nil, err
-		}
-		return []input{{name: "<stdin>", tokens: toks}}, nil
+		return []input{{
+			name: "<stdin>",
+			open: func() (*costar.TokenSource, func(), error) {
+				return cursor(os.Stdin), nil, nil
+			},
+		}}
 	}
 	inputs := make([]input, len(args))
 	for i, path := range args {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
+		path := path
+		inputs[i] = input{
+			name: path,
+			open: func() (*costar.TokenSource, func(), error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, nil, err
+				}
+				return cursor(f), func() { f.Close() }, nil
+			},
 		}
-		toks, err := tokenize(string(b))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		inputs[i] = input{name: path, tokens: toks}
 	}
-	return inputs, nil
+	return inputs
 }
 
-// readStdin slurps standard input.
-func readStdin() (string, error) {
-	var sb strings.Builder
-	buf := make([]byte, 64*1024)
-	for {
-		n, err := os.Stdin.Read(buf)
-		sb.Write(buf[:n])
-		if err != nil {
-			break
+// wordPull streams whitespace-separated terminal names from r as tokens
+// (the -bnf input format: each word is both terminal and literal).
+func wordPull(r io.Reader) func() (grammar.Token, bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Split(bufio.ScanWords)
+	return func() (grammar.Token, bool, error) {
+		if !sc.Scan() {
+			return grammar.Token{}, false, sc.Err()
 		}
+		n := sc.Text()
+		return grammar.Tok(n, n), true, nil
 	}
-	return sb.String(), nil
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"costar"
 )
 
 func write(t *testing.T, name, content string) string {
@@ -16,14 +18,43 @@ func write(t *testing.T, name, content string) string {
 	return p
 }
 
+// drain opens an input's cursor and pulls every token — how the tests
+// observe what the deferred-open inputs would feed the parser.
+func drain(t *testing.T, in input) []costar.Token {
+	t.Helper()
+	src, cleanup, err := in.open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	var out []costar.Token
+	for {
+		if _, ok := src.Peek(0); !ok {
+			break
+		}
+		tok, _ := src.Token(0)
+		out = append(out, tok)
+		src.Advance()
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestLoadInputsLang(t *testing.T) {
 	f := write(t, "t.json", `{"a": [1, true]}`)
 	g, inputs, err := loadInputs("json", "", "", "", []string{f})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "json" || len(inputs) != 1 || len(inputs[0].tokens) != 9 { // { STRING : [ NUM , true ] }
-		t.Errorf("start=%q inputs=%d", g.Start, len(inputs))
+	if g.Start != "json" || len(inputs) != 1 {
+		t.Fatalf("start=%q inputs=%d", g.Start, len(inputs))
+	}
+	if toks := drain(t, inputs[0]); len(toks) != 9 { // { STRING : [ NUM , true ] }
+		t.Errorf("tokens = %v", toks)
 	}
 	if _, _, err := loadInputs("klingon", "", "", "", []string{f}); err == nil {
 		t.Error("unknown language accepted")
@@ -42,8 +73,11 @@ func TestLoadInputsG4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "e" || len(inputs) != 1 || len(inputs[0].tokens) != 5 {
-		t.Errorf("start=%q inputs=%v", g.Start, inputs)
+	if g.Start != "e" || len(inputs) != 1 {
+		t.Fatalf("start=%q inputs=%v", g.Start, inputs)
+	}
+	if toks := drain(t, inputs[0]); len(toks) != 5 {
+		t.Errorf("tokens = %v", toks)
 	}
 }
 
@@ -53,8 +87,11 @@ func TestLoadInputsBNF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Start != "S" || len(inputs) != 1 || len(inputs[0].tokens) != 3 || inputs[0].tokens[0].Terminal != "a" {
-		t.Errorf("start=%q inputs=%v", g.Start, inputs)
+	if g.Start != "S" || len(inputs) != 1 {
+		t.Fatalf("start=%q inputs=%v", g.Start, inputs)
+	}
+	if toks := drain(t, inputs[0]); len(toks) != 3 || toks[0].Terminal != "a" {
+		t.Errorf("tokens = %v", toks)
 	}
 	if _, _, err := loadInputs("", "", "", "", nil); err == nil {
 		t.Error("missing mode flag accepted")
@@ -70,6 +107,23 @@ func TestLoadInputsMultipleFiles(t *testing.T) {
 	}
 	if len(inputs) != 2 || inputs[0].name != a || inputs[1].name != b {
 		t.Errorf("inputs = %v", inputs)
+	}
+}
+
+// TestLoadInputsDeferredOpen: inputs must not touch the filesystem until
+// opened, so a missing file fails at parse time, not at load time.
+func TestLoadInputsDeferredOpen(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "missing.json")
+	_, inputs, err := loadInputs("json", "", "", "", []string{missing})
+	if err != nil {
+		t.Fatalf("load should defer the open: %v", err)
+	}
+	if _, _, err := inputs[0].open(); err == nil {
+		t.Error("open of a missing file succeeded")
+	}
+	err = run("json", "", "", "", cliOptions{workers: 1}, []string{missing})
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("err = %v", err)
 	}
 }
 
@@ -104,6 +158,17 @@ func TestRunParallelBatch(t *testing.T) {
 	bad := write(t, "bad.json", `{"k": }`)
 	err := run("json", "", "", "", cliOptions{workers: 2}, append(files, bad))
 	if err == nil || !strings.Contains(err.Error(), "rejected") || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestRunLexFailure: a file whose bytes do not lex must produce a parse
+// error (the streaming pipeline surfaces lexing failures mid-parse), not a
+// false accept or a crash.
+func TestRunLexFailure(t *testing.T) {
+	bad := write(t, "bad.json", "{\"k\": \x01}")
+	err := run("json", "", "", "", cliOptions{workers: 1}, []string{bad})
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -26,11 +26,14 @@
 package costar
 
 import (
+	"io"
+
 	"costar/internal/ebnf"
 	"costar/internal/g4"
 	"costar/internal/grammar"
 	"costar/internal/lexer"
 	"costar/internal/parser"
+	"costar/internal/source"
 	"costar/internal/transform"
 	"costar/internal/tree"
 )
@@ -55,6 +58,12 @@ type (
 	Result = parser.Result
 	// Lexer is a compiled lexical specification.
 	Lexer = lexer.Lexer
+	// TokenSource is a demand-driven token cursor: the parser pulls tokens
+	// through it on demand and only a sliding lookahead window stays
+	// resident, so inputs of any length parse in bounded memory. Build one
+	// with NewTokenSource (from a pull function) or obtain one from a
+	// language's Cursor; pass it to Parser.ParseSource.
+	TokenSource = source.Cursor
 )
 
 // Result kinds.
@@ -118,6 +127,30 @@ func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, 
 // concurrent use and keep the DFA warm across batches.
 func ParseAll(g *Grammar, start string, words [][]Token, workers int) []Result {
 	return parser.ParseAll(g, start, words, workers)
+}
+
+// ParseReader lexes r incrementally with lex and parses the token stream
+// from start in g — the streaming counterpart of Parse. Lexing and parsing
+// are interleaved: tokens are produced only as the parser's lookahead needs
+// them, and memory stays bounded by the deepest lookahead any single
+// prediction uses, not by the input length. Lexing or reader failures
+// surface as Error results, never as false accepts.
+func ParseReader(g *Grammar, start string, lex *Lexer, r io.Reader) Result {
+	return parser.ParseReader(g, start, lex, r)
+}
+
+// NewTokenSource builds a TokenSource for g from a pull function: each call
+// returns the next token, false at end of input, or an error (sticky; the
+// parser reports it as an Error result). Lexer.Pull and a language's Pull
+// have exactly this shape.
+func NewTokenSource(g *Grammar, pull func() (Token, bool, error)) *TokenSource {
+	return source.FromPull(g.Compiled(), pull)
+}
+
+// SliceSource wraps an in-memory token word as a TokenSource (the fully
+// resident special case; Parse does this internally).
+func SliceSource(g *Grammar, w []Token) *TokenSource {
+	return source.FromTokens(g.Compiled(), w)
 }
 
 // LoadG4 compiles a grammar in the ANTLR-4-like syntax (parser rules with

@@ -7,6 +7,7 @@ package costar
 // extended to hostile inputs.
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -226,6 +227,86 @@ func FuzzPythonLayout(f *testing.F) {
 			t.Fatalf("error on non-left-recursive grammar: %v for %q", res.Err, src)
 		}
 	})
+}
+
+// FuzzStreamEquivalence feeds arbitrary bytes — invalid UTF-8, truncated
+// tokens, hostile chunkings down to 1-byte reads — through both the batch
+// pipeline (lex everything, parse the slice) and the streaming pipeline
+// (incremental lexing through a demand-driven cursor) and requires them to
+// agree: when batch lexing succeeds the two parses must return the same
+// kind, tree, and consumed count; when it fails the stream must never
+// accept. And nothing may panic.
+func FuzzStreamEquivalence(f *testing.F) {
+	seeds := []struct {
+		src   string
+		chunk byte
+	}{
+		{`{"a": [1, true, null]}`, 0},
+		{`{"a`, 1},         // truncated mid-token
+		{"\xff\xfe{", 1},   // invalid UTF-8 prefix
+		{`{"k": "éÿ"}`, 2}, // escapes and multi-byte content
+		{"[" + strings.Repeat("1,", 40) + "1]", 3},
+		{`{"k": }`, 1}, // rejects at the parser
+		{"", 0},
+		{"{\"k\": \x01}", 4}, // unlexable byte mid-input
+	}
+	for _, s := range seeds {
+		f.Add(s.src, s.chunk)
+	}
+	g := jsonlang.Grammar()
+	p := MustNewParser(g, Options{MaxSteps: 100000})
+	f.Fuzz(func(t *testing.T, src string, chunk byte) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, lexErr := jsonlang.Tokenize(src)
+		var sliceRes Result
+		if lexErr == nil {
+			sliceRes = p.Parse(toks)
+		}
+		size := 1 + int(chunk)%7
+		cur := jsonlang.Lang.Cursor(iotest(src, size))
+		streamRes := p.ParseSource(cur)
+		if lexErr != nil {
+			if streamRes.Kind == Unique || streamRes.Kind == Ambig {
+				t.Fatalf("slice lexing fails (%v) but stream accepted %q", lexErr, src)
+			}
+			return
+		}
+		if streamRes.Kind != sliceRes.Kind || streamRes.Consumed != sliceRes.Consumed {
+			t.Fatalf("stream %s/%d, slice %s/%d for %q (chunk %d)",
+				streamRes.Kind, streamRes.Consumed, sliceRes.Kind, sliceRes.Consumed, src, size)
+		}
+		if (streamRes.Tree == nil) != (sliceRes.Tree == nil) ||
+			(streamRes.Tree != nil && streamRes.Tree.String() != sliceRes.Tree.String()) {
+			t.Fatalf("trees differ for %q (chunk %d)", src, size)
+		}
+	})
+}
+
+// iotest returns a reader serving s in n-byte reads (n >= 1), so the fuzzer
+// controls where token and rune boundaries land relative to reads.
+func iotest(s string, n int) *chunkedReader { return &chunkedReader{s: s, n: n} }
+
+type chunkedReader struct {
+	s    string
+	i, n int
+}
+
+func (r *chunkedReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	n := r.n
+	if n > len(p) {
+		n = len(p)
+	}
+	if r.i+n > len(r.s) {
+		n = len(r.s) - r.i
+	}
+	copy(p, r.s[r.i:r.i+n])
+	r.i += n
+	return n, nil
 }
 
 func FuzzG4(f *testing.F) {

@@ -112,8 +112,9 @@ COMMENT : '#' ~[\n]* -> skip ;
 WS : [ \t]+ -> skip ;
 `
 
-// Lang is the compiled language; tokenization runs the layout pass.
-var Lang = langkit.New("python3", Source, Layout)
+// Lang is the compiled language; tokenization runs the layout pass, in
+// batch or streaming form depending on the entry point.
+var Lang = langkit.New("python3", Source, Layout).WithStreamLayout(StreamLayout)
 
 // Grammar returns the desugared BNF grammar (start symbol "file_input").
 func Grammar() *grammar.Grammar { return Lang.Grammar() }
@@ -124,7 +125,7 @@ func Lexer() *lexer.Lexer { return Lang.Lexer() }
 // Tokenize lexes Python source and applies the layout pass.
 func Tokenize(src string) ([]grammar.Token, error) { return Lang.Tokenize(src) }
 
-// Layout implements Python's line-structure rules over raw lexemes:
+// layoutState is the per-line state of Python's line-structure rules:
 //
 //   - NEWLINE tokens inside open brackets are dropped (implicit joining);
 //   - blank and comment-only lines produce no NEWLINE;
@@ -132,59 +133,132 @@ func Tokenize(src string) ([]grammar.Token, error) { return Lang.Tokenize(src) }
 //     (indentation is the starting column of the line's first token;
 //     generated corpora indent with spaces only);
 //   - end of input closes any open line and outstanding indents.
-func Layout(lexs []lexer.Lexeme) ([]grammar.Token, error) {
-	var out []grammar.Token
-	indents := []int{0}
-	depth := 0        // bracket nesting
-	lineOpen := false // tokens emitted since last NEWLINE
-	for _, lx := range lexs {
-		if lx.Skip {
-			continue
-		}
-		if lx.Tok.Terminal == "NEWLINE" {
-			if depth > 0 || !lineOpen {
-				continue // implicit joining / blank line
-			}
-			out = append(out, grammar.Tok("NEWLINE", lx.Tok.Literal))
-			lineOpen = false
-			continue
-		}
-		if !lineOpen {
-			// First token of a logical line: apply indentation rules.
-			col := lx.Col - 1
-			switch {
-			case col > indents[len(indents)-1]:
-				indents = append(indents, col)
-				out = append(out, grammar.Tok("INDENT", ""))
-			case col < indents[len(indents)-1]:
-				for len(indents) > 1 && col < indents[len(indents)-1] {
-					indents = indents[:len(indents)-1]
-					out = append(out, grammar.Tok("DEDENT", ""))
-				}
-				if col != indents[len(indents)-1] {
-					return nil, fmt.Errorf("pylang: line %d: unindent to column %d does not match any outer level", lx.Line, col+1)
-				}
-			}
-			lineOpen = true
-		}
-		switch lx.Tok.Terminal {
-		case "(", "[", "{":
-			depth++
-		case ")", "]", "}":
-			if depth > 0 {
-				depth--
-			}
-		}
-		out = append(out, lx.Tok)
+//
+// The state is deliberately tiny (an indent stack and two counters) so the
+// streaming form retains nothing proportional to the input. Both Layout and
+// StreamLayout are drains of the same feed/finish pair, so they agree by
+// construction.
+type layoutState struct {
+	indents  []int
+	depth    int  // bracket nesting
+	lineOpen bool // tokens emitted since last NEWLINE
+}
+
+func newLayoutState() *layoutState {
+	return &layoutState{indents: []int{0}}
+}
+
+// feed processes one raw lexeme, appending any tokens it produces to out.
+func (s *layoutState) feed(lx lexer.Lexeme, out []grammar.Token) ([]grammar.Token, error) {
+	if lx.Skip {
+		return out, nil
 	}
-	if lineOpen {
+	if lx.Tok.Terminal == "NEWLINE" {
+		if s.depth > 0 || !s.lineOpen {
+			return out, nil // implicit joining / blank line
+		}
+		out = append(out, grammar.Tok("NEWLINE", lx.Tok.Literal))
+		s.lineOpen = false
+		return out, nil
+	}
+	if !s.lineOpen {
+		// First token of a logical line: apply indentation rules.
+		col := lx.Col - 1
+		switch {
+		case col > s.indents[len(s.indents)-1]:
+			s.indents = append(s.indents, col)
+			out = append(out, grammar.Tok("INDENT", ""))
+		case col < s.indents[len(s.indents)-1]:
+			for len(s.indents) > 1 && col < s.indents[len(s.indents)-1] {
+				s.indents = s.indents[:len(s.indents)-1]
+				out = append(out, grammar.Tok("DEDENT", ""))
+			}
+			if col != s.indents[len(s.indents)-1] {
+				return nil, fmt.Errorf("pylang: line %d: unindent to column %d does not match any outer level", lx.Line, col+1)
+			}
+		}
+		s.lineOpen = true
+	}
+	switch lx.Tok.Terminal {
+	case "(", "[", "{":
+		s.depth++
+	case ")", "]", "}":
+		if s.depth > 0 {
+			s.depth--
+		}
+	}
+	return append(out, lx.Tok), nil
+}
+
+// finish closes any open logical line and outstanding indents at end of
+// input.
+func (s *layoutState) finish(out []grammar.Token) []grammar.Token {
+	if s.lineOpen {
 		out = append(out, grammar.Tok("NEWLINE", "\n"))
+		s.lineOpen = false
 	}
-	for len(indents) > 1 {
-		indents = indents[:len(indents)-1]
+	for len(s.indents) > 1 {
+		s.indents = s.indents[:len(s.indents)-1]
 		out = append(out, grammar.Tok("DEDENT", ""))
 	}
-	return out, nil
+	return out
+}
+
+// Layout is the batch form of the line-structure pass: it drains the whole
+// lexeme slice through the layout state.
+func Layout(lexs []lexer.Lexeme) ([]grammar.Token, error) {
+	st := newLayoutState()
+	var out []grammar.Token
+	var err error
+	for _, lx := range lexs {
+		if out, err = st.feed(lx, out); err != nil {
+			return nil, err
+		}
+	}
+	return st.finish(out), nil
+}
+
+// StreamLayout is the demand-driven form: each call pulls just enough raw
+// lexemes to produce the next parser token. One lexeme can yield several
+// tokens (a deep unindent emits a burst of DEDENTs), so a small queue
+// buffers the surplus; it never grows beyond one line's worth of layout
+// tokens. Errors — from the lexeme source or from the indentation rules —
+// are sticky.
+func StreamLayout(next func() (lexer.Lexeme, bool, error)) func() (grammar.Token, bool, error) {
+	st := newLayoutState()
+	var queue []grammar.Token
+	done := false
+	var sticky error
+	return func() (grammar.Token, bool, error) {
+		for {
+			if sticky != nil {
+				return grammar.Token{}, false, sticky
+			}
+			if len(queue) > 0 {
+				t := queue[0]
+				queue = queue[1:]
+				return t, true, nil
+			}
+			if done {
+				return grammar.Token{}, false, nil
+			}
+			queue = queue[:0]
+			lx, ok, err := next()
+			if err != nil {
+				sticky = err
+				return grammar.Token{}, false, err
+			}
+			if !ok {
+				queue = st.finish(queue)
+				done = true
+				continue
+			}
+			if queue, err = st.feed(lx, queue); err != nil {
+				sticky = err
+				return grammar.Token{}, false, err
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

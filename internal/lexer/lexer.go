@@ -188,54 +188,11 @@ func MustNew(spec Spec) *Lexer {
 
 // Scan tokenizes src into lexemes, including skip lexemes (callers that
 // need layout information want them; Tokenize drops them). Mode switches
-// take effect immediately after the triggering rule matches.
+// take effect immediately after the triggering rule matches. Scan is a
+// drain of the incremental Scanner, so the batch and streaming paths are
+// the same code and cannot disagree.
 func (l *Lexer) Scan(src string) ([]Lexeme, error) {
-	var out []Lexeme
-	line, col := 1, 1
-	i := 0
-	modeStack := []int{0}
-	for i < len(src) {
-		cur := l.modes[modeStack[len(modeStack)-1]]
-		n, pat, ok := cur.multi.LongestPrefix(src, i)
-		if !ok || n == 0 {
-			end := i + 12
-			if end > len(src) {
-				end = len(src)
-			}
-			return nil, &Error{Line: line, Col: col, Offset: i, Snippet: src[i:end]}
-		}
-		rule := cur.rules[pat]
-		r := l.spec.Rules[rule]
-		text := src[i : i+n]
-		out = append(out, Lexeme{
-			Tok:    grammar.Tok(r.Name, text),
-			Line:   line,
-			Col:    col,
-			Offset: i,
-			Skip:   r.Skip,
-		})
-		for _, ch := range text {
-			if ch == '\n' {
-				line++
-				col = 1
-			} else {
-				col++
-			}
-		}
-		i += n
-		switch a := l.actions[rule]; {
-		case a.push >= 0:
-			modeStack = append(modeStack, a.push)
-		case a.set >= 0:
-			modeStack[len(modeStack)-1] = a.set
-		case a.pop:
-			if len(modeStack) == 1 {
-				return nil, &Error{Line: line, Col: col, Offset: i, Snippet: "popMode on an empty mode stack"}
-			}
-			modeStack = modeStack[:len(modeStack)-1]
-		}
-	}
-	return out, nil
+	return scanAll(l.ScanReader(strings.NewReader(src)))
 }
 
 // Tokenize scans src and returns the non-skip tokens — the word the parser

@@ -1,0 +1,240 @@
+package lexer
+
+import (
+	"io"
+	"unicode/utf8"
+
+	"costar/internal/grammar"
+	"costar/internal/rx"
+)
+
+// fillChunk is how many bytes a Scanner asks the reader for at a time.
+const fillChunk = 4096
+
+// errSnippet is how many bytes of context a lexing error carries, matching
+// the batch Scan path.
+const errSnippet = 12
+
+// Scanner tokenizes an io.Reader incrementally: it holds only the bytes of
+// the token currently being matched (plus at most one read chunk), so
+// arbitrarily large inputs lex in bounded memory. It produces exactly the
+// lexemes — and exactly the errors — that Scan produces on the same bytes;
+// Scan itself is implemented as a drain of a Scanner, so the equivalence
+// holds by construction.
+//
+// A Scanner is single-use and not safe for concurrent use.
+type Scanner struct {
+	l   *Lexer
+	r   io.Reader
+	tmp []byte // reusable read chunk
+
+	buf   []byte // unconsumed bytes pulled from r
+	atEOF bool   // r reported io.EOF (or another terminal error)
+	ioErr error  // terminal reader error other than io.EOF
+	zero  int    // consecutive (0, nil) reads, to detect stuck readers
+
+	line, col int // 1-based position of the next token
+	offset    int // absolute byte offset of the next token
+	modeStack []int
+
+	done bool
+	err  error // sticky: first error returned by Next
+}
+
+// ScanReader starts an incremental scan of r.
+func (l *Lexer) ScanReader(r io.Reader) *Scanner {
+	return &Scanner{
+		l:         l,
+		r:         r,
+		tmp:       make([]byte, fillChunk),
+		line:      1,
+		col:       1,
+		modeStack: []int{0},
+	}
+}
+
+// fill pulls one chunk from the reader into the buffer. It returns a non-nil
+// error only for terminal reader failures (never io.EOF, which just marks
+// the buffer as final).
+func (s *Scanner) fill() error {
+	if s.atEOF {
+		return s.ioErr
+	}
+	n, err := s.r.Read(s.tmp)
+	if n > 0 {
+		s.buf = append(s.buf, s.tmp[:n]...)
+		s.zero = 0
+	} else if err == nil {
+		// A reader may legitimately return (0, nil) occasionally, but a
+		// reader that does so forever would stall the scan.
+		if s.zero++; s.zero >= 100 {
+			s.atEOF, s.ioErr = true, io.ErrNoProgress
+			return s.ioErr
+		}
+	}
+	if err != nil {
+		s.atEOF = true
+		if err != io.EOF {
+			s.ioErr = err
+			return err
+		}
+	}
+	return nil
+}
+
+// want grows the buffer until it holds at least n bytes or the reader is
+// exhausted.
+func (s *Scanner) want(n int) error {
+	for len(s.buf) < n && !s.atEOF {
+		if err := s.fill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// match runs the current mode's DFA over the buffer, refilling as the match
+// frontier approaches the buffer end, and returns the longest match (byte
+// length and pattern index). It mirrors rx.MultiDFA.LongestPrefix, with two
+// streaming additions: it refills rather than decode a rune split across
+// chunks (utf8.FullRune), and at true end of input it decodes truncated
+// bytes to (RuneError, 1) exactly as the string path does.
+func (s *Scanner) match(m *rx.MultiDFA) (length, pattern int, ok bool, err error) {
+	st := m.Start()
+	best, bestPat, found := 0, -1, false
+	if r := m.Accept(st); r >= 0 {
+		bestPat, found = r, true
+	}
+	i := 0
+	for {
+		for !s.atEOF && !utf8.FullRune(s.buf[i:]) {
+			if err := s.fill(); err != nil {
+				return 0, 0, false, err
+			}
+		}
+		if i >= len(s.buf) {
+			break
+		}
+		r, size := utf8.DecodeRune(s.buf[i:])
+		st = m.Next(st, r)
+		if st < 0 {
+			break
+		}
+		i += size
+		if rule := m.Accept(st); rule >= 0 {
+			best, bestPat, found = i, rule, true
+		}
+	}
+	return best, bestPat, found, nil
+}
+
+// Next returns the next lexeme (including skip lexemes). The second result
+// is false at end of input or on error; errors are sticky.
+func (s *Scanner) Next() (Lexeme, bool, error) {
+	if s.err != nil {
+		return Lexeme{}, false, s.err
+	}
+	if s.done {
+		return Lexeme{}, false, nil
+	}
+	if err := s.want(1); err != nil {
+		s.err = err
+		return Lexeme{}, false, err
+	}
+	if len(s.buf) == 0 {
+		s.done = true
+		return Lexeme{}, false, nil
+	}
+	cur := s.l.modes[s.modeStack[len(s.modeStack)-1]]
+	n, pat, ok, err := s.match(cur.multi)
+	if err != nil {
+		s.err = err
+		return Lexeme{}, false, err
+	}
+	if !ok || n == 0 {
+		if err := s.want(errSnippet); err != nil {
+			s.err = err
+			return Lexeme{}, false, err
+		}
+		end := errSnippet
+		if end > len(s.buf) {
+			end = len(s.buf)
+		}
+		s.err = &Error{Line: s.line, Col: s.col, Offset: s.offset, Snippet: string(s.buf[:end])}
+		return Lexeme{}, false, s.err
+	}
+	rule := cur.rules[pat]
+	r := s.l.spec.Rules[rule]
+	text := string(s.buf[:n])
+	lx := Lexeme{
+		Tok:    grammar.Tok(r.Name, text),
+		Line:   s.line,
+		Col:    s.col,
+		Offset: s.offset,
+		Skip:   r.Skip,
+	}
+	for _, ch := range text {
+		if ch == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+	}
+	s.offset += n
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil // let the consumed backing array go; fill reallocates
+	}
+	switch a := s.l.actions[rule]; {
+	case a.push >= 0:
+		s.modeStack = append(s.modeStack, a.push)
+	case a.set >= 0:
+		s.modeStack[len(s.modeStack)-1] = a.set
+	case a.pop:
+		if len(s.modeStack) == 1 {
+			// The triggering lexeme is still delivered; the error surfaces
+			// on the next call (the batch adapter discards both, matching
+			// Scan's historical behavior).
+			s.err = &Error{Line: s.line, Col: s.col, Offset: s.offset, Snippet: "popMode on an empty mode stack"}
+		} else {
+			s.modeStack = s.modeStack[:len(s.modeStack)-1]
+		}
+	}
+	return lx, true, nil
+}
+
+// Pull returns a demand-driven token source over r: each call lexes just
+// enough input to produce the next non-skip token. The returned function
+// has the shape source.Pull expects, so a cursor can be built directly on
+// top of it.
+func (l *Lexer) Pull(r io.Reader) func() (grammar.Token, bool, error) {
+	sc := l.ScanReader(r)
+	return func() (grammar.Token, bool, error) {
+		for {
+			lx, ok, err := sc.Next()
+			if err != nil || !ok {
+				return grammar.Token{}, false, err
+			}
+			if !lx.Skip {
+				return lx.Tok, true, nil
+			}
+		}
+	}
+}
+
+// scanAll drains a Scanner into a slice; Scan builds on this so the batch
+// and streaming paths cannot drift apart.
+func scanAll(sc *Scanner) ([]Lexeme, error) {
+	var out []Lexeme
+	for {
+		lx, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, lx)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/big"
 
 	"costar/internal/grammar"
+	"costar/internal/source"
 	"costar/internal/tree"
 )
 
@@ -23,9 +24,10 @@ type oraclePredictor struct {
 	g *grammar.Grammar
 }
 
-func (o oraclePredictor) Predict(nt grammar.NTID, suffix *SuffixStack, remaining []grammar.TermID) Prediction {
+func (o oraclePredictor) Predict(nt grammar.NTID, suffix *SuffixStack, la *source.Cursor) Prediction {
 	c := o.g.Compiled()
-	cont := suffix.Unproc()[1:] // drop the decision nonterminal itself
+	remaining := la.Materialize() // the oracle backtracks over the whole rest
+	cont := suffix.Unproc()[1:]   // drop the decision nonterminal itself
 	var viable [][]grammar.SymID
 	for _, pi := range c.ProdsFor(nt) {
 		rhs := c.Rhs(pi)
@@ -77,7 +79,7 @@ type scriptedPredictor struct {
 	calls  int
 }
 
-func (s *scriptedPredictor) Predict(grammar.NTID, *SuffixStack, []grammar.TermID) Prediction {
+func (s *scriptedPredictor) Predict(grammar.NTID, *SuffixStack, *source.Cursor) Prediction {
 	if s.calls >= len(s.script) {
 		return Prediction{Kind: PredReject}
 	}
@@ -403,16 +405,16 @@ func TestMeasureDecreasesEveryStep(t *testing.T) {
 					t.Errorf("step %s did not decrease measure: %v -> %v", op, mb, ma)
 				}
 				switch op {
-				case OpConsume:
-					if ma.Tokens != mb.Tokens-1 {
-						t.Errorf("consume: tokens %d -> %d", mb.Tokens, ma.Tokens)
+				case OpConsume: // remaining = |w| − consumed drops by one
+					if ma.Consumed != mb.Consumed+1 {
+						t.Errorf("consume: consumed %d -> %d", mb.Consumed, ma.Consumed)
 					}
-				case OpPush: // Lemma 4.3: strict score decrease, same tokens
-					if ma.Tokens != mb.Tokens || ma.Score.Cmp(mb.Score) >= 0 {
+				case OpPush: // Lemma 4.3: strict score decrease, same remaining
+					if ma.Consumed != mb.Consumed || ma.Score.Cmp(mb.Score) >= 0 {
 						t.Errorf("push: measure %v -> %v", mb, ma)
 					}
 				case OpReturn: // Lemma 4.4: score non-increasing, height decreases
-					if ma.Tokens != mb.Tokens || ma.Score.Cmp(mb.Score) > 0 || ma.Height >= mb.Height {
+					if ma.Consumed != mb.Consumed || ma.Score.Cmp(mb.Score) > 0 || ma.Height >= mb.Height {
 						t.Errorf("return: measure %v -> %v", mb, ma)
 					}
 				}
@@ -422,14 +424,16 @@ func TestMeasureDecreasesEveryStep(t *testing.T) {
 }
 
 func TestMeasureLess(t *testing.T) {
-	m := func(tok int, score int64, h int) Measure {
-		return Measure{Tokens: tok, Score: big.NewInt(score), Height: h}
+	m := func(consumed int, score int64, h int) Measure {
+		return Measure{Consumed: consumed, Score: big.NewInt(score), Height: h}
 	}
 	if !m(1, 1, 1).Less(m(1, 2, 1)) || m(1, 2, 1).Less(m(1, 1, 1)) || m(1, 1, 1).Less(m(1, 1, 1)) {
 		t.Error("score ordering wrong")
 	}
-	if !m(0, 100, 100).Less(m(1, 0, 0)) {
-		t.Error("token count must dominate")
+	// More consumed means fewer remaining, hence a strictly smaller measure,
+	// regardless of the other components.
+	if !m(1, 100, 100).Less(m(0, 0, 0)) {
+		t.Error("remaining-token count must dominate")
 	}
 	if !m(1, 0, 1).Less(m(1, 0, 2)) {
 		t.Error("height must break ties")
@@ -486,7 +490,7 @@ func TestStackHelpers(t *testing.T) {
 	if empty.Height() != 0 {
 		t.Error("nil stack height")
 	}
-	if got := st.String(); !strings.Contains(got, "unique") || !strings.Contains(got, "1 tokens") {
+	if got := st.String(); !strings.Contains(got, "unique") || !strings.Contains(got, "0 consumed") {
 		t.Errorf("State.String = %q", got)
 	}
 }

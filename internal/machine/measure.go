@@ -11,22 +11,32 @@ import (
 //	meas(σ) = ( #remaining tokens, stackScore(G, Ψ, V), height(Ψ) )
 //
 // ordered lexicographically (<3 in the paper). Every machine step strictly
-// decreases it (Lemma 4.2): consume decreases Tokens; push holds Tokens and
-// decreases Score (Lemma 4.3); return holds Tokens, does not increase Score
-// (Lemma 4.4), and decreases Height.
+// decreases it (Lemma 4.2): consume decreases the remaining count; push
+// holds it and decreases Score (Lemma 4.3); return holds it, does not
+// increase Score (Lemma 4.4), and decreases Height.
+//
+// With the streaming cursor the machine no longer knows |w| up front, so
+// the first component is restated over what it can observe: the consumed
+// count. remaining = |w| − consumed for the fixed input of any one run, so
+// "remaining strictly decreases" is exactly "consumed strictly increases" —
+// Less inverts the comparison on the first component and the order is
+// unchanged. The measure stays well-founded because consumed is bounded
+// above by |w| (the cursor cannot mint tokens).
 //
 // Score is a big.Int because its value is b^e-scaled with e up to the number
 // of grammar nonterminals (287 for the paper's Python grammar).
 type Measure struct {
-	Tokens int
-	Score  *big.Int
-	Height int
+	Consumed int
+	Score    *big.Int
+	Height   int
 }
 
-// Less reports m <3 o (strict lexicographic order).
+// Less reports m <3 o (strict lexicographic order on (remaining, Score,
+// Height), with remaining = |w| − Consumed: larger Consumed means smaller
+// measure).
 func (m Measure) Less(o Measure) bool {
-	if m.Tokens != o.Tokens {
-		return m.Tokens < o.Tokens
+	if m.Consumed != o.Consumed {
+		return m.Consumed > o.Consumed
 	}
 	if c := m.Score.Cmp(o.Score); c != 0 {
 		return c < 0
@@ -35,11 +45,13 @@ func (m Measure) Less(o Measure) bool {
 }
 
 // Meas computes the measure of a state (the meas function of Section 4.2).
+// It reads the state's consumed snapshot, not the live cursor, so measures
+// taken before a step stay valid after it.
 func Meas(g *grammar.Grammar, st *State) Measure {
 	return Measure{
-		Tokens: len(st.Tokens),
-		Score:  StackScore(g, st.Suffix, st.Visited.Len()),
-		Height: st.Suffix.Height(),
+		Consumed: st.Consumed,
+		Score:    StackScore(g, st.Suffix, st.Visited.Len()),
+		Height:   st.Suffix.Height(),
 	}
 }
 

@@ -74,22 +74,23 @@ type Options struct {
 // according to the machine's uniqueness flag.
 //
 // Termination: the Coq development proves each step decreases
-// meas(σ) = (|tokens|, stackScore, stack height) in lexicographic order
-// (Lemmas 4.1-4.4); the same measure is exported here as Meas, and the
-// property tests check the decrease on randomized runs.
+// meas(σ) = (|remaining tokens|, stackScore, stack height) in lexicographic
+// order (Lemmas 4.1-4.4); the same measure is exported here as Meas —
+// restated over the consumed count, which the cursor makes observable even
+// when the input length is not known up front — and the property tests
+// check the decrease on randomized runs.
 func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Result {
 	steps := 0
-	total := len(st.Tokens)
 	for {
 		if opts.CheckInvariants {
 			if err := CheckStacksWf(g, st); err != nil {
 				return Result{Kind: ResultError, Err: InvalidState("invariant violation: %v", err),
-					Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+					Steps: steps, Consumed: st.Consumed, Final: st}
 			}
 		}
 		if opts.MaxSteps > 0 && steps >= opts.MaxSteps {
 			return Result{Kind: ResultError, Err: InvalidState("step budget %d exhausted", opts.MaxSteps),
-				Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+				Steps: steps, Consumed: st.Consumed, Final: st}
 		}
 		r := Step(g, pred, st)
 		steps++
@@ -104,11 +105,11 @@ func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Resu
 			if !st.Unique {
 				kind = Ambig
 			}
-			return Result{Kind: kind, Tree: r.Tree, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+			return Result{Kind: kind, Tree: r.Tree, Steps: steps, Consumed: st.Consumed, Final: st}
 		case StepReject:
-			return Result{Kind: Reject, Reason: r.Reason, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+			return Result{Kind: Reject, Reason: r.Reason, Steps: steps, Consumed: st.Consumed, Final: st}
 		default:
-			return Result{Kind: ResultError, Err: r.Err, Steps: steps, Consumed: total - len(st.Tokens), Final: st}
+			return Result{Kind: ResultError, Err: r.Err, Steps: steps, Consumed: st.Consumed, Final: st}
 		}
 	}
 }

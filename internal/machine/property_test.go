@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"costar/internal/grammar"
+	"costar/internal/source"
 	"costar/internal/tree"
 )
 
@@ -22,7 +23,7 @@ type chaosPredictor struct {
 	rng *rand.Rand
 }
 
-func (c chaosPredictor) Predict(nt grammar.NTID, _ *SuffixStack, _ []grammar.TermID) Prediction {
+func (c chaosPredictor) Predict(nt grammar.NTID, _ *SuffixStack, _ *source.Cursor) Prediction {
 	cc := c.g.Compiled()
 	idxs := cc.ProdsFor(nt)
 	if len(idxs) == 0 {

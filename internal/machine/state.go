@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"costar/internal/grammar"
+	"costar/internal/source"
 	"costar/internal/tree"
 )
 
@@ -13,52 +14,65 @@ import (
 // it out of State lets the same cache serve a whole parsing session.
 //
 // A state runs on the compiled grammar: stacks hold dense symbol IDs, the
-// remaining input carries pre-interned terminal IDs (Terms, parallel to
-// Tokens), and the visited set is a bitset over NTIDs.
+// remaining input is a demand-driven cursor carrying pre-interned terminal
+// IDs, and the visited set is a bitset over NTIDs.
+//
+// The stacks are persistent and shared across states, but the cursor is a
+// single mutable value threaded linearly through the run: after a consume,
+// earlier states' view of the remaining input has moved too. Each state
+// snapshots its own Consumed count, so measures taken before a step
+// (Meas in OnStep hooks, the termination tests) remain valid afterwards.
 type State struct {
-	C       *grammar.Compiled // compiled grammar the IDs index into
-	Start   grammar.NTID      // start nonterminal (for invariant checking and finalization)
-	Prefix  *PrefixStack
-	Suffix  *SuffixStack
-	Tokens  []grammar.Token  // remaining input (literals feed the leaves)
-	Terms   []grammar.TermID // remaining input terminal IDs, parallel to Tokens
-	Visited NTSet            // nonterminals opened since the last consume (Section 4.1)
-	Unique  bool             // false once prediction has detected ambiguity
+	C        *grammar.Compiled // compiled grammar the IDs index into
+	Start    grammar.NTID      // start nonterminal (for invariant checking and finalization)
+	Prefix   *PrefixStack
+	Suffix   *SuffixStack
+	Src      *source.Cursor // remaining input, pulled on demand
+	Consumed int            // tokens consumed when this state was built
+	Visited  NTSet          // nonterminals opened since the last consume (Section 4.1)
+	Unique   bool           // false once prediction has detected ambiguity
 }
 
 // Init builds the initial machine state for start symbol start and word w:
 // one empty prefix frame, one suffix frame holding the start symbol, all
 // tokens remaining, empty visited set, unique flag true (σ0 of Figure 2).
-// The word's terminals are interned once here; every later consume is an
-// integer compare. Init panics if start was never interned (i.e. it is
-// neither defined nor referenced in g); Parser.ParseFrom screens that out
-// with HasNT before reaching the machine.
+// The word is wrapped in a slice-backed cursor, interning its terminals once
+// here; every later consume is an integer compare. Init panics if start was
+// never interned (i.e. it is neither defined nor referenced in g);
+// Parser.ParseFrom screens that out with HasNT before reaching the machine.
 func Init(g *grammar.Grammar, start string, w []grammar.Token) *State {
+	return InitSource(g, start, source.FromTokens(g.Compiled(), w))
+}
+
+// InitSource is Init over an arbitrary token cursor — the streaming entry
+// point. The cursor must be fresh (nothing consumed) and is owned by the
+// machine for the duration of the run.
+func InitSource(g *grammar.Grammar, start string, src *source.Cursor) *State {
 	c := g.Compiled()
 	sid, ok := c.NTIDOf(start)
 	if !ok {
 		panic(fmt.Sprintf("machine: start symbol %q is not in the grammar", start))
 	}
 	return &State{
-		C:      c,
-		Start:  sid,
-		Prefix: PushPrefix(PrefixFrame{}, nil),
-		Suffix: PushSuffix(SuffixFrame{Lhs: grammar.NoNT, Rest: []grammar.SymID{grammar.NTSym(sid)}}, nil),
-		Tokens: w,
-		Terms:  c.InternTerms(w),
-		Unique: true,
+		C:        c,
+		Start:    sid,
+		Prefix:   PushPrefix(PrefixFrame{}, nil),
+		Suffix:   PushSuffix(SuffixFrame{Lhs: grammar.NoNT, Rest: []grammar.SymID{grammar.NTSym(sid)}}, nil),
+		Src:      src,
+		Consumed: src.Pos(),
+		Unique:   true,
 	}
 }
 
 // String renders the state compactly for traces:
-// "⟨prefix | suffix | 3 tokens | {S, A} | unique⟩".
+// "⟨prefix | suffix | 3 consumed | {S, A} | unique⟩".
 func (st *State) String() string {
 	flag := "unique"
 	if !st.Unique {
 		flag = "ambig"
 	}
-	return fmt.Sprintf("⟨%s | %s | %d tokens | %s | %s⟩",
-		st.Prefix.StringWith(st.C), st.Suffix.StringWith(st.C), len(st.Tokens),
+	return fmt.Sprintf("⟨%s | %s | %d consumed | %s | %s⟩",
+		st.Prefix.StringWith(st.C), st.Suffix.StringWith(st.C), st.Consumed,
 		st.Visited.StringWith(st.C), flag)
 }
 
@@ -74,6 +88,11 @@ const (
 	// ErrLeftRecursive means nonterminal NT was detected as left-recursive
 	// dynamically (Section 4.1).
 	ErrLeftRecursive
+	// ErrSource means the token source failed while the machine was pulling
+	// input — an io.Reader error or an incremental lexing failure.
+	// Unreachable on slice-backed inputs, which are fully lexed before the
+	// machine starts.
+	ErrSource
 )
 
 // Error is a machine or prediction error value.
@@ -88,6 +107,8 @@ func (e *Error) Error() string {
 	switch e.Kind {
 	case ErrLeftRecursive:
 		return fmt.Sprintf("left-recursive nonterminal %s: %s", e.NT, e.Msg)
+	case ErrSource:
+		return fmt.Sprintf("token source failed: %s", e.Msg)
 	default:
 		return fmt.Sprintf("invalid machine state: %s", e.Msg)
 	}
@@ -101,6 +122,11 @@ func InvalidState(format string, args ...any) *Error {
 // LeftRecursive constructs an ErrLeftRecursive error for nt.
 func LeftRecursive(nt, msg string) *Error {
 	return &Error{Kind: ErrLeftRecursive, NT: nt, Msg: msg}
+}
+
+// SourceErr wraps a token-source failure as an ErrSource machine error.
+func SourceErr(err error) *Error {
+	return &Error{Kind: ErrSource, Msg: err.Error()}
 }
 
 // PredKind classifies predictions (Figure 1: p ::= UniqueP(γ) | AmbigP(γ) |
@@ -133,11 +159,13 @@ type Prediction struct {
 }
 
 // Predictor chooses a right-hand side for decision nonterminal nt given the
-// machine's current suffix stack (whose top symbol is nt) and the terminal
-// IDs of the remaining tokens. adaptivePredict (internal/prediction) is the
-// production implementation; tests substitute simpler ones.
+// machine's current suffix stack (whose top symbol is nt) and a lookahead
+// cursor positioned at the next unconsumed token. Implementations peek —
+// never advance — the cursor; how deep they peek is exactly how much input
+// the sliding window must retain. adaptivePredict (internal/prediction) is
+// the production implementation; tests substitute simpler ones.
 type Predictor interface {
-	Predict(nt grammar.NTID, suffix *SuffixStack, remaining []grammar.TermID) Prediction
+	Predict(nt grammar.NTID, suffix *SuffixStack, la *source.Cursor) Prediction
 }
 
 // StepKind classifies step results (Figure 1: r ::= AcceptS(v) | RejectS |

@@ -17,10 +17,13 @@ import (
 //   - push: top stack symbol is a nonterminal — detect left recursion,
 //     then call the predictor and push the chosen right-hand side.
 //
-// Step never mutates st; continuing results carry a fresh state sharing
-// structure with the old one. All symbol dispatch and matching is on dense
-// IDs: consume compares two int32s, the left-recursion check is one bitset
-// probe — no string touches the hot path.
+// Step never mutates st's stacks or flags; continuing results carry a fresh
+// state sharing structure with the old one. The input cursor is the one
+// mutable piece: a consume advances it, so states must be used linearly
+// (which Multistep does — each state is stepped exactly once). All symbol
+// dispatch and matching is on dense IDs: consume compares two int32s, the
+// left-recursion check is one bitset probe — no string touches the hot
+// path.
 func Step(g *grammar.Grammar, pred Predictor, st *State) StepResult {
 	top := st.Suffix
 	if len(top.F.Rest) == 0 {
@@ -47,8 +50,12 @@ func finalize(st *State) StepResult {
 		return StepResult{Kind: StepError, Err: InvalidState(
 			"suffix stack exhausted but prefix stack has %d frames", st.Prefix.Height())}
 	}
-	if len(st.Tokens) > 0 {
-		return StepResult{Kind: StepReject, Reason: "input continues past a complete parse: next token " + st.Tokens[0].String()}
+	if _, ok := st.Src.Peek(0); ok {
+		tok, _ := st.Src.Token(0)
+		return StepResult{Kind: StepReject, Reason: "input continues past a complete parse: next token " + tok.String()}
+	}
+	if err := st.Src.Err(); err != nil {
+		return StepResult{Kind: StepError, Err: SourceErr(err)}
 	}
 	if len(st.Prefix.F.Trees) != 1 {
 		return StepResult{Kind: StepError, Err: InvalidState(
@@ -77,39 +84,46 @@ func stepReturn(st *State) StepResult {
 	// push). The two cases are exactly Lemma 4.4's "(a) decreases or
 	// (b) remains constant" split for the stack score.
 	next := &State{
-		C:       st.C,
-		Start:   st.Start,
-		Prefix:  PushPrefix(caller, st.Prefix.Below.Below),
-		Suffix:  st.Suffix.Below,
-		Tokens:  st.Tokens,
-		Terms:   st.Terms,
-		Visited: st.Visited.Remove(x),
-		Unique:  st.Unique,
+		C:        st.C,
+		Start:    st.Start,
+		Prefix:   PushPrefix(caller, st.Prefix.Below.Below),
+		Suffix:   st.Suffix.Below,
+		Src:      st.Src,
+		Consumed: st.Consumed,
+		Visited:  st.Visited.Remove(x),
+		Unique:   st.Unique,
 	}
 	return StepResult{Kind: StepCont, Op: OpReturn, State: next}
 }
 
 // stepConsume matches terminal a against the next token (the (σ2) → (σ3)
-// transition of Figure 2). A successful consume empties the visited set.
+// transition of Figure 2). A successful consume empties the visited set and
+// advances the cursor — the one transition that shrinks the window.
 func stepConsume(st *State, a grammar.TermID) StepResult {
-	if len(st.Tokens) == 0 {
+	t, ok := st.Src.Peek(0)
+	if !ok {
+		if err := st.Src.Err(); err != nil {
+			return StepResult{Kind: StepError, Err: SourceErr(err)}
+		}
 		return StepResult{Kind: StepReject,
 			Reason: "input exhausted while expecting terminal " + grammar.T(st.C.TermName(a)).String()}
 	}
-	if st.Terms[0] != a {
+	tok, _ := st.Src.Token(0)
+	if t != a {
 		return StepResult{Kind: StepReject,
-			Reason: "expected terminal " + grammar.T(st.C.TermName(a)).String() + ", found " + st.Tokens[0].String()}
+			Reason: "expected terminal " + grammar.T(st.C.TermName(a)).String() + ", found " + tok.String()}
 	}
 	topSuffix := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
-	topPrefix := st.Prefix.F.consProc(grammar.TermSym(a), tree.Leaf(st.Tokens[0]))
+	topPrefix := st.Prefix.F.consProc(grammar.TermSym(a), tree.Leaf(tok))
+	st.Src.Advance()
 	next := &State{
-		C:      st.C,
-		Start:  st.Start,
-		Prefix: PushPrefix(topPrefix, st.Prefix.Below),
-		Suffix: PushSuffix(topSuffix, st.Suffix.Below),
-		Tokens: st.Tokens[1:],
-		Terms:  st.Terms[1:],
-		Unique: st.Unique,
+		C:        st.C,
+		Start:    st.Start,
+		Prefix:   PushPrefix(topPrefix, st.Prefix.Below),
+		Suffix:   PushSuffix(topSuffix, st.Suffix.Below),
+		Src:      st.Src,
+		Consumed: st.Consumed + 1,
+		Unique:   st.Unique,
 	}
 	return StepResult{Kind: StepCont, Op: OpConsume, State: next}
 }
@@ -125,9 +139,14 @@ func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) Ste
 		return StepResult{Kind: StepError, Err: InvalidState(
 			"top stack nonterminal %s has no productions", st.C.NTName(x))}
 	}
-	p := pred.Predict(x, st.Suffix, st.Terms)
+	p := pred.Predict(x, st.Suffix, st.Src)
 	switch p.Kind {
 	case PredReject:
+		// A truncated source looks like EOF to prediction; surface the
+		// underlying failure rather than a spurious rejection.
+		if err := st.Src.Err(); err != nil {
+			return StepResult{Kind: StepError, Err: SourceErr(err)}
+		}
 		reason := "no viable right-hand side for nonterminal " + st.C.NTName(x)
 		if p.FailDepth > 0 {
 			reason += fmt.Sprintf(" (last alternative died %d tokens ahead)", p.FailDepth)
@@ -143,14 +162,14 @@ func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) Ste
 	caller := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
 	pushed := SuffixFrame{Lhs: x, Rest: p.Rhs}
 	next := &State{
-		C:       st.C,
-		Start:   st.Start,
-		Prefix:  PushPrefix(PrefixFrame{}, st.Prefix),
-		Suffix:  PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
-		Tokens:  st.Tokens,
-		Terms:   st.Terms,
-		Visited: st.Visited.Add(x),
-		Unique:  st.Unique && p.Kind != PredAmbig,
+		C:        st.C,
+		Start:    st.Start,
+		Prefix:   PushPrefix(PrefixFrame{}, st.Prefix),
+		Suffix:   PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
+		Src:      st.Src,
+		Consumed: st.Consumed,
+		Visited:  st.Visited.Add(x),
+		Unique:   st.Unique && p.Kind != PredAmbig,
 	}
 	return StepResult{Kind: StepCont, Op: OpPush, State: next}
 }

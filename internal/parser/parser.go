@@ -21,6 +21,7 @@ package parser
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -28,8 +29,10 @@ import (
 
 	"costar/internal/analysis"
 	"costar/internal/grammar"
+	"costar/internal/lexer"
 	"costar/internal/machine"
 	"costar/internal/prediction"
+	"costar/internal/source"
 	"costar/internal/tree"
 )
 
@@ -163,6 +166,41 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 // ParseFrom parses w starting from nonterminal start. It is reentrant:
 // concurrent calls on one session share the SLL DFA cache safely.
 func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
+	return p.parse(start, source.FromTokens(p.g.Compiled(), w), len(w))
+}
+
+// ParseSource parses the tokens of src from the grammar's start symbol. The
+// cursor is consumed by the parse (it is a single-use value); on a Reject or
+// Error result it is left at the failure position for diagnostics.
+func (p *Parser) ParseSource(src *source.Cursor) Result {
+	return p.ParseSourceFrom(p.g.Start, src)
+}
+
+// ParseSourceFrom is ParseSource starting from nonterminal start. This is
+// the streaming core every other entry point reduces to: tokens are pulled
+// from the cursor on demand and only the sliding lookahead window is
+// retained, so memory stays bounded regardless of input length.
+func (p *Parser) ParseSourceFrom(start string, src *source.Cursor) Result {
+	return p.parse(start, src, -1)
+}
+
+// ParseReader lexes r incrementally with lex and parses the token stream
+// from the grammar's start symbol, in bounded memory end to end.
+func (p *Parser) ParseReader(lex *lexer.Lexer, r io.Reader) Result {
+	return p.ParseReaderFrom(p.g.Start, lex, r)
+}
+
+// ParseReaderFrom is ParseReader starting from nonterminal start. Lexing
+// failures (including reader errors) surface as Error results with a
+// machine.ErrSource cause, never as false accepts.
+func (p *Parser) ParseReaderFrom(start string, lex *lexer.Lexer, r io.Reader) Result {
+	return p.parse(start, source.FromPull(p.g.Compiled(), lex.Pull(r)), -1)
+}
+
+// parse is the shared core: run the machine over a token cursor. total is
+// the input length when known up front (the slice path), or -1 when the
+// input is streamed and the length is unknowable before the parse ends.
+func (p *Parser) parse(start string, src *source.Cursor, total int) Result {
 	if !p.g.HasNT(start) {
 		return Result{Kind: Error, Err: fmt.Errorf("parser: start symbol %q has no productions", start)}
 	}
@@ -183,7 +221,7 @@ func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
 		DisableSLL: p.opts.DisableSLL,
 		Cache:      cache,
 	})
-	mres := machine.Multistep(p.g, ap, machine.Init(p.g, start, w), machine.Options{
+	mres := machine.Multistep(p.g, ap, machine.InitSource(p.g, start, src), machine.Options{
 		CheckInvariants: p.opts.CheckInvariants,
 		MaxSteps:        p.opts.MaxSteps,
 	})
@@ -191,7 +229,11 @@ func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
 	res := Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps, Consumed: mres.Consumed, Stats: ap.Stats}
 	if res.Kind == Reject {
 		res.Expected = p.expectedAt(mres.Final)
-		res.Reason = fmt.Sprintf("%s (after %d of %d tokens)", res.Reason, mres.Consumed, len(w))
+		if total >= 0 {
+			res.Reason = fmt.Sprintf("%s (after %d of %d tokens)", res.Reason, mres.Consumed, total)
+		} else {
+			res.Reason = fmt.Sprintf("%s (after %d tokens)", res.Reason, mres.Consumed)
+		}
 		if len(res.Expected) > 0 {
 			res.Reason += "; expected one of: " + strings.Join(res.Expected, ", ")
 		}
@@ -266,6 +308,65 @@ func (p *Parser) ParseAllFrom(start string, words [][]grammar.Token, workers int
 	return out
 }
 
+// ParseSourceAll is the streaming counterpart of ParseAll: it parses n
+// inputs, each opened on demand by open, on a pool of workers goroutines
+// sharing the session's SLL DFA. open(i) returns a fresh cursor for input i
+// plus a cleanup function (nil allowed) invoked after that input's parse —
+// typically closing the underlying file. An open failure becomes an Error
+// result for that input; the rest of the batch proceeds. Because each input
+// is opened only when a worker picks it up, at most workers inputs are
+// resident at once.
+func (p *Parser) ParseSourceAll(n int, open func(i int) (*source.Cursor, func(), error), workers int) []Result {
+	return p.ParseSourceAllFrom(p.g.Start, n, open, workers)
+}
+
+// ParseSourceAllFrom is ParseSourceAll starting from nonterminal start.
+func (p *Parser) ParseSourceAllFrom(start string, n int, open func(i int) (*source.Cursor, func(), error), workers int) []Result {
+	out := make([]Result, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	one := func(i int) Result {
+		src, cleanup, err := open(i)
+		if err != nil {
+			return Result{Kind: Error, Err: fmt.Errorf("parser: opening input %d: %w", i, err)}
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+		return p.ParseSourceFrom(start, src)
+	}
+	if workers == 1 {
+		for i := range out {
+			out[i] = one(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = one(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 func (p *Parser) accumulate(s prediction.Stats) {
 	p.statsMu.Lock()
 	defer p.statsMu.Unlock()
@@ -289,6 +390,17 @@ func Parse(g *grammar.Grammar, start string, w []grammar.Token) Result {
 		return Result{Kind: Error, Err: err}
 	}
 	return p.ParseFrom(start, w)
+}
+
+// ParseReader is the one-shot streaming API: lex r incrementally with lex
+// and parse the token stream from start in g with default options, holding
+// only the sliding lookahead window in memory.
+func ParseReader(g *grammar.Grammar, start string, lex *lexer.Lexer, r io.Reader) Result {
+	p, err := New(g, Options{})
+	if err != nil {
+		return Result{Kind: Error, Err: err}
+	}
+	return p.ParseReaderFrom(start, lex, r)
 }
 
 // ParseAll is the one-shot batch API: parse every word from start in g on

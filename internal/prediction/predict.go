@@ -4,6 +4,7 @@ import (
 	"costar/internal/analysis"
 	"costar/internal/grammar"
 	"costar/internal/machine"
+	"costar/internal/source"
 )
 
 type targetsAlias = analysis.Targets
@@ -71,9 +72,14 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 func (ap *AdaptivePredictor) Cache() *Cache { return ap.cache }
 
 // Predict implements machine.Predictor: adaptivePredict for decision
-// nonterminal nt with the machine's current suffix stack and the terminal
-// IDs of the remaining tokens.
-func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStack, remaining []grammar.TermID) machine.Prediction {
+// nonterminal nt with the machine's current suffix stack and a lookahead
+// cursor over the remaining tokens. Prediction only peeks the cursor —
+// depth k examines la.Peek(k) — so each decision's lookahead depth is
+// exactly the window the cursor must retain (the per-prediction high-water
+// mark recorded in Stats.MaxLookahead). A truncated source reads as end of
+// input here; the machine distinguishes the two cases via the cursor's Err
+// after the decision returns.
+func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStack, la *source.Cursor) machine.Prediction {
 	idxs := ap.eng.c.ProdsFor(nt)
 	switch len(idxs) {
 	case 0:
@@ -86,12 +92,12 @@ func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStac
 	ap.decisionNT = nt
 	if !ap.opts.DisableSLL {
 		ap.Stats.SLLCalls++
-		if p, ok := ap.sllPredict(nt, remaining); ok {
+		if p, ok := ap.sllPredict(nt, la); ok {
 			return p
 		}
 		ap.Stats.LLFallbacks++
 	}
-	return ap.llPredict(nt, suffix, remaining)
+	return ap.llPredict(nt, suffix, la)
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +109,7 @@ func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStac
 // they all agree (UniqueP), all die (RejectP), or several complete parses
 // survive to the end of the input (AmbigP). Left recursion discovered here
 // is genuine and yields ErrorP.
-func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixStack, remaining []grammar.TermID) machine.Prediction {
+func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixStack, la *source.Cursor) machine.Prediction {
 	c := ap.eng.c
 	caller := machine.SuffixFrame{Lhs: suffix.F.Lhs, Rest: suffix.F.Rest[1:]}
 	below := machine.PushSuffix(caller, suffix.Below)
@@ -121,11 +127,12 @@ func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixSt
 		return *pred
 	}
 	for depth := 0; ; depth++ {
-		if len(remaining) == depth {
+		term, ok := la.Peek(depth)
+		if !ok {
 			return ap.resolveAtEOF(cfgs, depth)
 		}
 		ap.noteLookahead(depth + 1)
-		cfgs, pred = ap.closeAndCheckLL(move(cfgs, remaining[depth]), depth+1)
+		cfgs, pred = ap.closeAndCheckLL(move(cfgs, term), depth+1)
 		if pred != nil {
 			return *pred
 		}
@@ -185,7 +192,7 @@ func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Pred
 // and on any anomaly (left-recursion kills may be spurious under
 // overapproximated context, and killed subparsers would also make RejectP
 // unsound).
-func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, remaining []grammar.TermID) (machine.Prediction, bool) {
+func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, la *source.Cursor) (machine.Prediction, bool) {
 	st := ap.cache.start(nt, func() *dfaState { return ap.buildStart(nt) })
 	for depth := 0; ; depth++ {
 		if st.anomalous {
@@ -197,7 +204,8 @@ func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, remaining []grammar.Ter
 		if len(st.configs) == 0 && len(st.haltedAlts) == 0 {
 			return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
 		}
-		if depth == len(remaining) {
+		term, haveTok := la.Peek(depth)
+		if !haveTok {
 			switch len(st.haltedAlts) {
 			case 0:
 				return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}, true
@@ -210,7 +218,6 @@ func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, remaining []grammar.Ter
 			}
 		}
 		ap.noteLookahead(depth + 1)
-		term := remaining[depth]
 		next, ok := st.edge(term)
 		if ok {
 			ap.Stats.CacheHits++

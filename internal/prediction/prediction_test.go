@@ -5,6 +5,7 @@ import (
 
 	"costar/internal/grammar"
 	"costar/internal/machine"
+	"costar/internal/source"
 	"costar/internal/tree"
 )
 
@@ -225,11 +226,12 @@ func TestPredictUndefinedNT(t *testing.T) {
 	// productions; prediction must reject rather than panic.
 	g := fig2()
 	ap := New(g, Options{})
-	p := ap.Predict(grammar.NTID(999), machine.Init(g, "S", nil).Suffix, nil)
+	la := source.FromTokens(g.Compiled(), nil)
+	p := ap.Predict(grammar.NTID(999), machine.Init(g, "S", nil).Suffix, la)
 	if p.Kind != machine.PredReject {
 		t.Errorf("undefined NT prediction = %v, want Reject", p.Kind)
 	}
-	if p := ap.Predict(grammar.NoNT, machine.Init(g, "S", nil).Suffix, nil); p.Kind != machine.PredReject {
+	if p := ap.Predict(grammar.NoNT, machine.Init(g, "S", nil).Suffix, la); p.Kind != machine.PredReject {
 		t.Errorf("NoNT prediction = %v, want Reject", p.Kind)
 	}
 }

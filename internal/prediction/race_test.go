@@ -13,6 +13,7 @@ import (
 
 	"costar/internal/grammar"
 	"costar/internal/machine"
+	"costar/internal/source"
 )
 
 // raceWords builds a family of distinct fig2 words: a^n b (c|d), so every
@@ -48,7 +49,7 @@ func TestCacheConcurrentWarm(t *testing.T) {
 	ref := New(g, Options{})
 	want := make([]machine.Prediction, len(words))
 	for i, w := range words {
-		want[i] = ref.Predict(startID, machine.Init(g, g.Start, w).Suffix, c.InternTerms(w))
+		want[i] = ref.Predict(startID, machine.Init(g, g.Start, w).Suffix, source.FromTokens(c, w))
 	}
 
 	shared := NewCache()
@@ -63,7 +64,7 @@ func TestCacheConcurrentWarm(t *testing.T) {
 			for off := 0; off < len(words); off++ {
 				i := (off + k*7) % len(words) // distinct orders per goroutine
 				w := words[i]
-				got := ap.Predict(startID, machine.Init(g, g.Start, w).Suffix, c.InternTerms(w))
+				got := ap.Predict(startID, machine.Init(g, g.Start, w).Suffix, source.FromTokens(c, w))
 				if got.Kind != want[i].Kind {
 					errs <- fmt.Sprintf("word %s: kind %v, want %v", grammar.WordString(w), got.Kind, want[i].Kind)
 				} else if got.Kind == machine.PredUnique && &got.Rhs[0] != &want[i].Rhs[0] {

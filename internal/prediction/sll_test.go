@@ -8,6 +8,7 @@ import (
 
 	"costar/internal/grammar"
 	"costar/internal/machine"
+	"costar/internal/source"
 )
 
 func TestSLLCanFinishHaltedPath(t *testing.T) {
@@ -63,7 +64,7 @@ func TestSLLRejectFailDepth(t *testing.T) {
 	c := g.Compiled()
 	w := word("a", "a", "a", "x")
 	sID, _ := c.NTIDOf("S")
-	p := ap.Predict(sID, machine.Init(g, "S", w).Suffix, c.InternTerms(w))
+	p := ap.Predict(sID, machine.Init(g, "S", w).Suffix, source.FromTokens(c, w))
 	if p.Kind != machine.PredReject {
 		t.Fatalf("kind = %v", p.Kind)
 	}

@@ -138,3 +138,17 @@ func (m *MultiDFA) LongestPrefix(src string, from int) (length, pattern int, ok 
 
 // NumStates returns the number of DFA states.
 func (m *MultiDFA) NumStates() int { return len(m.trans) }
+
+// Start returns the DFA start state. Together with Next and Accept it
+// exposes the automaton rune-by-rune, which is what an incremental lexer
+// needs: it cannot hand over a complete string because the input arrives
+// from a reader in chunks.
+func (m *MultiDFA) Start() int { return m.start }
+
+// Next steps the DFA from state s on rune r; a negative result means the
+// automaton is dead (no pattern can extend the current prefix).
+func (m *MultiDFA) Next(s int, r rune) int { return m.step(s, r) }
+
+// Accept returns the index of the highest-priority (lowest-numbered)
+// pattern accepting in state s, or -1 if s is not accepting.
+func (m *MultiDFA) Accept(s int) int { return m.accept[s] }
