@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race bench bench-parallel bench-stream fuzz-smoke vet
+.PHONY: all build test race short-race bench bench-parallel bench-stream fuzz-smoke vet lint vet-grammars
 
 all: build test race
 
@@ -34,10 +34,31 @@ bench-parallel:
 bench-stream:
 	$(GO) test -bench=BenchmarkStreamingWindow -benchmem -count=1 .
 
-# Short fuzz of the stream/slice equivalence contract: chunked reads through
-# the incremental lexer must agree with batch lexing on arbitrary bytes.
+# Short fuzz smoke. Two invocations because -fuzz must match exactly one
+# target: the stream/slice equivalence contract (chunked reads through the
+# incremental lexer agree with batch lexing on arbitrary bytes), then the
+# static grammar verifier (never panics, deterministic, Certify agrees with
+# the report's Certifiable verdict).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzStreamEquivalence -fuzztime=20s -run=FuzzStreamEquivalence .
+	$(GO) test -fuzz=FuzzGrammarLint -fuzztime=20s -run=FuzzGrammarLint .
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analyzers (tools/analyzers) bundled in cmd/costar-lint,
+# run through the standard `go vet -vettool` protocol: immutablecompiled
+# (no writes to compiled grammar/analysis tables outside their constructors)
+# and cowedges (the shared SLL DFA cache is copy-on-write only).
+lint:
+	$(GO) build -o bin/costar-lint ./cmd/costar-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/costar-lint ./...
+
+# Statically verify every bundled grammar: the four built-in languages and
+# the example grammars must all be diagnostic-free and certify.
+vet-grammars:
+	$(GO) run ./cmd/costar vet -lang json
+	$(GO) run ./cmd/costar vet -lang xml
+	$(GO) run ./cmd/costar vet -lang dot
+	$(GO) run ./cmd/costar vet -lang python
+	$(GO) run ./cmd/costar vet examples/grammars/calc.g4 examples/grammars/lists.bnf

@@ -1,0 +1,20 @@
+// Command costar-lint bundles the repo's custom static analyzers into one
+// binary, runnable two ways:
+//
+//	costar-lint ./internal/...                  # standalone, prints findings
+//	go vet -vettool=$(which costar-lint) ./...  # as a vet backend (CI)
+//
+// Analyzers: immutablecompiled (no writes to compiled grammar / analysis
+// tables outside their constructors) and cowedges (no direct mutation of
+// shared DFA edge maps outside the copy-on-write path).
+package main
+
+import (
+	"costar/tools/analyzers/analyzerkit"
+	"costar/tools/analyzers/cowedges"
+	"costar/tools/analyzers/immutablecompiled"
+)
+
+func main() {
+	analyzerkit.Main(immutablecompiled.Analyzer, cowedges.Analyzer)
+}

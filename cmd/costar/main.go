@@ -6,6 +6,7 @@
 //	costar -lang json -j 4 a.json b.json  # batch-parse many files in parallel
 //	costar -g4 mygrammar.g4 input.txt     # ANTLR-style grammar + lexer
 //	costar -bnf grammar.bnf -tokens "a b d"  # BNF grammar, pre-tokenized word
+//	costar vet grammar.bnf                # statically verify a grammar (see vet.go)
 //
 // Inputs stream: each file (or stdin) is lexed and parsed incrementally
 // through a demand-driven token cursor, so memory stays bounded by the
@@ -42,6 +43,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag parsing: `costar vet ...` runs the
+	// static grammar verifier instead of a parse.
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	var (
 		langName = flag.String("lang", "", "built-in language: json, xml, dot, python")
 		g4Path   = flag.String("g4", "", "path to an ANTLR-style .g4 grammar")

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+)
+
+// runVet prints to stdout/stderr; these tests only assert the exit codes,
+// which encode the vet verdict (0 clean+certified, 1 findings or bad input).
+
+func TestVetCleanBNF(t *testing.T) {
+	f := write(t, "ok.bnf", `
+		S -> A c | A d ;
+		A -> a A | b
+	`)
+	if code := runVet([]string{f}); code != 0 {
+		t.Errorf("clean grammar: exit %d, want 0", code)
+	}
+}
+
+func TestVetLeftRecursiveBNF(t *testing.T) {
+	f := write(t, "lr.bnf", `E -> E plus n | n`)
+	if code := runVet([]string{f}); code != 1 {
+		t.Errorf("left-recursive grammar: exit %d, want 1", code)
+	}
+}
+
+func TestVetHiddenLeftRecursion(t *testing.T) {
+	f := write(t, "hidden.bnf", `
+		A -> B A x | a ;
+		B -> %empty | b
+	`)
+	if code := runVet([]string{f}); code != 1 {
+		t.Errorf("hidden left recursion: exit %d, want 1", code)
+	}
+}
+
+func TestVetBuiltinLanguages(t *testing.T) {
+	// The acceptance bar: every bundled grammar vets clean.
+	for _, lang := range []string{"json", "xml", "dot", "python"} {
+		if code := runVet([]string{"-lang", lang}); code != 0 {
+			t.Errorf("-lang %s: exit %d, want 0", lang, code)
+		}
+	}
+}
+
+func TestVetG4File(t *testing.T) {
+	f := write(t, "calc.g4", `
+		grammar Calc;
+		e : NUM ('+' NUM)* ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`)
+	if code := runVet([]string{"-all", f}); code != 0 {
+		t.Errorf("clean g4 grammar: exit %d, want 0", code)
+	}
+}
+
+func TestVetMissingFile(t *testing.T) {
+	if code := runVet([]string{"/nonexistent/g.bnf"}); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestVetMultipleTargets(t *testing.T) {
+	ok := write(t, "ok.bnf", `S -> a S | b`)
+	lr := write(t, "lr.bnf", `E -> E plus n | n`)
+	// One bad target poisons the exit code even when others are clean.
+	if code := runVet([]string{ok, lr}); code != 1 {
+		t.Errorf("mixed targets: exit %d, want 1", code)
+	}
+}

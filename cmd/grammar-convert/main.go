@@ -9,6 +9,7 @@
 //	grammar-convert -stats grammar.g4    # also print |T|, |N|, |P|
 //	grammar-convert -lexer grammar.g4    # also list the lexer rules
 //	grammar-convert -check grammar.g4    # report left recursion & LL(1) status
+//	grammar-convert -vet grammar.g4      # run the full static verifier on the result
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"costar/internal/analysis"
 	"costar/internal/ebnf"
 	"costar/internal/g4"
+	"costar/internal/grammarlint"
 	"costar/internal/ll1"
 	"costar/internal/transform"
 )
@@ -29,19 +31,20 @@ func main() {
 		lexRules = flag.Bool("lexer", false, "list the lexer rules")
 		check    = flag.Bool("check", false, "report left recursion and LL(1) conflicts")
 		fix      = flag.Bool("fix", false, "eliminate left recursion (Paull's algorithm) before printing")
+		vet      = flag.Bool("vet", false, "run the static grammar verifier on the desugared result")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: grammar-convert [flags] grammar.g4")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *stats, *lexRules, *check, *fix); err != nil {
+	if err := run(flag.Arg(0), *stats, *lexRules, *check, *fix, *vet); err != nil {
 		fmt.Fprintln(os.Stderr, "grammar-convert:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, stats, lexRules, check, fix bool) error {
+func run(path string, stats, lexRules, check, fix, vet bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -92,6 +95,20 @@ func run(path string, stats, lexRules, check, fix bool) error {
 				len(conflicts), conflicts[0])
 		} else {
 			fmt.Println("# grammar is LL(1)")
+		}
+	}
+	if vet {
+		rep := grammarlint.Check(g)
+		if rep.Count(grammarlint.Info) > 0 || !rep.Clean() {
+			fmt.Println()
+			for _, d := range rep.Diags {
+				fmt.Printf("# vet: %s\n", d)
+			}
+		}
+		if rep.Clean() {
+			fmt.Println("\n# vet: clean (grammar would certify)")
+		} else if !rep.Certifiable() {
+			return fmt.Errorf("vet found %d error(s); grammar cannot be certified", rep.Count(grammarlint.Error))
 		}
 	}
 	return nil

@@ -19,18 +19,18 @@ func TestRunConvert(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, true, true, false); err != nil {
+	if err := run(path, true, true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false, true); err != nil {
+	if err := run(path, false, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(dir, "missing.g4"), false, false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.g4"), false, false, false, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(dir, "bad.g4")
 	os.WriteFile(bad, []byte("nonsense"), 0o644)
-	if err := run(bad, false, false, false, false); err == nil {
+	if err := run(bad, false, false, false, false, false); err == nil {
 		t.Error("bad grammar accepted")
 	}
 }
@@ -46,7 +46,38 @@ func TestRunConvertFixesLeftRecursion(t *testing.T) {
 		WS : [ ]+ -> skip ;
 	`
 	os.WriteFile(path, []byte(src), 0o644)
-	if err := run(path, false, false, true, true); err != nil {
+	if err := run(path, false, false, true, true, false); err != nil {
 		t.Fatalf("fix failed: %v", err)
+	}
+}
+
+// TestRunConvertVet: -vet passes clean grammars through, errors on
+// uncertifiable ones, and accepts a -fix'd formerly-left-recursive grammar.
+func TestRunConvertVet(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "calc.g4")
+	os.WriteFile(clean, []byte(`
+		grammar Calc;
+		e : t ('+' t)* ;
+		t : NUM ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`), 0o644)
+	if err := run(clean, false, false, false, false, true); err != nil {
+		t.Fatalf("-vet on clean grammar: %v", err)
+	}
+	lr := filepath.Join(dir, "lr.g4")
+	os.WriteFile(lr, []byte(`
+		grammar LR;
+		e : e '+' t | t ;
+		t : NUM ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`), 0o644)
+	if err := run(lr, false, false, false, false, true); err == nil {
+		t.Error("-vet let a left-recursive grammar through")
+	}
+	if err := run(lr, false, false, false, true, true); err != nil {
+		t.Errorf("-fix -vet on rewritable grammar: %v", err)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"costar/internal/ebnf"
 	"costar/internal/g4"
 	"costar/internal/grammar"
+	"costar/internal/grammarlint"
 	"costar/internal/lexer"
 	"costar/internal/parser"
 	"costar/internal/source"
@@ -64,6 +65,15 @@ type (
 	// with NewTokenSource (from a pull function) or obtain one from a
 	// language's Cursor; pass it to Parser.ParseSource.
 	TokenSource = source.Cursor
+	// VetReport is the result of Vet: structured, positioned diagnostics
+	// over a grammar (see internal/grammarlint).
+	VetReport = grammarlint.Report
+	// VetDiagnostic is one finding in a VetReport.
+	VetDiagnostic = grammarlint.Diagnostic
+	// Certificate attests that Vet found a grammar well-formed and free of
+	// left recursion; Certify attaches one, switching later Parser sessions
+	// into certified mode.
+	Certificate = grammar.Certificate
 )
 
 // Result kinds.
@@ -188,6 +198,20 @@ func MustLoadG4(src string) (*Grammar, *Lexer) {
 func ValidateTree(g *Grammar, start string, v *Tree, w []Token) error {
 	return tree.Validate(g, grammar.NT(start), v, w)
 }
+
+// Vet statically verifies g: well-formedness, left recursion (direct,
+// indirect, and hidden behind nullable prefixes), derivation cycles,
+// duplicate productions, unreachable and unproductive nonterminals, and
+// SLL lookahead-conflict heuristics. The report carries positioned
+// diagnostics; Report.Certifiable tells whether Certify would succeed.
+func Vet(g *Grammar) *VetReport { return grammarlint.Check(g) }
+
+// Certify runs Vet and, when no error-severity diagnostics exist, attaches
+// a fingerprint-bound Certificate to the grammar. Parser sessions built
+// afterwards run in certified mode: the dynamic left-recursion check is
+// provably unreachable (Theorem 5.8) and demoted to a debug assertion,
+// with bit-identical parse results. On refusal the report explains why.
+func Certify(g *Grammar) (*Certificate, *VetReport, error) { return grammarlint.Certify(g) }
 
 // EliminateLeftRecursion rewrites g into an equivalent grammar without
 // left recursion (Paull's algorithm) so that ALL(*) can parse it — the

@@ -1,0 +1,12 @@
+// A small arithmetic grammar in the right-recursive form the ALL(*) engine
+// accepts directly. `make vet-grammars` keeps it certifiably clean:
+//
+//	costar vet examples/grammars/calc.g4
+grammar Calc;
+
+expr   : term (('+' | '-') term)* ;
+term   : factor (('*' | '/') factor)* ;
+factor : NUM | '(' expr ')' ;
+
+NUM : [0-9]+ ;
+WS  : [ ]+ -> skip ;

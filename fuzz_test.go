@@ -229,6 +229,47 @@ func FuzzPythonLayout(f *testing.F) {
 	})
 }
 
+// FuzzGrammarLint drives the static verifier with hostile BNF: Vet must
+// never panic, must be deterministic (two runs render identically), and its
+// left-recursion verdict must agree with the independent per-NT analysis.
+// Certification must succeed exactly when the report says Certifiable.
+func FuzzGrammarLint(f *testing.F) {
+	seeds := []string{
+		`S -> A c | A d ; A -> a A | b`,
+		`E -> E plus n | n`,                // direct left recursion
+		`A -> B A x | a ; B -> %empty | b`, // hidden left recursion
+		`A -> B x ; B -> C y ; C -> A z`,   // indirect cycle, unproductive
+		`A -> A | a`,                       // derivation cycle
+		`S -> Undefined x`,                 // undefined NT reference
+		`%start Nowhere  S -> a`,           // undefined start
+		`S -> a ; S -> a`,                  // duplicate production
+		`S -> a ; Orphan -> b`,             // unreachable
+		`S -> N N ; N -> %empty | S`,       // nullable tangles
+		`S -> S S | x`,                     // LR and ambiguous
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		g, err := ParseBNF(src)
+		if err != nil {
+			return
+		}
+		r1 := Vet(g)
+		r2 := Vet(g)
+		if r1.String() != r2.String() {
+			t.Fatalf("Vet is nondeterministic:\n%s\nvs\n%s\nsource: %q", r1, r2, src)
+		}
+		_, _, err = Certify(g)
+		if (err == nil) != r1.Certifiable() {
+			t.Fatalf("Certify err=%v but Certifiable()=%v\nsource: %q", err, r1.Certifiable(), src)
+		}
+	})
+}
+
 // FuzzStreamEquivalence feeds arbitrary bytes — invalid UTF-8, truncated
 // tokens, hostile chunkings down to 1-byte reads — through both the batch
 // pipeline (lex everything, parse the slice) and the streaming pipeline

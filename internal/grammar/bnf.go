@@ -29,9 +29,10 @@ func ParseBNF(src string) (*Grammar, error) {
 		return nil, err
 	}
 	type rawRule struct {
-		lhs  string
-		alts [][]bnfTok
-		line int
+		lhs      string
+		alts     [][]bnfTok
+		altLines []int // line of each alternative (its first token, or the rule's)
+		line     int
 	}
 	var rules []rawRule
 	start := ""
@@ -56,7 +57,12 @@ func ParseBNF(src string) (*Grammar, error) {
 		i += 2 // skip IDENT ->
 		var alt []bnfTok
 		flush := func() {
+			line := r.line
+			if len(alt) > 0 {
+				line = alt[0].line
+			}
 			r.alts = append(r.alts, alt)
+			r.altLines = append(r.altLines, line)
 			alt = nil
 		}
 	alts:
@@ -96,7 +102,7 @@ func ParseBNF(src string) (*Grammar, error) {
 	}
 	b := NewBuilder(start)
 	for _, r := range rules {
-		for _, alt := range r.alts {
+		for ai, alt := range r.alts {
 			rhs := make([]Symbol, 0, len(alt))
 			for _, t := range alt {
 				switch {
@@ -110,7 +116,7 @@ func ParseBNF(src string) (*Grammar, error) {
 					rhs = append(rhs, T(t.text))
 				}
 			}
-			b.Add(r.lhs, rhs...)
+			b.AddAt(r.altLines[ai], r.lhs, rhs...)
 		}
 	}
 	return b.Build()

@@ -8,6 +8,7 @@ import "fmt"
 type Builder struct {
 	start string
 	prods []Production
+	lines []int // parallel to prods; 1-based source lines, 0 unknown
 	seen  map[string]bool
 }
 
@@ -18,7 +19,14 @@ func NewBuilder(start string) *Builder {
 
 // Add appends the production lhs → rhs.
 func (b *Builder) Add(lhs string, rhs ...Symbol) *Builder {
+	return b.AddAt(0, lhs, rhs...)
+}
+
+// AddAt is Add with the production's 1-based source line (0 for unknown),
+// so text front ends can give diagnostics positions.
+func (b *Builder) AddAt(line int, lhs string, rhs ...Symbol) *Builder {
 	b.prods = append(b.prods, Production{Lhs: lhs, Rhs: rhs})
+	b.lines = append(b.lines, line)
 	b.seen[lhs] = true
 	return b
 }
@@ -26,6 +34,7 @@ func (b *Builder) Add(lhs string, rhs ...Symbol) *Builder {
 // AddProd appends an existing production value.
 func (b *Builder) AddProd(p Production) *Builder {
 	b.prods = append(b.prods, p)
+	b.lines = append(b.lines, 0)
 	b.seen[p.Lhs] = true
 	return b
 }
@@ -52,7 +61,9 @@ func (b *Builder) SetStart(start string) *Builder {
 }
 
 // Grammar finalizes the builder into a Grammar.
-func (b *Builder) Grammar() *Grammar { return New(b.start, b.prods) }
+func (b *Builder) Grammar() *Grammar {
+	return New(b.start, b.prods).SetProdLines(b.lines)
+}
 
 // Build finalizes and validates in one call.
 func (b *Builder) Build() (*Grammar, error) {

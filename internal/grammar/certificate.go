@@ -1,0 +1,116 @@
+package grammar
+
+// This file is the certificate layer: a Certificate records that a static
+// verifier (internal/grammarlint) checked the well-formedness and
+// no-left-recursion preconditions of the CoStar correctness theorems
+// (Theorem 5.8: Error results are unreachable for well-formed,
+// non-left-recursive grammars). A certificate is bound to the grammar it
+// was issued for by a content fingerprint, and attaching it switches the
+// engines into certified mode, where the dynamic left-recursion probe is
+// demoted from an error path to a debug assertion.
+//
+// The grammar package only stores and validates certificates; it cannot
+// issue them. Issuance lives in internal/grammarlint, whose Certify runs
+// every static pass and refuses when any error-severity diagnostic exists.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Certificate attests that a static verifier found a grammar well-formed
+// and free of left recursion (direct, indirect, and hidden-through-nullable
+// prefixes). Fingerprint binds the attestation to the grammar content; the
+// remaining fields summarize what was checked, for diagnostics and logs.
+type Certificate struct {
+	// Fingerprint must equal Compiled.Fingerprint() of the grammar the
+	// certificate is attached to; Certify enforces the match.
+	Fingerprint uint64
+	// Checks names the static passes that ran clean, e.g. "well-formed",
+	// "no-left-recursion".
+	Checks []string
+	// Issuer identifies the verifier that produced the certificate.
+	Issuer string
+}
+
+// String renders the certificate compactly.
+func (cert *Certificate) String() string {
+	return fmt.Sprintf("certificate{%s, fp=%016x, checks=%v}", cert.Issuer, cert.Fingerprint, cert.Checks)
+}
+
+// Fingerprint returns a content hash of the compiled grammar: start symbol,
+// production order, and every RHS symbol, in their dense-ID coordinates
+// (which are themselves a pure function of the string grammar). Two
+// grammars with equal productions-in-order and start symbol have equal
+// fingerprints. FNV-1a over the ID stream.
+func (c *Compiled) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mixString := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		mix(0xff) // terminator so "ab","c" ≠ "a","bc"
+	}
+	// Dense IDs are assigned from names, so hash the name tables once and
+	// the structure as IDs; renaming a symbol changes the fingerprint, as
+	// it must (diagnostics and certificates name symbols).
+	mixString(c.g.Start)
+	mix(uint64(len(c.termNames)))
+	for _, t := range c.termNames {
+		mixString(t)
+	}
+	mix(uint64(len(c.ntNames)))
+	for _, n := range c.ntNames {
+		mixString(n)
+	}
+	mix(uint64(len(c.prodLhs)))
+	for i := range c.prodLhs {
+		mix(uint64(uint32(c.prodLhs[i])))
+		rhs := c.prodRhs[i]
+		mix(uint64(len(rhs)))
+		for _, s := range rhs {
+			mix(uint64(uint32(s)))
+		}
+	}
+	return h
+}
+
+// Certify attaches cert to the compiled grammar after checking that the
+// certificate's fingerprint matches the grammar content. Attachment is
+// atomic and idempotent; once certified, Parser sessions constructed over
+// the grammar run in certified mode. Only internal/grammarlint should call
+// this — attaching a hand-built certificate to an unverified grammar voids
+// the "Error is unreachable" guarantee the certified mode relies on.
+func (c *Compiled) Certify(cert *Certificate) error {
+	if cert == nil {
+		return fmt.Errorf("grammar: Certify(nil)")
+	}
+	if got := c.Fingerprint(); cert.Fingerprint != got {
+		return fmt.Errorf("grammar: certificate fingerprint %016x does not match grammar fingerprint %016x",
+			cert.Fingerprint, got)
+	}
+	c.cert.Store(cert)
+	return nil
+}
+
+// Certificate returns the attached certificate, or nil when the grammar has
+// not been certified. Safe for concurrent use with Certify.
+func (c *Compiled) Certificate() *Certificate { return c.cert.Load() }
+
+// certSlot is split into its own type so Compiled's table fields stay a
+// closed set for the immutablecompiled analyzer: the certificate is the one
+// intentionally-mutable (write-once, atomic) slot on an otherwise immutable
+// value.
+type certSlot = atomic.Pointer[Certificate]

@@ -74,6 +74,13 @@ type Compiled struct {
 	ntProds [][]int   // NTID → production indices (empty for undefined NTs)
 
 	start NTID // compiled start symbol (always interned, possibly undefined)
+
+	// cert is the attached well-formedness certificate (certificate.go):
+	// nil until a static verifier certifies the grammar, write-once after.
+	// It is the only mutable slot on a Compiled and is deliberately not one
+	// of the tables above — the immutablecompiled analyzer enforces that
+	// the tables are written only here, at construction.
+	cert certSlot
 }
 
 // compile interns every name in g and builds the dense tables. Called once

@@ -145,6 +145,7 @@ type Grammar struct {
 	terminals []string // sorted, deduplicated
 	nts       []string // in order of first definition
 	maxRhsLen int
+	prodLines []int     // production index → 1-based source line (0 unknown)
 	c         *Compiled // dense interned form; single source of truth for
 	// the productions-by-LHS index (the old byLhs map is folded into it)
 }
@@ -224,6 +225,27 @@ func (g *Grammar) Terminals() []string { return g.terminals }
 // base (minus one) of the stackScore termination measure of Section 4.3.
 func (g *Grammar) MaxRhsLen() int { return g.maxRhsLen }
 
+// SetProdLines records the 1-based source line of each production (0 for
+// unknown), for positioned diagnostics. The text front ends (ParseBNF, the
+// g4 desugarer) call it; programmatic grammars have no lines. len(lines)
+// must equal len(Prods); extra or missing entries are ignored rather than
+// panicking, since lines are advisory. It returns g for chaining.
+func (g *Grammar) SetProdLines(lines []int) *Grammar {
+	if len(lines) == len(g.Prods) {
+		g.prodLines = lines
+	}
+	return g
+}
+
+// ProdLine returns the 1-based source line production i was read from, or 0
+// when unknown (programmatic grammars, out-of-range i).
+func (g *Grammar) ProdLine(i int) int {
+	if i < 0 || i >= len(g.prodLines) {
+		return 0
+	}
+	return g.prodLines[i]
+}
+
 // NumProductions returns len(g.Prods).
 func (g *Grammar) NumProductions() int { return len(g.Prods) }
 
@@ -298,7 +320,7 @@ func (g *Grammar) Clone() *Grammar {
 		copy(rhs, p.Rhs)
 		prods[i] = Production{Lhs: p.Lhs, Rhs: rhs}
 	}
-	return New(g.Start, prods)
+	return New(g.Start, prods).SetProdLines(append([]int(nil), g.prodLines...))
 }
 
 // TerminalsOf extracts the terminal names of a word of tokens.

@@ -1,0 +1,387 @@
+package grammarlint
+
+// Left-recursion and derivation-cycle passes. Both are cycle searches over
+// production-derived relations on nonterminals, run with Tarjan's SCC
+// algorithm so indirect and hidden cycles (A → B A, B → ε) fall out of the
+// same machinery as direct ones:
+//
+//   - leftmost-after-nullable-prefix: X ⇒ α Y β with α nullable. A cyclic
+//     SCC means every member can re-open itself without consuming a token —
+//     exactly the situation the machine's visited-set probe (Section 4.1)
+//     detects dynamically, decided here statically.
+//   - nullable-context: X ⇒ α Y β with α AND β nullable. A cyclic SCC
+//     means X ⇒+ X: the grammar assigns infinitely many parse trees to
+//     some input (infinite ambiguity).
+//
+// The nullable facts come from internal/analysis; the graphs are built on
+// compiled NTIDs and only converted to names in diagnostics.
+
+import (
+	"fmt"
+	"strings"
+
+	"costar/internal/grammar"
+)
+
+// edgeJust records why an edge X→Y exists: production prod has Y at
+// position pos (with the required nullability around it).
+type edgeJust struct {
+	prod, pos int
+}
+
+// ntGraph is a relation over defined nonterminal IDs with one retained
+// justification per edge (the first in grammar order, for determinism).
+type ntGraph struct {
+	n     int
+	succs [][]grammar.NTID
+	just  map[[2]grammar.NTID]edgeJust
+}
+
+func newNTGraph(n int) *ntGraph {
+	return &ntGraph{n: n, succs: make([][]grammar.NTID, n), just: make(map[[2]grammar.NTID]edgeJust)}
+}
+
+func (g *ntGraph) addEdge(x, y grammar.NTID, j edgeJust) {
+	key := [2]grammar.NTID{x, y}
+	if _, ok := g.just[key]; ok {
+		return
+	}
+	g.just[key] = j
+	g.succs[x] = append(g.succs[x], y)
+}
+
+// leftCornerGraph builds the leftmost-after-nullable-prefix relation.
+func (v *verifier) leftCornerGraph() *ntGraph {
+	c := v.c
+	numDef := 0
+	for id := grammar.NTID(0); c.HasNTID(id); id++ {
+		numDef++
+	}
+	g := newNTGraph(numDef)
+	for i := range v.g.Prods {
+		x := c.Lhs(i)
+		if !c.HasNTID(x) {
+			continue
+		}
+		for j, s := range c.Rhs(i) {
+			if s.IsT() {
+				break
+			}
+			y := s.NT()
+			if c.HasNTID(y) {
+				g.addEdge(x, y, edgeJust{prod: i, pos: j})
+			}
+			if !v.an.NullableID(y) {
+				break
+			}
+		}
+	}
+	return g
+}
+
+// nullableContextGraph builds the X ⇒ α Y β (α, β nullable) relation.
+func (v *verifier) nullableContextGraph() *ntGraph {
+	c := v.c
+	numDef := 0
+	for id := grammar.NTID(0); c.HasNTID(id); id++ {
+		numDef++
+	}
+	g := newNTGraph(numDef)
+	for i := range v.g.Prods {
+		x := c.Lhs(i)
+		if !c.HasNTID(x) {
+			continue
+		}
+		rhs := c.Rhs(i)
+		for j, s := range rhs {
+			if s.IsT() {
+				break // a terminal makes every later left context non-nullable
+			}
+			y := s.NT()
+			// The context around position j must derive ε: every other
+			// symbol a nullable nonterminal.
+			ok := true
+			for k, o := range rhs {
+				if k == j {
+					continue
+				}
+				if o.IsT() || !v.an.NullableID(o.NT()) {
+					ok = false
+					break
+				}
+			}
+			if ok && c.HasNTID(y) {
+				g.addEdge(x, y, edgeJust{prod: i, pos: j})
+			}
+			if !v.an.NullableID(y) {
+				break
+			}
+		}
+	}
+	return g
+}
+
+// sccs runs Tarjan's algorithm (iterative, so hostile fuzz grammars with
+// thousands of rules cannot overflow the goroutine stack) and returns the
+// strongly connected components in reverse topological order.
+func (g *ntGraph) sccs() [][]grammar.NTID {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []grammar.NTID
+		result  [][]grammar.NTID
+		counter int
+	)
+	type frame struct {
+		node grammar.NTID
+		next int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{node: grammar.NTID(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, grammar.NTID(root))
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(g.succs[f.node]) {
+				w := g.succs[f.node][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{node: w})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// f.node is fully expanded.
+			if low[f.node] == index[f.node] {
+				var comp []grammar.NTID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.node {
+						break
+					}
+				}
+				result = append(result, comp)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return result
+}
+
+// cycleThrough finds a cycle start → ... → start using only nodes of comp,
+// returned as the node sequence including both endpoints. comp must be a
+// cyclic SCC containing start.
+func (g *ntGraph) cycleThrough(start grammar.NTID, comp map[grammar.NTID]bool) []grammar.NTID {
+	parent := make(map[grammar.NTID]grammar.NTID)
+	seen := map[grammar.NTID]bool{}
+	var dfs []grammar.NTID
+	for _, y := range g.succs[start] {
+		if y == start {
+			return []grammar.NTID{start, start}
+		}
+		if comp[y] && !seen[y] {
+			seen[y] = true
+			parent[y] = start
+			dfs = append(dfs, y)
+		}
+	}
+	for len(dfs) > 0 {
+		x := dfs[len(dfs)-1]
+		dfs = dfs[:len(dfs)-1]
+		for _, y := range g.succs[x] {
+			if y == start {
+				var rev []grammar.NTID
+				for cur := x; cur != start; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				path := []grammar.NTID{start}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return append(path, start)
+			}
+			if comp[y] && !seen[y] {
+				seen[y] = true
+				parent[y] = x
+				dfs = append(dfs, y)
+			}
+		}
+	}
+	return nil // unreachable for a cyclic SCC
+}
+
+// witnessDerivation renders the production steps justifying a cycle, e.g.
+// "E ⇒ E plus T" or "A ⇒ B A x (B nullable)".
+func (v *verifier) witnessDerivation(g *ntGraph, cycle []grammar.NTID) string {
+	var steps []string
+	for i := 0; i+1 < len(cycle); i++ {
+		j := g.just[[2]grammar.NTID{cycle[i], cycle[i+1]}]
+		p := v.g.Prods[j.prod]
+		step := fmt.Sprintf("%s ⇒ %s", p.Lhs, grammar.SymbolsString(p.Rhs))
+		if j.pos > 0 {
+			prefix := grammar.SymbolsString(p.Rhs[:j.pos])
+			step += fmt.Sprintf(" (nullable prefix %s)", prefix)
+		}
+		steps = append(steps, step)
+	}
+	return strings.Join(steps, "; ")
+}
+
+// namesOf converts a compiled cycle to nonterminal names.
+func (v *verifier) namesOf(cycle []grammar.NTID) []string {
+	out := make([]string, len(cycle))
+	for i, id := range cycle {
+		out[i] = v.c.NTName(id)
+	}
+	return out
+}
+
+// checkLeftRecursion emits one error per left-recursive nonterminal: every
+// member of a cyclic SCC of the left-corner graph, with a concrete witness
+// cycle and the derivation steps that justify it. Direct recursion
+// (X → X γ) keeps its classic name; everything else — indirect chains and
+// recursion hidden behind nullable prefixes — is flagged as
+// hidden-left-recursion.
+func (v *verifier) checkLeftRecursion() {
+	g := v.leftCornerGraph()
+	for _, comp := range g.sccs() {
+		cyclic := len(comp) > 1
+		if !cyclic {
+			x := comp[0]
+			for _, y := range g.succs[x] {
+				if y == x {
+					cyclic = true
+					break
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		inComp := make(map[grammar.NTID]bool, len(comp))
+		for _, x := range comp {
+			inComp[x] = true
+		}
+		// Deterministic member order: by NTID (definition order).
+		members := append([]grammar.NTID(nil), comp...)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[j] < members[i] {
+					members[i], members[j] = members[j], members[i]
+				}
+			}
+		}
+		for _, x := range members {
+			cycle := g.cycleThrough(x, inComp)
+			if cycle == nil {
+				continue
+			}
+			just := g.just[[2]grammar.NTID{cycle[0], cycle[1]}]
+			code := CodeHiddenLeftRec
+			kind := "hidden/indirect left recursion"
+			if dj, ok := v.directJust(x); ok {
+				// Direct recursion (x → x γ): anchor at its own production.
+				code, kind = CodeLeftRecursion, "left recursion"
+				cycle = []grammar.NTID{x, x}
+				just = dj
+			}
+			name := v.c.NTName(x)
+			v.add(Diagnostic{
+				Code: code, Severity: Error, NT: name, Prod: just.prod, Pos: just.pos,
+				Witness: v.namesOf(cycle),
+				Message: fmt.Sprintf("%s: %s can re-open itself without consuming a token (%s); the ALL(*) machine would report a LeftRecursive(%s) error",
+					kind, name, v.witnessDerivation(g, cycle), name),
+			})
+		}
+	}
+}
+
+// directJust returns the first production x → x γ, if any — the classic
+// direct-left-recursion shape.
+func (v *verifier) directJust(x grammar.NTID) (edgeJust, bool) {
+	for _, i := range v.c.ProdsFor(x) {
+		rhs := v.c.Rhs(i)
+		if len(rhs) > 0 && rhs[0].IsNT() && rhs[0].NT() == x {
+			return edgeJust{prod: i, pos: 0}, true
+		}
+	}
+	return edgeJust{}, false
+}
+
+// checkDerivationCycles emits one error per nonterminal X with X ⇒+ X:
+// such grammars assign infinitely many parse trees to some inputs
+// (infinite ambiguity). Every derivation cycle rides on nullable context,
+// so these nonterminals are also left-recursive; the separate code tells
+// the user the stronger fact.
+func (v *verifier) checkDerivationCycles() {
+	g := v.nullableContextGraph()
+	for _, comp := range g.sccs() {
+		cyclic := len(comp) > 1
+		if !cyclic {
+			x := comp[0]
+			for _, y := range g.succs[x] {
+				if y == x {
+					cyclic = true
+					break
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		inComp := make(map[grammar.NTID]bool, len(comp))
+		for _, x := range comp {
+			inComp[x] = true
+		}
+		members := append([]grammar.NTID(nil), comp...)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[j] < members[i] {
+					members[i], members[j] = members[j], members[i]
+				}
+			}
+		}
+		for _, x := range members {
+			cycle := g.cycleThrough(x, inComp)
+			if cycle == nil {
+				continue
+			}
+			just := g.just[[2]grammar.NTID{cycle[0], cycle[1]}]
+			name := v.c.NTName(x)
+			v.add(Diagnostic{
+				Code: CodeDerivationCycle, Severity: Error, NT: name, Prod: just.prod, Pos: just.pos,
+				Witness: v.namesOf(cycle),
+				Message: fmt.Sprintf("derivation cycle: %s ⇒+ %s (%s); the grammar assigns infinitely many parse trees to some inputs",
+					name, name, v.witnessDerivation(g, cycle)),
+			})
+		}
+	}
+}

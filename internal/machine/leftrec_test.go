@@ -1,0 +1,107 @@
+package machine
+
+// Regression tests for the dynamic left-recursion detector (Section 4.1) on
+// the shapes the static verifier (internal/grammarlint) classifies as
+// hidden or indirect, and for certified mode, where the same probe is a
+// certificate-violation assertion instead of a LeftRecursive error.
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/grammar"
+)
+
+// TestHiddenLeftRecursionDetection: A → B A x with B → ε hides the
+// recursion behind a nullable prefix; after B derives ε the machine
+// re-opens A with nothing consumed and the visited-set probe must fire.
+func TestHiddenLeftRecursionDetection(t *testing.T) {
+	g := grammar.MustParseBNF(`
+		A -> B A x | a ;
+		B -> %empty | b
+	`)
+	pred := &scriptedPredictor{script: []Prediction{
+		{Kind: PredUnique, Rhs: rhsIDs(g, "A", 0)}, // A → B A x
+		{Kind: PredUnique, Rhs: rhsIDs(g, "B", 0)}, // B → ε
+	}}
+	res := Multistep(g, pred, Init(g, "A", word("a")), Options{})
+	if res.Kind != ResultError || res.Err.Kind != ErrLeftRecursive {
+		t.Fatalf("result = %v / %v, want LeftRecursive error", res.Kind, res.Err)
+	}
+	if res.Err.NT != "A" {
+		t.Errorf("offending nonterminal = %q, want A", res.Err.NT)
+	}
+}
+
+// TestIndirectLeftRecursionDetection: the cycle A → B → C → A has no
+// self-referencing production, but the machine opens all three without
+// consuming and must flag the first nonterminal it re-opens.
+func TestIndirectLeftRecursionDetection(t *testing.T) {
+	g := grammar.MustParseBNF(`
+		A -> B z | a ;
+		B -> C y | b ;
+		C -> A x | c
+	`)
+	pred := &scriptedPredictor{script: []Prediction{
+		{Kind: PredUnique, Rhs: rhsIDs(g, "A", 0)}, // A → B z
+		{Kind: PredUnique, Rhs: rhsIDs(g, "B", 0)}, // B → C y
+		{Kind: PredUnique, Rhs: rhsIDs(g, "C", 0)}, // C → A x
+	}}
+	res := Multistep(g, pred, Init(g, "A", word("a")), Options{})
+	if res.Kind != ResultError || res.Err.Kind != ErrLeftRecursive {
+		t.Fatalf("result = %v / %v, want LeftRecursive error", res.Kind, res.Err)
+	}
+	if res.Err.NT != "A" {
+		t.Errorf("offending nonterminal = %q, want A (first re-opened)", res.Err.NT)
+	}
+}
+
+// TestCertifiedProbeBecomesAssertion: in certified mode the same forced
+// recursion is an internal certificate violation, not a LeftRecursive
+// grammar error — the error path the certificate removes from the contract.
+func TestCertifiedProbeBecomesAssertion(t *testing.T) {
+	g := grammar.MustParseBNF(`E -> E plus | n`)
+	pred := &scriptedPredictor{script: []Prediction{
+		{Kind: PredUnique, Rhs: rhsIDs(g, "E", 0)},
+		{Kind: PredUnique, Rhs: rhsIDs(g, "E", 0)},
+	}}
+	res := Multistep(g, pred, Init(g, "E", word("n")), Options{Certified: true})
+	if res.Kind != ResultError || res.Err.Kind != ErrInvalidState {
+		t.Fatalf("result = %v / %v, want InvalidState assertion", res.Kind, res.Err)
+	}
+	if !strings.Contains(res.Err.Msg, "certificate violation") {
+		t.Errorf("assertion message %q does not mention the certificate", res.Err.Msg)
+	}
+}
+
+// TestCertifiedFlagPropagates: the flag must survive every step constructor
+// (push, consume, return), or a later probe would silently revert to the
+// uncertified error path mid-parse.
+func TestCertifiedFlagPropagates(t *testing.T) {
+	g := grammar.MustParseBNF(`
+		S -> A c ;
+		A -> b
+	`)
+	pred := &scriptedPredictor{script: []Prediction{
+		{Kind: PredUnique, Rhs: rhsIDs(g, "S", 0)},
+		{Kind: PredUnique, Rhs: rhsIDs(g, "A", 0)},
+	}}
+	var states []*State
+	res := Multistep(g, pred, Init(g, "S", word("b", "c")), Options{
+		Certified: true,
+		OnStep: func(before *State, _ OpKind, after *State) {
+			states = append(states, before)
+			if after != nil {
+				states = append(states, after)
+			}
+		},
+	})
+	if res.Kind != Unique {
+		t.Fatalf("result = %v, want Unique", res.Kind)
+	}
+	for i, st := range states {
+		if !st.Certified {
+			t.Fatalf("state %d lost the Certified flag: %s", i, st)
+		}
+	}
+}

@@ -67,6 +67,14 @@ type Options struct {
 	// Termination is guaranteed by the Section 4 measure, so this is a
 	// backstop for corrupted grammars in fuzzing, not a semantic limit.
 	MaxSteps int
+	// Certified declares the grammar statically verified non-left-recursive
+	// (it carries a grammar.Certificate). The visited-set probe then becomes
+	// a certificate-violation assertion instead of a LeftRecursive error;
+	// every other transition is unchanged, so results are bit-identical to
+	// an uncertified run on genuinely certified grammars. Callers are
+	// responsible for only setting this when a certificate is attached —
+	// parser.New derives it from Compiled.Certificate().
+	Certified bool
 }
 
 // Multistep drives Step until the machine halts and converts the terminal
@@ -80,6 +88,9 @@ type Options struct {
 // when the input length is not known up front — and the property tests
 // check the decrease on randomized runs.
 func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Result {
+	if opts.Certified {
+		st.Certified = true // fresh initial state; the flag propagates through every step
+	}
 	steps := 0
 	for {
 		if opts.CheckInvariants {

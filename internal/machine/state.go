@@ -31,6 +31,14 @@ type State struct {
 	Consumed int            // tokens consumed when this state was built
 	Visited  NTSet          // nonterminals opened since the last consume (Section 4.1)
 	Unique   bool           // false once prediction has detected ambiguity
+	// Certified marks a run on a statically verified grammar (one carrying a
+	// grammar.Certificate): Theorem 5.8 plus the certificate's
+	// no-left-recursion check make the visited-set probe provably
+	// unreachable, so stepPush demotes it from a LeftRecursive error to a
+	// certificate-violation assertion. The bookkeeping itself stays on — the
+	// termination measure (measure.go) reads Visited — so certified and
+	// uncertified runs take bit-identical transitions on certified grammars.
+	Certified bool
 }
 
 // Init builds the initial machine state for start symbol start and word w:

@@ -84,14 +84,15 @@ func stepReturn(st *State) StepResult {
 	// push). The two cases are exactly Lemma 4.4's "(a) decreases or
 	// (b) remains constant" split for the stack score.
 	next := &State{
-		C:        st.C,
-		Start:    st.Start,
-		Prefix:   PushPrefix(caller, st.Prefix.Below.Below),
-		Suffix:   st.Suffix.Below,
-		Src:      st.Src,
-		Consumed: st.Consumed,
-		Visited:  st.Visited.Remove(x),
-		Unique:   st.Unique,
+		C:         st.C,
+		Start:     st.Start,
+		Prefix:    PushPrefix(caller, st.Prefix.Below.Below),
+		Suffix:    st.Suffix.Below,
+		Src:       st.Src,
+		Consumed:  st.Consumed,
+		Visited:   st.Visited.Remove(x),
+		Unique:    st.Unique,
+		Certified: st.Certified,
 	}
 	return StepResult{Kind: StepCont, Op: OpReturn, State: next}
 }
@@ -117,13 +118,14 @@ func stepConsume(st *State, a grammar.TermID) StepResult {
 	topPrefix := st.Prefix.F.consProc(grammar.TermSym(a), tree.Leaf(tok))
 	st.Src.Advance()
 	next := &State{
-		C:        st.C,
-		Start:    st.Start,
-		Prefix:   PushPrefix(topPrefix, st.Prefix.Below),
-		Suffix:   PushSuffix(topSuffix, st.Suffix.Below),
-		Src:      st.Src,
-		Consumed: st.Consumed + 1,
-		Unique:   st.Unique,
+		C:         st.C,
+		Start:     st.Start,
+		Prefix:    PushPrefix(topPrefix, st.Prefix.Below),
+		Suffix:    PushSuffix(topSuffix, st.Suffix.Below),
+		Src:       st.Src,
+		Consumed:  st.Consumed + 1,
+		Unique:    st.Unique,
+		Certified: st.Certified,
 	}
 	return StepResult{Kind: StepCont, Op: OpConsume, State: next}
 }
@@ -132,6 +134,14 @@ func stepConsume(st *State, a grammar.TermID) StepResult {
 // side for x, and pushes it (the (σ0) → (σ1) transition of Figure 2).
 func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) StepResult {
 	if st.Visited.Contains(x) {
+		if st.Certified {
+			// The grammar carries a no-left-recursion certificate, so this
+			// branch is statically unreachable (Theorem 5.8); reaching it
+			// means the certificate lied — an internal inconsistency, not a
+			// grammar-authoring error.
+			return StepResult{Kind: StepError, Err: InvalidState(
+				"certificate violation: certified grammar re-opened %s without consuming a token", st.C.NTName(x))}
+		}
 		return StepResult{Kind: StepError, Err: LeftRecursive(st.C.NTName(x),
 			"nonterminal re-opened without consuming a token")}
 	}
@@ -162,14 +172,15 @@ func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) Ste
 	caller := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
 	pushed := SuffixFrame{Lhs: x, Rest: p.Rhs}
 	next := &State{
-		C:        st.C,
-		Start:    st.Start,
-		Prefix:   PushPrefix(PrefixFrame{}, st.Prefix),
-		Suffix:   PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
-		Src:      st.Src,
-		Consumed: st.Consumed,
-		Visited:  st.Visited.Add(x),
-		Unique:   st.Unique && p.Kind != PredAmbig,
+		C:         st.C,
+		Start:     st.Start,
+		Prefix:    PushPrefix(PrefixFrame{}, st.Prefix),
+		Suffix:    PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
+		Src:       st.Src,
+		Consumed:  st.Consumed,
+		Visited:   st.Visited.Add(x),
+		Unique:    st.Unique && p.Kind != PredAmbig,
+		Certified: st.Certified,
 	}
 	return StepResult{Kind: StepCont, Op: OpPush, State: next}
 }

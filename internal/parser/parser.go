@@ -86,6 +86,12 @@ type Options struct {
 	// MaxSteps bounds machine transitions per parse (0 = unlimited); a
 	// defensive backstop only.
 	MaxSteps int
+	// IgnoreCertificate keeps the session in uncertified mode even when the
+	// grammar carries a well-formedness certificate — the dynamic
+	// left-recursion error path stays live. Certified and uncertified runs
+	// are bit-identical on certified grammars (the differential tests check
+	// this); the switch exists for those tests and for debugging.
+	IgnoreCertificate bool
 }
 
 // Parser is a reusable parsing session for one grammar.
@@ -103,6 +109,11 @@ type Parser struct {
 	opts    Options
 	targets sync.Map // start symbol → *analysis.Targets, interned lazily
 	cache   *prediction.Cache
+	// certified records, at session construction, whether the grammar
+	// carried a valid certificate (and IgnoreCertificate was off); the
+	// machine then runs with its left-recursion probe demoted to an
+	// assertion (Theorem 5.8 makes it unreachable).
+	certified bool
 
 	statsMu sync.Mutex
 	stats   prediction.Stats // accumulated across parses
@@ -110,15 +121,25 @@ type Parser struct {
 
 // New validates g and builds a session. The error reports the first
 // well-formedness violation (undefined nonterminals, missing start, ...).
+//
+// If the grammar carries a well-formedness certificate (attached by
+// grammarlint.Certify) the session runs in certified mode: the machine's
+// dynamic left-recursion check is demoted to a debug assertion, since the
+// certificate plus Theorem 5.8 prove it unreachable. Options.IgnoreCertificate
+// opts out.
 func New(g *grammar.Grammar, opts Options) (*Parser, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	c := g.Compiled()
+	certified := !opts.IgnoreCertificate &&
+		c.Certificate() != nil && c.Certificate().Fingerprint == c.Fingerprint()
 	return &Parser{
-		g:     g,
-		an:    analysis.New(g),
-		opts:  opts,
-		cache: prediction.NewCache(),
+		g:         g,
+		an:        analysis.New(g),
+		opts:      opts,
+		cache:     prediction.NewCache(),
+		certified: certified,
 	}, nil
 }
 
@@ -142,6 +163,11 @@ func (p *Parser) Analysis() *analysis.Analysis { return p.an }
 // correctness theorems assume it is empty. (Implementing this decision
 // procedure is listed as future work in Section 8.)
 func (p *Parser) LeftRecursiveNTs() []string { return p.an.LeftRecursiveNTs() }
+
+// Certified reports whether the session runs in certified mode: the grammar
+// carried a valid well-formedness certificate at construction and
+// Options.IgnoreCertificate was off.
+func (p *Parser) Certified() bool { return p.certified }
 
 // Stats returns a snapshot of the prediction statistics accumulated over
 // the session; safe to call while parses are in flight.
@@ -224,6 +250,7 @@ func (p *Parser) parse(start string, src *source.Cursor, total int) Result {
 	mres := machine.Multistep(p.g, ap, machine.InitSource(p.g, start, src), machine.Options{
 		CheckInvariants: p.opts.CheckInvariants,
 		MaxSteps:        p.opts.MaxSteps,
+		Certified:       p.certified,
 	})
 	p.accumulate(ap.Stats)
 	res := Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps, Consumed: mres.Consumed, Stats: ap.Stats}

@@ -1,0 +1,130 @@
+// Package analyzerkit is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects the parsed
+// (not type-checked) files of one package through a Pass and reports
+// positioned diagnostics. The driver half (driver.go) runs analyzers either
+// standalone over package directories or as a `go vet -vettool` backend.
+//
+// The repo's analyzers guard unexported invariants — writes to
+// grammar.Compiled tables, mutation of shared DFA edge maps — so a
+// syntactic analysis is sound here: the protected fields are unexported,
+// which confines potential writes to their owning packages, and within one
+// package a field name identifies the field up to intra-package aliasing
+// that the analyzers' allowlists account for.
+package analyzerkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// Analyzer is one static check, mirroring the x/tools analysis.Analyzer
+// shape so the checks could migrate to the real framework unchanged.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -NAME=0 flags.
+	Name string
+	// Doc is a one-paragraph description, shown by -help.
+	Doc string
+	// Run inspects one package through pass and reports findings via
+	// pass.Reportf. A returned error aborts the whole run (it means the
+	// analyzer itself failed, not that the code has findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed files to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, in driver order.
+	Files []*ast.File
+	// PkgName is the declared package name (the `package foo` clause).
+	PkgName string
+	// PkgPath is the import path in vet mode, or the directory path in
+	// standalone mode. Diagnostics should not depend on which.
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String renders the diagnostic in the canonical file:line:col form that
+// editors and `go vet` both understand.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// SetReport installs the diagnostic sink Reportf forwards to. The driver
+// calls it when assembling a pass; analyzer tests call it to capture
+// findings in memory.
+func (p *Pass) SetReport(fn func(Diagnostic)) { p.report = fn }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Filename returns the base name of the file containing pos — what
+// constructor-file allowlists match against.
+func (p *Pass) Filename(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Write is one syntactic mutation site: the target of an assignment or
+// IncDec statement, or the first argument of a delete() call.
+type Write struct {
+	// Target is the expression being written through.
+	Target ast.Expr
+	// Node is the statement or call performing the write, for positions.
+	Node ast.Node
+}
+
+// Writes collects every syntactic mutation in f. Short variable
+// declarations (`:=`) are excluded: their left-hand sides introduce new
+// variables rather than writing through existing structure.
+func Writes(f *ast.File) []Write {
+	var out []Write
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				out = append(out, Write{Target: lhs, Node: s})
+			}
+		case *ast.IncDecStmt:
+			out = append(out, Write{Target: s.X, Node: s})
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "delete" && len(s.Args) > 0 {
+				out = append(out, Write{Target: s.Args[0], Node: s})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// SelectorsIn returns every SelectorExpr anywhere inside e — including
+// inside index expressions, parens, stars, and call arguments — so a write
+// target like (*m.edges.Load())[k] surfaces both `edges` and `Load`.
+func SelectorsIn(e ast.Expr) []*ast.SelectorExpr {
+	var out []*ast.SelectorExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			out = append(out, sel)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,258 @@
+package analyzerkit
+
+// The driver half: Main runs a set of analyzers either as a `go vet
+// -vettool` backend (the unitchecker protocol: a -V=full version probe,
+// then one *.cfg JSON file per package unit) or standalone over package
+// directories / "./..." patterns. The vet protocol is implemented by hand
+// because this repo vendors no dependencies; the subset below — version
+// line, cfg parsing, facts-file creation, diagnostics on stderr with exit
+// code 2 — is everything cmd/go requires from a vet tool that neither
+// exports nor imports facts.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the package unit description cmd/go hands a vettool; field
+// names must match the JSON written by the go command (see
+// x/tools/go/analysis/unitchecker.Config). Fields this driver does not need
+// are still listed so the decoder accepts every config the toolchain emits.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for an analyzer bundle binary. It never returns:
+// the process exits 0 on a clean run, 1 on driver errors, 2 on findings
+// (the exit code `go vet` interprets as "diagnostics were reported").
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	// `go vet` probes the tool's version before first use; the output only
+	// needs to be stable, it becomes part of the build cache key.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Printf("%s version 1 (analyzerkit)\n", filepath.Base(os.Args[0]))
+			os.Exit(0)
+		case "-flags":
+			// cmd/go asks the tool which flags it supports and forwards the
+			// matching subset of the vet command line; this driver takes none.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [package-dir | ./... | unit.cfg]...\n\nanalyzers:\n", filepath.Base(os.Args[0]))
+		for _, an := range analyzers {
+			doc := an.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", an.Name, doc)
+		}
+		os.Exit(1)
+	}
+	if strings.HasSuffix(args[0], ".cfg") {
+		runVetUnit(args[0], analyzers)
+		return
+	}
+	runStandalone(args, analyzers)
+}
+
+// runVetUnit handles one unitchecker invocation: parse the unit's files,
+// run the analyzers, write the (empty) facts file, report to stderr.
+func runVetUnit(cfgPath string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+	// The go command requires the facts file to exist even when the tool
+	// has no facts to export; an empty file decodes as "no facts" because
+	// this driver never reads PackageVetx either.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	diags, err := runPackage(fset, files, cfg.ImportPath, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// runStandalone analyzes package directories named directly or via Go's
+// "dir/..." wildcard, grouping each directory's files into one pass.
+func runStandalone(patterns []string, analyzers []*Analyzer) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs := map[string][]*ast.File{}
+		names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			fatal(err)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs[f.Name.Name] = append(pkgs[f.Name.Name], f)
+		}
+		// A directory can hold both pkg and pkg_test ("external test")
+		// packages; analyze each separately, like the build system does.
+		pkgNames := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			pkgNames = append(pkgNames, name)
+		}
+		sort.Strings(pkgNames)
+		for _, name := range pkgNames {
+			diags, err := runPackage(fset, pkgs[name], dir, analyzers)
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, diags...)
+		}
+	}
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// runPackage applies every analyzer to one parsed package and returns the
+// findings sorted by position.
+func runPackage(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	for _, an := range analyzers {
+		pass := &Pass{
+			Analyzer: an,
+			Fset:     fset,
+			Files:    files,
+			PkgName:  files[0].Name.Name,
+			PkgPath:  pkgPath,
+		}
+		pass.SetReport(func(d Diagnostic) { diags = append(diags, d) })
+		if err := an.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", an.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// expandPatterns resolves "dir/..." wildcards to every subdirectory
+// containing Go files, skipping testdata, vendor, and hidden directories —
+// the same pruning the go command applies to package patterns.
+func expandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		root, rec := strings.CutSuffix(p, "...")
+		root = filepath.Clean(root)
+		if root == "" {
+			root = "."
+		}
+		if !rec {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if m, _ := filepath.Glob(filepath.Join(path, "*.go")); len(m) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", filepath.Base(os.Args[0]), err)
+	os.Exit(1)
+}

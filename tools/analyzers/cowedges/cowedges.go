@@ -1,0 +1,87 @@
+// Package cowedges flags direct mutation of the shared SLL DFA transition
+// maps in internal/prediction outside the copy-on-write path.
+//
+// A dfaState's edges (and a cacheGen's starts) are atomic.Pointer-held maps
+// read lock-free by every parsing goroutine; the only sound mutation is the
+// COW sequence in cache.go — copy the map, update the copy, publish it with
+// a single Store under the generation mutex. Two mistakes break this
+// silently and only under load:
+//
+//   - writing through a loaded map, (*st.edges.Load())[t] = next, which
+//     races with concurrent readers; and
+//   - calling Store/Swap from outside cache.go, which bypasses the mutex
+//     that serializes writers and can lose concurrent insertions.
+//
+// The race detector catches the first only when tests happen to collide;
+// this analyzer rejects both shapes statically.
+package cowedges
+
+import (
+	"go/ast"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// cowFields are the atomic.Pointer map slots with a COW discipline.
+var cowFields = map[string]bool{"edges": true, "starts": true}
+
+// mutators are the atomic.Pointer methods that publish a new map.
+var mutators = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true}
+
+// allowFile is the one file implementing the COW path.
+const allowFile = "cache.go"
+
+// Analyzer is the exported instance for multichecker bundling.
+var Analyzer = &analyzerkit.Analyzer{
+	Name: "cowedges",
+	Doc: "flag direct mutation of shared DFA edge maps outside the copy-on-write path\n\n" +
+		"dfaState.edges and cacheGen.starts are lock-free shared maps; mutate them only\n" +
+		"via the copy-update-publish sequence in cache.go.",
+	Run: run,
+}
+
+func run(pass *analyzerkit.Pass) error {
+	if pass.PkgName != "prediction" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		inCache := pass.Filename(f.Package) == allowFile
+		// Writes whose target reaches through .edges/.starts — map stores
+		// via a loaded pointer, delete() on a loaded map, aliasing
+		// assignments — race with readers in every file, cache.go included:
+		// the legitimate path copies into a fresh map and never writes
+		// through the shared one.
+		for _, w := range analyzerkit.Writes(f) {
+			for _, sel := range analyzerkit.SelectorsIn(w.Target) {
+				if cowFields[sel.Sel.Name] {
+					pass.Reportf(sel.Sel.Pos(),
+						"write through shared DFA map %s: copy, update the copy, and publish with Store (see cache.go COW path)",
+						sel.Sel.Name)
+				}
+			}
+		}
+		if inCache {
+			continue
+		}
+		// Publishing calls outside cache.go bypass the writer mutex.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !mutators[method.Sel.Name] {
+				return true
+			}
+			field, ok := method.X.(*ast.SelectorExpr)
+			if !ok || !cowFields[field.Sel.Name] {
+				return true
+			}
+			pass.Reportf(method.Sel.Pos(),
+				"%s.%s outside cache.go bypasses the COW writer mutex; route the update through the cache.go publish path",
+				field.Sel.Name, method.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

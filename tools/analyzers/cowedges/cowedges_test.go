@@ -1,0 +1,115 @@
+package cowedges
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+func check(t *testing.T, files map[string]string) []analyzerkit.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	var diags []analyzerkit.Diagnostic
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+	pass := &analyzerkit.Pass{
+		Analyzer: Analyzer,
+		Fset:     fset,
+		Files:    parsed,
+		PkgName:  parsed[0].Name.Name,
+		PkgPath:  "test",
+	}
+	pass.SetReport(func(d analyzerkit.Diagnostic) { diags = append(diags, d) })
+	if err := Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestFlagsWriteThroughLoadedMap(t *testing.T) {
+	diags := check(t, map[string]string{
+		// Writing through the loaded pointer races with readers even in
+		// cache.go itself — the COW path must copy first.
+		"cache.go": `package prediction
+func (st *dfaState) evil(t int, next *dfaState) {
+	(*st.edges.Load())[t] = next
+}`,
+	})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "COW") {
+		t.Errorf("diagnostic lacks COW guidance: %s", diags[0])
+	}
+}
+
+func TestFlagsStoreOutsideCacheFile(t *testing.T) {
+	diags := check(t, map[string]string{
+		"predict.go": `package prediction
+func hijack(st *dfaState, m *map[int]*dfaState) {
+	st.edges.Store(m)
+}
+func hijackStarts(g *cacheGen, m *map[int]*dfaState) {
+	g.starts.Swap(m)
+}`,
+	})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestAllowsCOWPathInCacheFile(t *testing.T) {
+	diags := check(t, map[string]string{
+		// The legitimate sequence: load, copy into a fresh map, publish.
+		"cache.go": `package prediction
+func (st *dfaState) setEdge(t int, next *dfaState) {
+	m := st.edges.Load()
+	nm := make(map[int]*dfaState, len(*m)+1)
+	for k, v := range *m {
+		nm[k] = v
+	}
+	nm[t] = next
+	st.edges.Store(&nm)
+}`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("false positives on the COW path: %v", diags)
+	}
+}
+
+func TestLoadsAreAllowedEverywhere(t *testing.T) {
+	diags := check(t, map[string]string{
+		"predict.go": `package prediction
+func (st *dfaState) step(t int) *dfaState {
+	next, ok := (*st.edges.Load())[t]
+	if !ok {
+		return nil
+	}
+	return next
+}`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("reads were flagged: %v", diags)
+	}
+}
+
+func TestOtherPackagesIgnored(t *testing.T) {
+	diags := check(t, map[string]string{
+		"x.go": `package other
+type g struct{ edges map[int]int }
+func (x *g) set() { x.edges[1] = 2 }`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("analyzer leaked outside prediction: %v", diags)
+	}
+}
