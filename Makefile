@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race bench bench-parallel bench-stream fuzz-smoke vet lint vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream fuzz-smoke vet lint vet-grammars
 
 all: build test race
 
@@ -22,6 +22,14 @@ race:
 short-race:
 	GOMAXPROCS=8 $(GO) test -race -short . ./internal/prediction ./internal/parser
 
+# Robustness stress: the fault-injection differential suite, cancellation
+# and batch-drain tests, and the governor tests, all under the race
+# detector with aggressive GOMAXPROCS (DESIGN.md §5e).
+stress:
+	GOMAXPROCS=16 $(GO) test -race -count=2 \
+		-run 'Fault|Cancel|Context|Limits|Panic|Sticky|Governor|Drain' \
+		. ./internal/faultinject ./internal/machine ./internal/parser ./internal/source
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -34,14 +42,16 @@ bench-parallel:
 bench-stream:
 	$(GO) test -bench=BenchmarkStreamingWindow -benchmem -count=1 .
 
-# Short fuzz smoke. Two invocations because -fuzz must match exactly one
-# target: the stream/slice equivalence contract (chunked reads through the
-# incremental lexer agree with batch lexing on arbitrary bytes), then the
+# Short fuzz smoke. One invocation per target because -fuzz must match
+# exactly one: the stream/slice equivalence contract (chunked reads through
+# the incremental lexer agree with batch lexing on arbitrary bytes), the
 # static grammar verifier (never panics, deterministic, Certify agrees with
-# the report's Certifiable verdict).
+# the report's Certifiable verdict), and the fault-injection pipeline
+# (fuzzer-chosen fault schedules always yield a well-formed result).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzStreamEquivalence -fuzztime=20s -run=FuzzStreamEquivalence .
 	$(GO) test -fuzz=FuzzGrammarLint -fuzztime=20s -run=FuzzGrammarLint .
+	$(GO) test -fuzz=FuzzFaultInjection -fuzztime=20s -run=FuzzFaultInjection .
 
 vet:
 	$(GO) vet ./...

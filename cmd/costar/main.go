@@ -17,20 +17,25 @@
 //
 // Flags:
 //
-//	-j N       parse input files on N workers (0 = one per CPU)
-//	-tree      print the parse tree (s-expression)
-//	-pretty    print the parse tree (indented)
-//	-stats     print prediction statistics
-//	-check     enable machine invariant checking
+//	-j N        parse input files on N workers (0 = one per CPU)
+//	-tree       print the parse tree (s-expression)
+//	-pretty     print the parse tree (indented)
+//	-stats      print prediction statistics and resource usage
+//	-check      enable machine invariant checking
+//	-timeout D  abandon the whole batch after duration D (e.g. 500ms, 2s);
+//	            timed-out parses report a structured deadline error
+//	-max-steps N abort any single parse after N machine transitions
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"costar"
 	"costar/internal/grammar"
@@ -56,14 +61,17 @@ func main() {
 		workers  = flag.Int("j", 1, "worker goroutines for multiple input files (0 = one per CPU)")
 		showTree = flag.Bool("tree", false, "print the parse tree as an s-expression")
 		pretty   = flag.Bool("pretty", false, "print the parse tree indented")
-		stats    = flag.Bool("stats", false, "print prediction statistics")
+		stats    = flag.Bool("stats", false, "print prediction statistics and resource usage")
 		check    = flag.Bool("check", false, "check machine invariants on every step")
 		dot      = flag.Bool("dot", false, "print the parse tree as a Graphviz DOT document")
+		timeout  = flag.Duration("timeout", 0, "abandon the batch after this duration (0 = no deadline)")
+		maxSteps = flag.Int("max-steps", 0, "abort any single parse after this many machine steps (0 = unlimited)")
 	)
 	flag.Parse()
 	opts := cliOptions{
 		workers: *workers, showTree: *showTree, pretty: *pretty,
 		stats: *stats, check: *check, dot: *dot,
+		timeout: *timeout, maxSteps: *maxSteps,
 	}
 	if err := run(*langName, *g4Path, *bnfPath, *tokens, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "costar:", err)
@@ -75,6 +83,8 @@ func main() {
 type cliOptions struct {
 	workers                             int
 	showTree, pretty, stats, check, dot bool
+	timeout                             time.Duration
+	maxSteps                            int
 }
 
 func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []string) error {
@@ -82,14 +92,23 @@ func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []strin
 	if err != nil {
 		return err
 	}
-	p, err := costar.NewParser(g, costar.Options{CheckInvariants: opts.check})
+	p, err := costar.NewParser(g, costar.Options{
+		CheckInvariants: opts.check,
+		Limits:          costar.Limits{MaxSteps: opts.maxSteps},
+	})
 	if err != nil {
 		return err
 	}
 	if lr := p.LeftRecursiveNTs(); len(lr) > 0 {
 		fmt.Fprintf(os.Stderr, "warning: grammar is left-recursive in %v; parsing will report an error\n", lr)
 	}
-	results := p.ParseSourceAll(len(inputs), func(i int) (*costar.TokenSource, func(), error) {
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	results := p.ParseSourceAllContext(ctx, len(inputs), func(i int) (*costar.TokenSource, func(), error) {
 		return inputs[i].open()
 	}, opts.workers)
 	var firstErr error
@@ -131,8 +150,9 @@ func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []strin
 		}
 		if opts.stats {
 			s := res.Stats
-			fmt.Printf("%sprediction: %d SLL decisions, %d LL fallbacks, %d trivial, cache %d hits / %d misses, max lookahead %d (%s)\n",
-				prefix, s.SLLCalls, s.LLFallbacks, s.TrivialCalls, s.CacheHits, s.CacheMisses, s.MaxLookahead, s.MaxLookaheadNT)
+			fmt.Printf("%sprediction: %d SLL decisions, %d LL fallbacks, %d trivial, cache %d hits / %d misses, max lookahead %d (%s), %d budget exhaustions\n",
+				prefix, s.SLLCalls, s.LLFallbacks, s.TrivialCalls, s.CacheHits, s.CacheMisses, s.MaxLookahead, s.MaxLookaheadNT, s.BudgetExhaustions)
+			fmt.Printf("%susage: %s\n", prefix, res.Usage)
 		}
 	}
 	return firstErr

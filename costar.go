@@ -26,6 +26,7 @@
 package costar
 
 import (
+	"context"
 	"io"
 
 	"costar/internal/ebnf"
@@ -57,6 +58,14 @@ type (
 	Options = parser.Options
 	// Result is a parse outcome: Unique(tree), Ambig(tree), Reject, Error.
 	Result = parser.Result
+	// Limits bounds the resources one parse may consume: machine steps,
+	// tokens, stack depth, prediction closure work, tree nodes. The zero
+	// value is unlimited; each exhausted limit surfaces as a structured
+	// Error result naming the limit — never a false Reject.
+	Limits = parser.Limits
+	// Usage reports a parse's resource high-water marks; every Result
+	// carries one, so budgets can be set from measured headroom.
+	Usage = parser.Usage
 	// Lexer is a compiled lexical specification.
 	Lexer = lexer.Lexer
 	// TokenSource is a demand-driven token cursor: the parser pulls tokens
@@ -130,6 +139,16 @@ func MustNewParser(g *Grammar, opts Options) *Parser { return parser.MustNew(g, 
 // in g.
 func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, start, w) }
 
+// ParseContext is Parse under a context and resource limits: cancellation,
+// deadline expiry, or an exhausted limit halts the engine within a bounded
+// amount of work and surfaces as a structured Error result — never a false
+// Reject — with the measured high-water marks in Result.Usage. Parser
+// sessions offer the same as methods (ParseContext, ParseReaderContext,
+// ParseAllContext, ...) with Limits configured once in Options.
+func ParseContext(ctx context.Context, g *Grammar, start string, w []Token, limits Limits) Result {
+	return parser.ParseContext(ctx, g, start, w, limits)
+}
+
 // ParseAll parses every word from start in g on a pool of workers
 // goroutines (workers <= 0 means GOMAXPROCS), all sharing one SLL DFA
 // cache; results are in input order. For repeated batches construct a
@@ -137,6 +156,15 @@ func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, 
 // concurrent use and keep the DFA warm across batches.
 func ParseAll(g *Grammar, start string, words [][]Token, workers int) []Result {
 	return parser.ParseAll(g, start, words, workers)
+}
+
+// ParseAllContext is ParseAll under a context and resource limits. A
+// canceled batch stops promptly: in-flight parses abort through their
+// governors, remaining items are drained with Canceled results (every slot
+// is filled), and no goroutine outlives the call. Items are isolated — one
+// item's panic or blowup is that item's Error result, and the batch goes on.
+func ParseAllContext(ctx context.Context, g *Grammar, start string, words [][]Token, workers int, limits Limits) []Result {
+	return parser.ParseAllContext(ctx, g, start, words, workers, limits)
 }
 
 // ParseReader lexes r incrementally with lex and parses the token stream
@@ -147,6 +175,16 @@ func ParseAll(g *Grammar, start string, words [][]Token, workers int) []Result {
 // surface as Error results, never as false accepts.
 func ParseReader(g *Grammar, start string, lex *Lexer, r io.Reader) Result {
 	return parser.ParseReader(g, start, lex, r)
+}
+
+// ParseReaderContext is ParseReader under a context and resource limits.
+// Cancellation is observed between machine steps and prediction closure
+// expansions; a Read already blocked in r cannot be interrupted (use a
+// context-aware reader for that), but no further reads are issued once the
+// context ends, and a reader that fails with the context's error surfaces
+// as the same structured Canceled/DeadlineExceeded result.
+func ParseReaderContext(ctx context.Context, g *Grammar, start string, lex *Lexer, r io.Reader, limits Limits) Result {
+	return parser.ParseReaderContext(ctx, g, start, lex, r, limits)
 }
 
 // NewTokenSource builds a TokenSource for g from a pull function: each call

@@ -1,0 +1,236 @@
+// Package faultinject provides deterministic, seedable fault wrappers for
+// the two places bytes and tokens enter the engine: an io.Reader wrapper
+// (short reads, injected errors, torn-UTF-8 truncation, stalls under a
+// context deadline) and a token-pull wrapper (errors, truncation, panics at
+// a chosen token index). Every fault fires at a configured offset and is
+// sticky afterwards, so a test can assert that the engine surfaces exactly
+// one structured error and never a false accept or reject.
+//
+// Determinism matters more than realism here: the same seed and options
+// produce the same byte-for-byte fault schedule on every run and every Go
+// version, so the differential fault suite is reproducible. Randomness uses
+// a hand-rolled xorshift generator rather than math/rand for exactly that
+// reason.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"costar/internal/grammar"
+)
+
+// ErrInjected is the default error delivered by FailAt/FailAtToken when the
+// test does not supply its own.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// rng is xorshift64 — tiny, seedable, stable across Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // arbitrary non-zero default
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n). n must be > 0.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Option configures a fault-injecting Reader.
+type Option func(*Reader)
+
+// Seed fixes the random stream used by ShortReads. Zero selects a built-in
+// default; two Readers with the same seed and options behave identically.
+func Seed(seed uint64) Option { return func(f *Reader) { f.rng = newRNG(seed) } }
+
+// ShortReads makes every Read return between 1 and len(p) bytes, sized by
+// the seeded stream — the io.Reader contract stress that shakes out callers
+// assuming full buffers (torn UTF-8 sequences across Read calls included).
+func ShortReads() Option { return func(f *Reader) { f.short = true } }
+
+// FailAt delivers err (ErrInjected when nil) once offset bytes have been
+// produced. Bytes before the offset flow through; the error is sticky.
+func FailAt(offset int64, err error) Option {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(f *Reader) { f.failAt, f.failErr = offset, err }
+}
+
+// TruncateAt ends the stream with io.EOF after offset bytes, regardless of
+// how much underlying input remains. Cutting inside a multi-byte rune is
+// the torn-UTF-8-at-EOF case the lexer must report, not absorb.
+func TruncateAt(offset int64) Option {
+	return func(f *Reader) { f.truncAt = offset }
+}
+
+// StallAt blocks the Read that reaches offset until ctx is done, then
+// returns ctx.Err() — a reader that hangs until the parse deadline fires.
+func StallAt(offset int64, ctx context.Context) Option {
+	return func(f *Reader) { f.stallAt, f.stallCtx = offset, ctx }
+}
+
+// Reader wraps an io.Reader with a deterministic fault schedule. Not safe
+// for concurrent use (io.Reader streams never are).
+type Reader struct {
+	r        io.Reader
+	rng      *rng
+	off      int64
+	short    bool
+	failAt   int64
+	failErr  error
+	truncAt  int64
+	stallAt  int64
+	stallCtx context.Context
+	sticky   error
+}
+
+// NewReader wraps r. Offsets default to "never" when their option is
+// absent.
+func NewReader(r io.Reader, opts ...Option) *Reader {
+	f := &Reader{r: r, rng: newRNG(0), failAt: -1, truncAt: -1, stallAt: -1}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Offset reports how many bytes have been produced so far.
+func (f *Reader) Offset() int64 { return f.off }
+
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.sticky != nil {
+		return 0, f.sticky
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if f.stallAt >= 0 && f.off >= f.stallAt {
+		<-f.stallCtx.Done()
+		f.sticky = f.stallCtx.Err()
+		return 0, f.sticky
+	}
+	if f.failAt >= 0 && f.off >= f.failAt {
+		f.sticky = f.failErr
+		return 0, f.sticky
+	}
+	if f.truncAt >= 0 && f.off >= f.truncAt {
+		f.sticky = io.EOF
+		return 0, io.EOF
+	}
+	// Clip the request so the next fault offset lands exactly on a Read
+	// boundary (the schedule stays byte-precise under any buffer size).
+	max := len(p)
+	for _, at := range []int64{f.failAt, f.truncAt, f.stallAt} {
+		if at >= 0 && at > f.off && int64(max) > at-f.off {
+			max = int(at - f.off)
+		}
+	}
+	if f.short && max > 1 {
+		max = 1 + f.rng.intn(max)
+	}
+	n, err := f.r.Read(p[:max])
+	f.off += int64(n)
+	if err != nil && err != io.EOF {
+		f.sticky = err
+	}
+	return n, err
+}
+
+// PullOption configures WrapPull.
+type PullOption func(*puller)
+
+// FailAtToken delivers err (ErrInjected when nil) in place of token index
+// n (0-based). Sticky.
+func FailAtToken(n int, err error) PullOption {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(p *puller) { p.failAt, p.failErr = n, err }
+}
+
+// TruncateAtToken ends the stream cleanly before token index n — the
+// well-formed-but-shorter input, for distinguishing truncation (a Reject or
+// shorter parse) from failure (an Error).
+func TruncateAtToken(n int) PullOption {
+	return func(p *puller) { p.truncAt = n }
+}
+
+// PanicAt panics with v in place of token index n — the misbehaving
+// user-supplied token source that the facade's containment layer must
+// convert into a structured internal error.
+func PanicAt(n int, v any) PullOption {
+	return func(p *puller) { p.panicAt, p.panicVal = n, v }
+}
+
+// StallAtToken blocks the pull for token index n until ctx is done, then
+// returns ctx.Err().
+func StallAtToken(n int, ctx context.Context) PullOption {
+	return func(p *puller) { p.stallAt, p.stallCtx = n, ctx }
+}
+
+type puller struct {
+	pull     func() (grammar.Token, bool, error)
+	n        int
+	failAt   int
+	failErr  error
+	truncAt  int
+	panicAt  int
+	panicVal any
+	stallAt  int
+	stallCtx context.Context
+	sticky   error
+	done     bool
+}
+
+// WrapPull wraps a token pull function (the shape of Lexer.Pull and the
+// bundled languages' Pull) with a deterministic token-level fault schedule.
+func WrapPull(pull func() (grammar.Token, bool, error), opts ...PullOption) func() (grammar.Token, bool, error) {
+	p := &puller{pull: pull, failAt: -1, truncAt: -1, panicAt: -1, stallAt: -1}
+	for _, o := range opts {
+		o(p)
+	}
+	return p.next
+}
+
+func (p *puller) next() (grammar.Token, bool, error) {
+	if p.sticky != nil {
+		return grammar.Token{}, false, p.sticky
+	}
+	if p.done {
+		return grammar.Token{}, false, nil
+	}
+	i := p.n
+	p.n++
+	switch {
+	case i == p.panicAt:
+		panic(p.panicVal)
+	case i == p.stallAt:
+		<-p.stallCtx.Done()
+		p.sticky = p.stallCtx.Err()
+		return grammar.Token{}, false, p.sticky
+	case i == p.failAt:
+		p.sticky = p.failErr
+		return grammar.Token{}, false, p.sticky
+	case p.truncAt >= 0 && i >= p.truncAt:
+		p.done = true
+		return grammar.Token{}, false, nil
+	}
+	tok, ok, err := p.pull()
+	if err != nil {
+		p.sticky = err
+	}
+	if !ok && err == nil {
+		p.done = true
+	}
+	return tok, ok, err
+}

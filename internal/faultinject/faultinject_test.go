@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"costar/internal/grammar"
+)
+
+// drain reads r to completion (or error) with the given buffer size,
+// returning the bytes produced and the terminal error.
+func drain(t *testing.T, r io.Reader, bufSize int) ([]byte, error) {
+	t.Helper()
+	var out bytes.Buffer
+	buf := make([]byte, bufSize)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			if err == io.EOF {
+				return out.Bytes(), nil
+			}
+			return out.Bytes(), err
+		}
+		if out.Len() > 1<<20 {
+			t.Fatal("reader never terminates")
+		}
+	}
+}
+
+func TestReaderPassthrough(t *testing.T) {
+	got, err := drain(t, NewReader(strings.NewReader("hello, world")), 5)
+	if err != nil || string(got) != "hello, world" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestShortReadsDeterministic(t *testing.T) {
+	const input = "the quick brown fox jumps over the lazy dog"
+	sizes := func(seed uint64) []int {
+		r := NewReader(strings.NewReader(input), Seed(seed), ShortReads())
+		var ns []int
+		buf := make([]byte, 16)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				ns = append(ns, n)
+			}
+			if err != nil {
+				break
+			}
+		}
+		return ns
+	}
+	a, b := sizes(42), sizes(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	if len(a) < 4 {
+		t.Fatalf("short reads never split the input: %v", a)
+	}
+	got, err := drain(t, NewReader(strings.NewReader(input), Seed(7), ShortReads()), 16)
+	if err != nil || string(got) != input {
+		t.Fatalf("short reads corrupted data: %q, %v", got, err)
+	}
+}
+
+func TestFailAtExactOffsetAndSticky(t *testing.T) {
+	boom := errors.New("boom")
+	r := NewReader(strings.NewReader("abcdefgh"), FailAt(5, boom))
+	got, err := drain(t, r, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if string(got) != "abcde" {
+		t.Fatalf("want exactly 5 bytes before the fault, got %q", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(make([]byte, 4)); !errors.Is(err, boom) {
+			t.Fatalf("error not sticky on retry %d: %v", i, err)
+		}
+	}
+}
+
+func TestFailAtDefaultError(t *testing.T) {
+	_, err := drain(t, NewReader(strings.NewReader("abc"), FailAt(1, nil)), 8)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestTruncateAtTearsRune(t *testing.T) {
+	// "héllo": h=1 byte, é=2 bytes. Truncating at 2 cuts é in half.
+	r := NewReader(strings.NewReader("héllo"), TruncateAt(2))
+	got, err := drain(t, r, 8)
+	if err != nil {
+		t.Fatalf("truncation must look like clean EOF, got %v", err)
+	}
+	if len(got) != 2 || got[0] != 'h' {
+		t.Fatalf("want the torn prefix h\\xc3, got %q", got)
+	}
+	if _, err := r.Read(make([]byte, 4)); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+}
+
+func TestStallAtUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	r := NewReader(strings.NewReader("abcdef"), StallAt(3, ctx))
+	start := time.Now()
+	got, err := drain(t, r, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("want 3 bytes before the stall, got %q", got)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall did not unblock on deadline")
+	}
+}
+
+func toks(names ...string) func() (grammar.Token, bool, error) {
+	i := 0
+	return func() (grammar.Token, bool, error) {
+		if i >= len(names) {
+			return grammar.Token{}, false, nil
+		}
+		n := names[i]
+		i++
+		return grammar.Tok(n, n), true, nil
+	}
+}
+
+func TestWrapPullFailAtTokenSticky(t *testing.T) {
+	boom := errors.New("boom")
+	pull := WrapPull(toks("a", "b", "c", "d"), FailAtToken(2, boom))
+	for want := 0; want < 2; want++ {
+		tok, ok, err := pull()
+		if !ok || err != nil {
+			t.Fatalf("token %d: %v %v %v", want, tok, ok, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := pull(); ok || !errors.Is(err, boom) {
+			t.Fatalf("call %d after fault: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestWrapPullTruncateAtToken(t *testing.T) {
+	pull := WrapPull(toks("a", "b", "c"), TruncateAtToken(1))
+	if tok, ok, err := pull(); !ok || err != nil || tok.Terminal != "a" {
+		t.Fatalf("first token: %v %v %v", tok, ok, err)
+	}
+	if _, ok, err := pull(); ok || err != nil {
+		t.Fatalf("want clean end of input, got ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := pull(); ok || err != nil {
+		t.Fatalf("end of input not sticky: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWrapPullPanicAt(t *testing.T) {
+	pull := WrapPull(toks("a", "b"), PanicAt(1, "kaboom"))
+	if _, ok, err := pull(); !ok || err != nil {
+		t.Fatal("first pull should succeed")
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("want panic kaboom, got %v", r)
+		}
+	}()
+	pull()
+	t.Fatal("second pull should panic")
+}
+
+func TestWrapPullStallAtToken(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	pull := WrapPull(toks("a", "b"), StallAtToken(1, ctx))
+	if _, ok, err := pull(); !ok || err != nil {
+		t.Fatal("first pull should succeed")
+	}
+	if _, ok, err := pull(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,257 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Limits bounds the resources one parse may consume. The zero value means
+// unlimited everywhere; each limit is enforced independently and trips a
+// structured ErrLimit error naming the limit that fired — never a false
+// Reject, so callers can tell "the input is not in the language" apart from
+// "the parse was not allowed to finish".
+type Limits struct {
+	// MaxSteps bounds machine transitions. Termination is guaranteed by the
+	// Section 4 measure, so on well-formed grammars this is a deadline in
+	// disguise: steps are roughly proportional to work.
+	MaxSteps int
+	// MaxTokens bounds tokens consumed from the source — a cap on input
+	// length that holds even for streamed inputs whose size is unknown up
+	// front.
+	MaxTokens int
+	// MaxStackDepth bounds the suffix-stack height (parse-tree depth plus
+	// in-progress right-hand sides). Deeply nested adversarial inputs grow
+	// this linearly.
+	MaxStackDepth int
+	// MaxClosureWork bounds the cumulative prediction closure expansions
+	// across the whole parse — the knob that tames adversarial lookahead
+	// (LL prediction is worst-case exponential-ish in pathological
+	// grammars). It is the configurable, reported form of the per-call
+	// defensive closure budget.
+	MaxClosureWork int
+	// MaxTreeNodes bounds parse-tree nodes built (leaves plus interior
+	// nodes). Every live node was built, so this also caps live tree
+	// memory.
+	MaxTreeNodes int
+}
+
+// LimitKind names the limit an ErrLimit error tripped.
+type LimitKind uint8
+
+const (
+	LimitNone LimitKind = iota
+	LimitSteps
+	LimitTokens
+	LimitStackDepth
+	LimitClosureWork
+	LimitTreeNodes
+)
+
+// String names the limit.
+func (k LimitKind) String() string {
+	switch k {
+	case LimitSteps:
+		return "MaxSteps"
+	case LimitTokens:
+		return "MaxTokens"
+	case LimitStackDepth:
+		return "MaxStackDepth"
+	case LimitClosureWork:
+		return "MaxClosureWork"
+	case LimitTreeNodes:
+		return "MaxTreeNodes"
+	default:
+		return "none"
+	}
+}
+
+// Usage reports a parse's high-water resource marks — the counters the
+// Limits fields bound, observed on every Result (success or failure), so
+// operators can set budgets from measured headroom instead of guessing.
+type Usage struct {
+	Steps       int // machine transitions taken
+	Tokens      int // tokens consumed from the source
+	StackDepth  int // peak suffix-stack height
+	ClosureWork int // cumulative prediction closure expansions
+	TreeNodes   int // parse-tree nodes built (leaves + interior)
+	PeakWindow  int // peak token-window occupancy (streaming memory bound)
+}
+
+// String renders the usage compactly.
+func (u Usage) String() string {
+	return fmt.Sprintf("steps=%d tokens=%d stack=%d closure=%d nodes=%d window=%d",
+		u.Steps, u.Tokens, u.StackDepth, u.ClosureWork, u.TreeNodes, u.PeakWindow)
+}
+
+// ctxCheckEvery amortizes context polling: the governor consults ctx.Err()
+// once per this many ticks, so cancellation costs one counter decrement on
+// the hot path and is still observed within a bounded amount of work.
+const ctxCheckEvery = 64
+
+// Governor enforces a Limits budget and a context over one parse. It is
+// threaded through the machine loop and the prediction closures, accumulates
+// the Usage high-water marks, and converts cancellation, deadline expiry,
+// and limit exhaustion into sticky structured errors: once tripped, every
+// later tick returns the same *Error, so one parse surfaces exactly one
+// failure no matter how many layers observe it.
+//
+// A Governor belongs to a single parse on a single goroutine; it is not safe
+// for concurrent use (concurrent parses each get their own).
+type Governor struct {
+	ctx       context.Context
+	limits    Limits
+	u         Usage
+	countdown int
+	err       *Error // sticky first failure
+}
+
+// NewGovernor builds a governor for one parse. ctx may be nil (treated as
+// context.Background()); the zero Limits means unlimited.
+func NewGovernor(ctx context.Context, limits Limits) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Governor{ctx: ctx, limits: limits, countdown: ctxCheckEvery}
+}
+
+// Err returns the sticky failure, or nil while the parse is within budget.
+func (g *Governor) Err() *Error { return g.err }
+
+// Usage returns the high-water marks accumulated so far.
+func (g *Governor) Usage() Usage { return g.u }
+
+// trip records the first failure; later calls keep the original.
+func (g *Governor) trip(e *Error) *Error {
+	if g.err == nil {
+		g.err = e
+	}
+	return g.err
+}
+
+// ctxTick polls the context every ctxCheckEvery ticks. n is the amount of
+// work the tick represents; oversized units (a whole closure batch) may poll
+// immediately.
+func (g *Governor) ctxTick(n int) *Error {
+	if g.countdown -= n; g.countdown > 0 {
+		return nil
+	}
+	g.countdown = ctxCheckEvery
+	if err := g.ctx.Err(); err != nil {
+		return g.trip(CanceledErr(err))
+	}
+	return nil
+}
+
+// StepTick accounts one machine transition (and the state reached by it):
+// tokens consumed, suffix-stack depth, and tree nodes built are sampled
+// here. It returns the sticky error as soon as the parse goes over budget
+// or the context ends.
+func (g *Governor) StepTick(tokens, stackDepth, treeNodes int) *Error {
+	if g.err != nil {
+		return g.err
+	}
+	g.u.Steps++
+	g.u.Tokens = tokens
+	if stackDepth > g.u.StackDepth {
+		g.u.StackDepth = stackDepth
+	}
+	g.u.TreeNodes = treeNodes
+	l := &g.limits
+	switch {
+	case l.MaxSteps > 0 && g.u.Steps > l.MaxSteps:
+		return g.trip(LimitErr(LimitSteps, l.MaxSteps))
+	case l.MaxTokens > 0 && tokens > l.MaxTokens:
+		return g.trip(LimitErr(LimitTokens, l.MaxTokens))
+	case l.MaxStackDepth > 0 && stackDepth > l.MaxStackDepth:
+		return g.trip(LimitErr(LimitStackDepth, l.MaxStackDepth))
+	case l.MaxTreeNodes > 0 && treeNodes > l.MaxTreeNodes:
+		return g.trip(LimitErr(LimitTreeNodes, l.MaxTreeNodes))
+	}
+	return g.ctxTick(1)
+}
+
+// ClosureTick accounts n prediction closure expansions. Prediction calls it
+// from inside the subparser closure loop, which is where adversarial inputs
+// burn time without taking machine steps.
+func (g *Governor) ClosureTick(n int) *Error {
+	if g.err != nil {
+		return g.err
+	}
+	g.u.ClosureWork += n
+	if g.limits.MaxClosureWork > 0 && g.u.ClosureWork > g.limits.MaxClosureWork {
+		return g.trip(LimitErr(LimitClosureWork, g.limits.MaxClosureWork))
+	}
+	return g.ctxTick(n)
+}
+
+// LookaheadTick accounts one lookahead token examined during prediction —
+// the cached-DFA walk does no closure work, so cancellation is observed on
+// this path too.
+func (g *Governor) LookaheadTick() *Error {
+	if g.err != nil {
+		return g.err
+	}
+	return g.ctxTick(1)
+}
+
+// NotePeakWindow records the source window high-water mark (sampled when
+// the machine halts).
+func (g *Governor) NotePeakWindow(w int) {
+	if w > g.u.PeakWindow {
+		g.u.PeakWindow = w
+	}
+}
+
+// CanceledErr converts a context failure into the machine's structured
+// error: ErrCanceled for context.Canceled, ErrDeadline for
+// context.DeadlineExceeded. The cause is retained for errors.Is.
+func CanceledErr(cause error) *Error {
+	kind := ErrCanceled
+	msg := "parse canceled"
+	if errors.Is(cause, context.DeadlineExceeded) {
+		kind = ErrDeadline
+		msg = "parse deadline exceeded"
+	}
+	return &Error{Kind: kind, Msg: msg, Cause: cause}
+}
+
+// LimitErr constructs the structured error for an exhausted limit.
+func LimitErr(kind LimitKind, max int) *Error {
+	return &Error{Kind: ErrLimit, Limit: kind,
+		Msg: fmt.Sprintf("resource limit %s=%d exhausted", kind, max)}
+}
+
+// PanicErr wraps a recovered panic value and its stack as a structured
+// internal error — the facade's containment boundary builds these so one
+// poisoned parse cannot take down a batch worker pool.
+func PanicErr(recovered any, stack []byte) *Error {
+	return &Error{Kind: ErrPanic, Recovered: recovered, Stack: summarizeStack(stack),
+		Msg: fmt.Sprintf("panic: %v", recovered)}
+}
+
+// summarizeStack trims a debug.Stack dump to the frames that matter: the
+// goroutine header and panicking runtime frames are dropped, and the result
+// is capped so an Error stays log-line sized.
+func summarizeStack(stack []byte) string {
+	const maxLines = 16
+	lines := bytes.Split(stack, []byte("\n"))
+	var kept [][]byte
+	for i := 0; i < len(lines) && len(kept) < maxLines; i++ {
+		l := lines[i]
+		if len(l) == 0 || bytes.HasPrefix(l, []byte("goroutine ")) {
+			continue
+		}
+		s := bytes.TrimSpace(l)
+		if bytes.HasPrefix(s, []byte("panic(")) ||
+			bytes.Contains(l, []byte("runtime/debug.Stack")) ||
+			bytes.Contains(l, []byte("runtime.gopanic")) ||
+			bytes.Contains(l, []byte("debug/stack.go")) ||
+			bytes.Contains(l, []byte("runtime/panic.go")) {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return string(bytes.Join(kept, []byte("\n")))
+}

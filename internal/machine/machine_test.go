@@ -375,8 +375,11 @@ func TestInvariantCheckerCatchesBogusRhs(t *testing.T) {
 func TestMaxStepsBackstop(t *testing.T) {
 	g := fig2()
 	res := run(g, word("a", "a", "a", "b", "c"), Options{MaxSteps: 3})
-	if res.Kind != ResultError || !strings.Contains(res.Err.Error(), "budget") {
+	if res.Kind != ResultError || res.Err.Kind != ErrLimit || res.Err.Limit != LimitSteps {
 		t.Fatalf("MaxSteps not enforced: %v / %v", res.Kind, res.Err)
+	}
+	if res.Usage.Steps == 0 {
+		t.Fatalf("Usage not populated on limit error: %+v", res.Usage)
 	}
 }
 

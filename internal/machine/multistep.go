@@ -14,6 +14,7 @@ type Result struct {
 	Err      *Error // for Error
 	Steps    int    // transitions taken (diagnostics)
 	Consumed int    // tokens consumed when the machine halted (diagnostics)
+	Usage    Usage  // resource high-water marks for the whole run
 	// Final is the machine state at the halt, for diagnostics: rejection
 	// messages derive their "expected one of ..." sets from its suffix
 	// stack (a luxury top-down parsers get for free; the related-work
@@ -64,9 +65,16 @@ type Options struct {
 	// enabling it trades speed for defense in depth.
 	CheckInvariants bool
 	// MaxSteps aborts with an error after this many transitions when > 0.
-	// Termination is guaranteed by the Section 4 measure, so this is a
-	// backstop for corrupted grammars in fuzzing, not a semantic limit.
+	// It is shorthand for (and folded into) Governor limits: termination is
+	// guaranteed by the Section 4 measure, so this is a backstop for
+	// corrupted grammars in fuzzing, not a semantic limit.
 	MaxSteps int
+	// Governor enforces cancellation and resource limits over the run and
+	// accumulates the Usage high-water marks. Nil means ungoverned: a fresh
+	// background governor with only MaxSteps set is used. The same governor
+	// must be shared with the run's Predictor so prediction closure work is
+	// charged to the same budget.
+	Governor *Governor
 	// Certified declares the grammar statically verified non-left-recursive
 	// (it carries a grammar.Certificate). The visited-set probe then becomes
 	// a certificate-violation assertion instead of a LeftRecursive error;
@@ -87,21 +95,44 @@ type Options struct {
 // restated over the consumed count, which the cursor makes observable even
 // when the input length is not known up front — and the property tests
 // check the decrease on randomized runs.
+//
+// Resource governance: every transition ticks the run's Governor, which
+// observes cancellation/deadlines (amortized — ctx.Err is polled every few
+// dozen steps) and enforces Limits; an over-budget or canceled run halts
+// with the governor's sticky structured error, never a false Reject.
 func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Result {
 	if opts.Certified {
 		st.Certified = true // fresh initial state; the flag propagates through every step
+	}
+	gov := opts.Governor
+	if gov == nil {
+		gov = NewGovernor(nil, Limits{MaxSteps: opts.MaxSteps})
+	} else if opts.MaxSteps > 0 && (gov.limits.MaxSteps == 0 || opts.MaxSteps < gov.limits.MaxSteps) {
+		gov.limits.MaxSteps = opts.MaxSteps
+	}
+	// Suffix height and tree-node count are maintained incrementally from
+	// the op kind (push +1, return -1, consume +1 leaf, return +1 node);
+	// recomputing Height() per step would be O(depth).
+	depth := st.Suffix.Height()
+	nodes := 0
+	finish := func(r Result) Result {
+		gov.NotePeakWindow(st.Src.PeakWindow())
+		r.Usage = gov.Usage()
+		return r
 	}
 	steps := 0
 	for {
 		if opts.CheckInvariants {
 			if err := CheckStacksWf(g, st); err != nil {
-				return Result{Kind: ResultError, Err: InvalidState("invariant violation: %v", err),
-					Steps: steps, Consumed: st.Consumed, Final: st}
+				return finish(Result{Kind: ResultError, Err: InvalidState("invariant violation: %v", err),
+					Steps: steps, Consumed: st.Consumed, Final: st})
 			}
 		}
-		if opts.MaxSteps > 0 && steps >= opts.MaxSteps {
-			return Result{Kind: ResultError, Err: InvalidState("step budget %d exhausted", opts.MaxSteps),
-				Steps: steps, Consumed: st.Consumed, Final: st}
+		if gErr := gov.Err(); gErr != nil {
+			// Prediction tripped the governor but answered anyway (e.g. a
+			// cached decision); stop before doing more work.
+			return finish(Result{Kind: ResultError, Err: gErr,
+				Steps: steps, Consumed: st.Consumed, Final: st})
 		}
 		r := Step(g, pred, st)
 		steps++
@@ -111,16 +142,32 @@ func Multistep(g *grammar.Grammar, pred Predictor, st *State, opts Options) Resu
 		switch r.Kind {
 		case StepCont:
 			st = r.State
+			switch r.Op {
+			case OpPush:
+				depth++
+			case OpReturn:
+				depth--
+				nodes++
+			case OpConsume:
+				nodes++
+			}
+			if gErr := gov.StepTick(st.Consumed, depth, nodes); gErr != nil {
+				return finish(Result{Kind: ResultError, Err: gErr,
+					Steps: steps, Consumed: st.Consumed, Final: st})
+			}
 		case StepAccept:
+			gov.StepTick(st.Consumed, depth, nodes)
 			kind := Unique
 			if !st.Unique {
 				kind = Ambig
 			}
-			return Result{Kind: kind, Tree: r.Tree, Steps: steps, Consumed: st.Consumed, Final: st}
+			return finish(Result{Kind: kind, Tree: r.Tree, Steps: steps, Consumed: st.Consumed, Final: st})
 		case StepReject:
-			return Result{Kind: Reject, Reason: r.Reason, Steps: steps, Consumed: st.Consumed, Final: st}
+			gov.StepTick(st.Consumed, depth, nodes)
+			return finish(Result{Kind: Reject, Reason: r.Reason, Steps: steps, Consumed: st.Consumed, Final: st})
 		default:
-			return Result{Kind: ResultError, Err: r.Err, Steps: steps, Consumed: st.Consumed, Final: st}
+			gov.StepTick(st.Consumed, depth, nodes)
+			return finish(Result{Kind: ResultError, Err: r.Err, Steps: steps, Consumed: st.Consumed, Final: st})
 		}
 	}
 }

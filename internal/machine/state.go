@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"costar/internal/grammar"
@@ -101,13 +103,29 @@ const (
 	// Unreachable on slice-backed inputs, which are fully lexed before the
 	// machine starts.
 	ErrSource
+	// ErrCanceled means the parse's context was canceled; the run was
+	// abandoned, not rejected — the input may well be in the language.
+	ErrCanceled
+	// ErrDeadline means the parse's context deadline expired.
+	ErrDeadline
+	// ErrLimit means a resource limit (Limits) was exhausted; Limit names
+	// which one.
+	ErrLimit
+	// ErrPanic means a panic escaped an engine layer and was contained at
+	// the facade; Recovered carries the panic value and Stack a trimmed
+	// stack summary.
+	ErrPanic
 )
 
 // Error is a machine or prediction error value.
 type Error struct {
-	Kind ErrKind
-	NT   string // offending nonterminal for ErrLeftRecursive
-	Msg  string
+	Kind      ErrKind
+	NT        string    // offending nonterminal for ErrLeftRecursive
+	Msg       string
+	Limit     LimitKind // exhausted limit for ErrLimit
+	Cause     error     // underlying cause (source/context errors); Unwrap exposes it
+	Recovered any       // recovered panic value for ErrPanic
+	Stack     string    // trimmed stack summary for ErrPanic
 }
 
 // Error implements the error interface.
@@ -117,10 +135,18 @@ func (e *Error) Error() string {
 		return fmt.Sprintf("left-recursive nonterminal %s: %s", e.NT, e.Msg)
 	case ErrSource:
 		return fmt.Sprintf("token source failed: %s", e.Msg)
+	case ErrCanceled, ErrDeadline, ErrLimit:
+		return e.Msg
+	case ErrPanic:
+		return fmt.Sprintf("internal panic contained: %s", e.Msg)
 	default:
 		return fmt.Sprintf("invalid machine state: %s", e.Msg)
 	}
 }
+
+// Unwrap exposes the underlying cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, <injected reader error>) see through the machine error.
+func (e *Error) Unwrap() error { return e.Cause }
 
 // InvalidState constructs an ErrInvalidState error.
 func InvalidState(format string, args ...any) *Error {
@@ -132,9 +158,19 @@ func LeftRecursive(nt, msg string) *Error {
 	return &Error{Kind: ErrLeftRecursive, NT: nt, Msg: msg}
 }
 
-// SourceErr wraps a token-source failure as an ErrSource machine error.
+// SourceErr wraps a token-source failure as an ErrSource machine error. A
+// source that failed because the parse's own context ended (a reader that
+// honors cancellation) surfaces as ErrCanceled/ErrDeadline instead, so the
+// caller sees one consistent cancellation story regardless of which layer
+// noticed first. The cause is retained for errors.Is.
 func SourceErr(err error) *Error {
-	return &Error{Kind: ErrSource, Msg: err.Error()}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Kind: ErrDeadline, Msg: "parse deadline exceeded", Cause: err}
+	case errors.Is(err, context.Canceled):
+		return &Error{Kind: ErrCanceled, Msg: "parse canceled", Cause: err}
+	}
+	return &Error{Kind: ErrSource, Msg: err.Error(), Cause: err}
 }
 
 // PredKind classifies predictions (Figure 1: p ::= UniqueP(γ) | AmbigP(γ) |

@@ -20,9 +20,11 @@
 package parser
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +49,17 @@ const (
 	Error  = machine.ResultError
 )
 
+// Limits bounds the resources one parse may consume (see machine.Limits):
+// max machine steps, tokens consumed, stack depth, prediction closure work,
+// and tree nodes built. The zero value is unlimited; each exhausted limit
+// surfaces as a structured Error result naming the limit — never a false
+// Reject.
+type Limits = machine.Limits
+
+// Usage reports a parse's resource high-water marks; every Result carries
+// one, success or failure, so budgets can be set from measured headroom.
+type Usage = machine.Usage
+
 // Result is the outcome of a parse.
 type Result struct {
 	Kind     Kind
@@ -56,7 +69,17 @@ type Result struct {
 	Steps    int        // machine transitions taken
 	Consumed int        // tokens consumed before halting
 	Expected []string   // for Reject: terminals that could have continued
+	Usage    Usage      // resource high-water marks for this parse
 	Stats    prediction.Stats
+}
+
+// Canceled reports whether the result is an Error caused by context
+// cancellation or deadline expiry — the parse was abandoned, not decided.
+func (r Result) Canceled() bool {
+	if e, ok := r.Err.(*machine.Error); ok {
+		return e.Kind == machine.ErrCanceled || e.Kind == machine.ErrDeadline
+	}
+	return false
 }
 
 // String renders the result compactly.
@@ -84,8 +107,20 @@ type Options struct {
 	// cold). Off by default: the session reuses its cache.
 	FreshCachePerParse bool
 	// MaxSteps bounds machine transitions per parse (0 = unlimited); a
-	// defensive backstop only.
+	// defensive backstop only. Shorthand for Limits.MaxSteps; when both are
+	// set the smaller wins.
 	MaxSteps int
+	// Limits bounds every parse's resource consumption — steps, tokens,
+	// stack depth, prediction closure work, tree nodes. Exhaustion surfaces
+	// as a structured Error result naming the limit, with the measured
+	// high-water marks in Result.Usage.
+	Limits Limits
+	// ClosureBudget bounds GSS expansions per prediction closure call
+	// (0 = the built-in default of 1<<20) — the per-call backstop against
+	// runaway closure growth, distinct from the cumulative
+	// Limits.MaxClosureWork. Exhaustion aborts that prediction with a
+	// structured error and counts in Stats.BudgetExhaustions.
+	ClosureBudget int
 	// IgnoreCertificate keeps the session in uncertified mode even when the
 	// grammar carries a well-formedness certificate — the dynamic
 	// left-recursion error path stays live. Certified and uncertified runs
@@ -189,10 +224,23 @@ func (p *Parser) Parse(w []grammar.Token) Result {
 	return p.ParseFrom(p.g.Start, w)
 }
 
+// ParseContext is Parse under a context: cancellation or deadline expiry
+// halts the machine loop and the prediction closures within a bounded
+// amount of work and surfaces as a structured Error result (ErrCanceled /
+// ErrDeadline) — never a false Reject.
+func (p *Parser) ParseContext(ctx context.Context, w []grammar.Token) Result {
+	return p.ParseFromContext(ctx, p.g.Start, w)
+}
+
 // ParseFrom parses w starting from nonterminal start. It is reentrant:
 // concurrent calls on one session share the SLL DFA cache safely.
 func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
-	return p.parse(start, source.FromTokens(p.g.Compiled(), w), len(w))
+	return p.ParseFromContext(context.Background(), start, w)
+}
+
+// ParseFromContext is ParseFrom under a context.
+func (p *Parser) ParseFromContext(ctx context.Context, start string, w []grammar.Token) Result {
+	return p.parse(ctx, start, source.FromTokens(p.g.Compiled(), w), len(w))
 }
 
 // ParseSource parses the tokens of src from the grammar's start symbol. The
@@ -202,12 +250,22 @@ func (p *Parser) ParseSource(src *source.Cursor) Result {
 	return p.ParseSourceFrom(p.g.Start, src)
 }
 
+// ParseSourceContext is ParseSource under a context.
+func (p *Parser) ParseSourceContext(ctx context.Context, src *source.Cursor) Result {
+	return p.ParseSourceFromContext(ctx, p.g.Start, src)
+}
+
 // ParseSourceFrom is ParseSource starting from nonterminal start. This is
 // the streaming core every other entry point reduces to: tokens are pulled
 // from the cursor on demand and only the sliding lookahead window is
 // retained, so memory stays bounded regardless of input length.
 func (p *Parser) ParseSourceFrom(start string, src *source.Cursor) Result {
-	return p.parse(start, src, -1)
+	return p.parse(context.Background(), start, src, -1)
+}
+
+// ParseSourceFromContext is ParseSourceFrom under a context.
+func (p *Parser) ParseSourceFromContext(ctx context.Context, start string, src *source.Cursor) Result {
+	return p.parse(ctx, start, src, -1)
 }
 
 // ParseReader lexes r incrementally with lex and parses the token stream
@@ -216,17 +274,51 @@ func (p *Parser) ParseReader(lex *lexer.Lexer, r io.Reader) Result {
 	return p.ParseReaderFrom(p.g.Start, lex, r)
 }
 
+// ParseReaderContext is ParseReader under a context. Cancellation is
+// observed between machine steps and prediction closure expansions; a Read
+// already blocked in the underlying reader cannot be interrupted (wrap the
+// reader itself for that), but no further reads are issued once the context
+// ends.
+func (p *Parser) ParseReaderContext(ctx context.Context, lex *lexer.Lexer, r io.Reader) Result {
+	return p.ParseReaderFromContext(ctx, p.g.Start, lex, r)
+}
+
 // ParseReaderFrom is ParseReader starting from nonterminal start. Lexing
 // failures (including reader errors) surface as Error results with a
 // machine.ErrSource cause, never as false accepts.
 func (p *Parser) ParseReaderFrom(start string, lex *lexer.Lexer, r io.Reader) Result {
-	return p.parse(start, source.FromPull(p.g.Compiled(), lex.Pull(r)), -1)
+	return p.ParseReaderFromContext(context.Background(), start, lex, r)
+}
+
+// ParseReaderFromContext is ParseReaderFrom under a context.
+func (p *Parser) ParseReaderFromContext(ctx context.Context, start string, lex *lexer.Lexer, r io.Reader) Result {
+	return p.parse(ctx, start, source.FromPull(p.g.Compiled(), lex.Pull(r)), -1)
+}
+
+// limits folds the MaxSteps shorthand into the session's Limits.
+func (p *Parser) limits() Limits {
+	l := p.opts.Limits
+	if p.opts.MaxSteps > 0 && (l.MaxSteps == 0 || p.opts.MaxSteps < l.MaxSteps) {
+		l.MaxSteps = p.opts.MaxSteps
+	}
+	return l
 }
 
 // parse is the shared core: run the machine over a token cursor. total is
 // the input length when known up front (the slice path), or -1 when the
 // input is streamed and the length is unknowable before the parse ends.
-func (p *Parser) parse(start string, src *source.Cursor, total int) Result {
+//
+// parse is the panic-containment boundary: a panic anywhere below —
+// machine, prediction, cursor, incremental lexer, a hostile pull function —
+// is recovered into an Error result carrying the panic value and a stack
+// summary, so one poisoned parse can never take down a batch worker pool or
+// a serving goroutine.
+func (p *Parser) parse(ctx context.Context, start string, src *source.Cursor, total int) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Kind: Error, Err: machine.PanicErr(r, debug.Stack())}
+		}
+	}()
 	if !p.g.HasNT(start) {
 		return Result{Kind: Error, Err: fmt.Errorf("parser: start symbol %q has no productions", start)}
 	}
@@ -243,17 +335,23 @@ func (p *Parser) parse(start string, src *source.Cursor, total int) Result {
 	if p.opts.FreshCachePerParse {
 		cache = prediction.NewCache()
 	}
+	// One governor serves the machine loop and the prediction closures, so
+	// cancellation and the cumulative limits cover both layers.
+	gov := machine.NewGovernor(ctx, p.limits())
 	ap := prediction.NewWith(p.g, tg, prediction.Options{
-		DisableSLL: p.opts.DisableSLL,
-		Cache:      cache,
+		DisableSLL:    p.opts.DisableSLL,
+		Cache:         cache,
+		Governor:      gov,
+		ClosureBudget: p.opts.ClosureBudget,
 	})
 	mres := machine.Multistep(p.g, ap, machine.InitSource(p.g, start, src), machine.Options{
 		CheckInvariants: p.opts.CheckInvariants,
-		MaxSteps:        p.opts.MaxSteps,
+		Governor:        gov,
 		Certified:       p.certified,
 	})
 	p.accumulate(ap.Stats)
-	res := Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps, Consumed: mres.Consumed, Stats: ap.Stats}
+	res = Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps,
+		Consumed: mres.Consumed, Usage: mres.Usage, Stats: ap.Stats}
 	if res.Kind == Reject {
 		res.Expected = p.expectedAt(mres.Final)
 		if total >= 0 {
@@ -298,21 +396,55 @@ func (p *Parser) ParseAll(words [][]grammar.Token, workers int) []Result {
 	return p.ParseAllFrom(p.g.Start, words, workers)
 }
 
+// ParseAllContext is ParseAll under a context. Cancellation stops the batch
+// promptly: in-flight parses abort through their governors, not-yet-started
+// items are drained with Canceled results (every slot of the returned slice
+// is filled — completed items keep their real results), and all workers have
+// exited by the time it returns, so a canceled batch leaks no goroutines.
+// Items are isolated: one item's panic or resource blowup becomes that
+// item's Error result and the rest of the batch proceeds.
+func (p *Parser) ParseAllContext(ctx context.Context, words [][]grammar.Token, workers int) []Result {
+	return p.ParseAllFromContext(ctx, p.g.Start, words, workers)
+}
+
 // ParseAllFrom is ParseAll starting from nonterminal start.
 func (p *Parser) ParseAllFrom(start string, words [][]grammar.Token, workers int) []Result {
-	out := make([]Result, len(words))
-	if len(words) == 0 {
+	return p.ParseAllFromContext(context.Background(), start, words, workers)
+}
+
+// ParseAllFromContext is ParseAllFrom under a context.
+func (p *Parser) ParseAllFromContext(ctx context.Context, start string, words [][]grammar.Token, workers int) []Result {
+	return p.batch(ctx, len(words), workers, func(i int) Result {
+		return p.ParseFromContext(ctx, start, words[i])
+	})
+}
+
+// batch runs one() for indices 0..n-1 on a pool of workers goroutines and
+// returns the results in input order. Once ctx ends, remaining items are
+// drained without parsing — each gets a structured Canceled result — so the
+// call returns promptly with every slot filled and no goroutine left behind
+// (workers are joined before batch returns).
+func (p *Parser) batch(ctx context.Context, n, workers int, one func(i int) Result) []Result {
+	out := make([]Result, n)
+	if n == 0 {
 		return out
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(words) {
-		workers = len(words)
+	if workers > n {
+		workers = n
+	}
+	work := func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i] = Result{Kind: Error, Err: machine.CanceledErr(err)}
+			return
+		}
+		out[i] = one(i)
 	}
 	if workers == 1 {
-		for i, w := range words {
-			out[i] = p.ParseFrom(start, w)
+		for i := 0; i < n; i++ {
+			work(i)
 		}
 		return out
 	}
@@ -324,10 +456,10 @@ func (p *Parser) ParseAllFrom(start string, words [][]grammar.Token, workers int
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(words) {
+				if i >= n {
 					return
 				}
-				out[i] = p.ParseFrom(start, words[i])
+				work(i)
 			}
 		}()
 	}
@@ -347,19 +479,28 @@ func (p *Parser) ParseSourceAll(n int, open func(i int) (*source.Cursor, func(),
 	return p.ParseSourceAllFrom(p.g.Start, n, open, workers)
 }
 
+// ParseSourceAllContext is ParseSourceAll under a context, with the same
+// prompt-drain and isolation guarantees as ParseAllContext; inputs are not
+// even opened once the context ends.
+func (p *Parser) ParseSourceAllContext(ctx context.Context, n int, open func(i int) (*source.Cursor, func(), error), workers int) []Result {
+	return p.ParseSourceAllFromContext(ctx, p.g.Start, n, open, workers)
+}
+
 // ParseSourceAllFrom is ParseSourceAll starting from nonterminal start.
 func (p *Parser) ParseSourceAllFrom(start string, n int, open func(i int) (*source.Cursor, func(), error), workers int) []Result {
-	out := make([]Result, n)
-	if n == 0 {
-		return out
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	one := func(i int) Result {
+	return p.ParseSourceAllFromContext(context.Background(), start, n, open, workers)
+}
+
+// ParseSourceAllFromContext is ParseSourceAllFrom under a context.
+func (p *Parser) ParseSourceAllFromContext(ctx context.Context, start string, n int, open func(i int) (*source.Cursor, func(), error), workers int) []Result {
+	return p.batch(ctx, n, workers, func(i int) (res Result) {
+		// open runs caller code; contain its panics like the parse's own so
+		// one poisoned input cannot kill a batch worker.
+		defer func() {
+			if r := recover(); r != nil {
+				res = Result{Kind: Error, Err: machine.PanicErr(r, debug.Stack())}
+			}
+		}()
 		src, cleanup, err := open(i)
 		if err != nil {
 			return Result{Kind: Error, Err: fmt.Errorf("parser: opening input %d: %w", i, err)}
@@ -367,31 +508,8 @@ func (p *Parser) ParseSourceAllFrom(start string, n int, open func(i int) (*sour
 		if cleanup != nil {
 			defer cleanup()
 		}
-		return p.ParseSourceFrom(start, src)
-	}
-	if workers == 1 {
-		for i := range out {
-			out[i] = one(i)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = one(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+		return p.ParseSourceFromContext(ctx, start, src)
+	})
 }
 
 func (p *Parser) accumulate(s prediction.Stats) {
@@ -403,6 +521,7 @@ func (p *Parser) accumulate(s prediction.Stats) {
 	p.stats.CacheMisses += s.CacheMisses
 	p.stats.TrivialCalls += s.TrivialCalls
 	p.stats.TokensScanned += s.TokensScanned
+	p.stats.BudgetExhaustions += s.BudgetExhaustions
 	if s.MaxLookahead > p.stats.MaxLookahead {
 		p.stats.MaxLookahead = s.MaxLookahead
 	}
@@ -419,6 +538,15 @@ func Parse(g *grammar.Grammar, start string, w []grammar.Token) Result {
 	return p.ParseFrom(start, w)
 }
 
+// ParseContext is the one-shot Parse under a context and resource limits.
+func ParseContext(ctx context.Context, g *grammar.Grammar, start string, w []grammar.Token, limits Limits) Result {
+	p, err := New(g, Options{Limits: limits})
+	if err != nil {
+		return Result{Kind: Error, Err: err}
+	}
+	return p.ParseFromContext(ctx, start, w)
+}
+
 // ParseReader is the one-shot streaming API: lex r incrementally with lex
 // and parse the token stream from start in g with default options, holding
 // only the sliding lookahead window in memory.
@@ -428,6 +556,16 @@ func ParseReader(g *grammar.Grammar, start string, lex *lexer.Lexer, r io.Reader
 		return Result{Kind: Error, Err: err}
 	}
 	return p.ParseReaderFrom(start, lex, r)
+}
+
+// ParseReaderContext is the one-shot ParseReader under a context and
+// resource limits.
+func ParseReaderContext(ctx context.Context, g *grammar.Grammar, start string, lex *lexer.Lexer, r io.Reader, limits Limits) Result {
+	p, err := New(g, Options{Limits: limits})
+	if err != nil {
+		return Result{Kind: Error, Err: err}
+	}
+	return p.ParseReaderFromContext(ctx, start, lex, r)
 }
 
 // ParseAll is the one-shot batch API: parse every word from start in g on
@@ -445,6 +583,21 @@ func ParseAll(g *grammar.Grammar, start string, words [][]grammar.Token, workers
 		return out
 	}
 	return p.ParseAllFrom(start, words, workers)
+}
+
+// ParseAllContext is the one-shot ParseAll under a context and resource
+// limits, with ParseAllContext's prompt-drain, per-item isolation, and
+// no-leak guarantees.
+func ParseAllContext(ctx context.Context, g *grammar.Grammar, start string, words [][]grammar.Token, workers int, limits Limits) []Result {
+	p, err := New(g, Options{Limits: limits})
+	if err != nil {
+		out := make([]Result, len(words))
+		for i := range out {
+			out[i] = Result{Kind: Error, Err: err}
+		}
+		return out
+	}
+	return p.ParseAllFromContext(ctx, start, words, workers)
 }
 
 // expectedAt computes the terminals that could have continued the parse at

@@ -95,12 +95,17 @@ func NewCache() *Cache {
 // start returns the memoized start state for nt, building it on first use.
 // Racing builders both run build; interning makes their results the
 // identical state, so whichever publishes first wins without divergence.
+// A nil build result (the builder was halted by its parse's governor) is
+// returned as-is and never published: the next parse rebuilds cleanly.
 func (c *Cache) start(nt grammar.NTID, build func() *dfaState) *dfaState {
 	g := c.gen.Load()
 	if st, ok := (*g.starts.Load())[nt]; ok {
 		return st
 	}
 	st := build()
+	if st == nil {
+		return nil
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	m := g.starts.Load()

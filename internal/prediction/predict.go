@@ -20,6 +20,11 @@ type Stats struct {
 	MaxLookahead   int    // deepest lookahead used by any single decision
 	MaxLookaheadNT string // the decision nonterminal that used it
 	TokensScanned  int    // total lookahead tokens examined
+	// BudgetExhaustions counts closure-budget blowups (anomalyBudget): a
+	// defensive backstop tripping, previously folded silently into the LL
+	// fallback path. Non-zero values mean the configured ClosureBudget is
+	// too small for the grammar — or the input is adversarial.
+	BudgetExhaustions int
 }
 
 // Options tunes an AdaptivePredictor.
@@ -31,6 +36,16 @@ type Options struct {
 	// Cache supplies a pre-existing DFA cache, enabling cross-input reuse
 	// (the Figure 11 "warmed cache" configuration). Nil means fresh.
 	Cache *Cache
+	// ClosureBudget bounds expansions per closure call (0 = the built-in
+	// default of 1<<20). Exhaustions are reported in
+	// Stats.BudgetExhaustions; in SLL mode the decision retries in LL, in
+	// LL mode it becomes a structured error.
+	ClosureBudget int
+	// Governor, when non-nil, enforces the parse's cancellation context and
+	// cumulative resource limits inside the closure loops — the layer where
+	// adversarial inputs burn time without taking machine steps. The same
+	// governor must be shared with the machine run.
+	Governor *machine.Governor
 }
 
 // AdaptivePredictor implements machine.Predictor with the adaptivePredict
@@ -59,11 +74,21 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 	if c == nil {
 		c = NewCache()
 	}
-	return &AdaptivePredictor{
-		eng:   engine{c: g.Compiled(), targets: targets},
+	gov := opts.Governor
+	if gov == nil {
+		gov = machine.NewGovernor(nil, machine.Limits{})
+	}
+	budget := opts.ClosureBudget
+	if budget <= 0 {
+		budget = defaultClosureBudget
+	}
+	ap := &AdaptivePredictor{
+		eng:   engine{c: g.Compiled(), targets: targets, gov: gov, budget: budget},
 		cache: c,
 		opts:  opts,
 	}
+	ap.eng.stats = &ap.Stats
+	return ap
 }
 
 // Cache returns the predictor's DFA cache, so callers can reuse it for
@@ -127,6 +152,9 @@ func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixSt
 		return *pred
 	}
 	for depth := 0; ; depth++ {
+		if gErr := ap.eng.gov.LookaheadTick(); gErr != nil {
+			return machine.Prediction{Kind: machine.PredError, Err: gErr}
+		}
 		term, ok := la.Peek(depth)
 		if !ok {
 			return ap.resolveAtEOF(cfgs, depth)
@@ -151,6 +179,9 @@ func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config
 	case anomalyBudget:
 		p := machine.Prediction{Kind: machine.PredError,
 			Err: machine.InvalidState("LL prediction closure budget exhausted")}
+		return nil, &p
+	case anomalyGoverned:
+		p := machine.Prediction{Kind: machine.PredError, Err: res.govErr}
 		return nil, &p
 	}
 	cfgs := res.stable
@@ -194,7 +225,15 @@ func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Pred
 // unsound).
 func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, la *source.Cursor) (machine.Prediction, bool) {
 	st := ap.cache.start(nt, func() *dfaState { return ap.buildStart(nt) })
+	if st == nil {
+		// The governor halted start-state construction; the abort is final
+		// (true): retrying in LL would charge the same exhausted budget.
+		return machine.Prediction{Kind: machine.PredError, Err: ap.eng.gov.Err()}, true
+	}
 	for depth := 0; ; depth++ {
+		if gErr := ap.eng.gov.LookaheadTick(); gErr != nil {
+			return machine.Prediction{Kind: machine.PredError, Err: gErr}, true
+		}
 		if st.anomalous {
 			return machine.Prediction{}, false
 		}
@@ -227,13 +266,21 @@ func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, la *source.Cursor) (mac
 			// addressing), so setEdge converges regardless of who wins.
 			ap.Stats.CacheMisses++
 			res := ap.eng.closure(modeSLL, move(st.configs, term))
+			if res.anomaly == anomalyGoverned {
+				// A governed abort reflects this parse's budget, not the
+				// grammar: never intern it into the shared DFA, where it
+				// would poison decisions of unrelated parses.
+				return machine.Prediction{Kind: machine.PredError, Err: res.govErr}, true
+			}
 			next = st.setEdge(term, ap.cache.intern(res))
 		}
 		st = next
 	}
 }
 
-// buildStart computes the DFA start state for decision nonterminal nt.
+// buildStart computes the DFA start state for decision nonterminal nt. It
+// returns nil — without publishing anything — when the governor halted
+// construction; the governor's sticky error carries the cause.
 func (ap *AdaptivePredictor) buildStart(nt grammar.NTID) *dfaState {
 	c := ap.eng.c
 	v0 := machine.NTSet{}.Add(nt)
@@ -245,7 +292,11 @@ func (ap *AdaptivePredictor) buildStart(nt grammar.NTID) *dfaState {
 			visited: v0,
 		})
 	}
-	return ap.cache.intern(ap.eng.closure(modeSLL, initial))
+	res := ap.eng.closure(modeSLL, initial)
+	if res.anomaly == anomalyGoverned {
+		return nil
+	}
+	return ap.cache.intern(res)
 }
 
 func (ap *AdaptivePredictor) noteLookahead(depth int) {

@@ -49,9 +49,18 @@ const (
 	// spurious, so the result must be recomputed in LL mode; in LL mode it
 	// is genuine and becomes a LeftRecursive error.
 	anomalyLeftRec
-	// anomalyBudget: the closure step budget was exhausted — a defensive
-	// backstop, unreachable for well-formed grammars.
+	// anomalyBudget: the per-call closure step budget was exhausted — a
+	// defensive backstop, unreachable for well-formed grammars. Every
+	// exhaustion is counted in Stats.BudgetExhaustions; in SLL mode the
+	// decision falls back to LL, in LL mode it becomes a structured error.
 	anomalyBudget
+	// anomalyGoverned: the parse's Governor halted the closure — context
+	// canceled, deadline expired, or the cumulative MaxClosureWork limit
+	// exhausted. The decision must abort with govErr immediately (retrying
+	// in LL mode would burn the same budget), and the result must never be
+	// interned into the shared SLL cache, where it would poison decisions
+	// of unrelated parses sharing the DFA.
+	anomalyGoverned
 )
 
 // closureResult is the outcome of closing a set of configs: the stable
@@ -59,13 +68,14 @@ const (
 type closureResult struct {
 	stable  []config
 	anomaly anomalyKind
-	lrNT    grammar.NTID // offending nonterminal for anomalyLeftRec
+	lrNT    grammar.NTID   // offending nonterminal for anomalyLeftRec
+	govErr  *machine.Error // sticky governor failure for anomalyGoverned
 }
 
-// closureBudget bounds the number of closure expansions per call; generous
-// enough for any realistic grammar, small enough to stop runaway fuzz
-// inputs quickly.
-const closureBudget = 1 << 20
+// defaultClosureBudget bounds the number of closure expansions per call
+// unless Options.ClosureBudget overrides it; generous enough for any
+// realistic grammar, small enough to stop runaway fuzz inputs quickly.
+const defaultClosureBudget = 1 << 20
 
 // mode distinguishes the two prediction strategies where their pop
 // behaviour differs.
@@ -76,10 +86,16 @@ const (
 	modeSLL
 )
 
-// engine carries the immutable pieces shared by all prediction calls.
+// engine carries the pieces shared by all prediction calls: the compiled
+// grammar and static analyses (immutable), the per-parse governor, the
+// per-call closure budget, and a pointer to the predictor's Stats so budget
+// exhaustions are reported rather than silently absorbed.
 type engine struct {
 	c       *grammar.Compiled
 	targets *Targets
+	gov     *machine.Governor
+	budget  int // per-closure-call expansion budget
+	stats   *Stats
 }
 
 // Targets is re-exported from analysis to keep this package's surface
@@ -125,12 +141,18 @@ func keyOf(c config) dedupKey {
 // targets. Left-recursive expansions kill the config and record an anomaly.
 func (e *engine) closure(m mode, work []config) closureResult {
 	var res closureResult
-	budget := closureBudget
+	budget := e.budget
 	seen := make(map[dedupKey]bool)
 	stableSeen := make(map[dedupKey]bool)
 	for len(work) > 0 {
 		if budget--; budget < 0 {
+			e.stats.BudgetExhaustions++
 			res.anomaly = anomalyBudget
+			return res
+		}
+		if gErr := e.gov.ClosureTick(1); gErr != nil {
+			res.anomaly = anomalyGoverned
+			res.govErr = gErr
 			return res
 		}
 		cfg := work[len(work)-1]

@@ -1,0 +1,158 @@
+package source_test
+
+// Sticky-error semantics of the demand-driven cursor under injected
+// producer faults: a mid-refill I/O failure must end the stream exactly
+// once, stay sticky across every later Peek/Token/Advance/Materialize, and
+// never corrupt the tokens delivered before the fault. The faults come from
+// the faultinject wrappers so the schedules are deterministic.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"costar/internal/faultinject"
+	"costar/internal/grammar"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/source"
+)
+
+func aGrammar() *grammar.Grammar {
+	return grammar.MustParseBNF(`S -> a S | b`)
+}
+
+// aTokens pulls n "a" tokens then a clean end of input.
+func aTokens(n int) source.Pull {
+	i := 0
+	return func() (grammar.Token, bool, error) {
+		if i >= n {
+			return grammar.Token{}, false, nil
+		}
+		i++
+		return grammar.Tok("a", "a"), true, nil
+	}
+}
+
+func TestCursorStickyErrorMidRefill(t *testing.T) {
+	// The fault fires at token 80 — past the compaction threshold, so the
+	// window has already slid (a genuine mid-refill failure, not a failure
+	// on the first fill).
+	g := aGrammar()
+	boom := errors.New("boom")
+	cur := source.FromPull(g.Compiled(),
+		faultinject.WrapPull(aTokens(200), faultinject.FailAtToken(80, boom)))
+
+	consumed := 0
+	for {
+		if _, ok := cur.Peek(0); !ok {
+			break
+		}
+		cur.Advance()
+		consumed++
+		if consumed > 200 {
+			t.Fatal("cursor never surfaced the fault")
+		}
+	}
+	if consumed != 80 {
+		t.Fatalf("consumed %d tokens before the fault, want exactly 80", consumed)
+	}
+	if cur.Pos() != 80 {
+		t.Fatalf("Pos = %d, want 80", cur.Pos())
+	}
+	if !errors.Is(cur.Err(), boom) {
+		t.Fatalf("Err = %v, want the injected fault", cur.Err())
+	}
+	// Sticky: every later accessor keeps reporting the truncated stream and
+	// the same error — no retry reaches the producer.
+	for i := 0; i < 3; i++ {
+		if _, ok := cur.Peek(0); ok {
+			t.Fatal("Peek succeeded after the fault")
+		}
+		if _, ok := cur.Token(2); ok {
+			t.Fatal("Token succeeded after the fault")
+		}
+		cur.Advance() // must be a no-op, not a refill attempt
+		if !errors.Is(cur.Err(), boom) {
+			t.Fatalf("error not sticky: %v", cur.Err())
+		}
+	}
+	if cur.Pos() != 80 {
+		t.Fatalf("Advance after the fault moved the cursor: Pos = %d", cur.Pos())
+	}
+	if rest := cur.Materialize(); len(rest) != 0 {
+		t.Fatalf("Materialize produced %d tokens past a failed stream", len(rest))
+	}
+	if w := cur.PeakWindow(); w > 64+2 {
+		t.Errorf("window unbounded under fault: peak %d", w)
+	}
+}
+
+func TestCursorStickyErrorDuringDeepPeek(t *testing.T) {
+	// The fault fires while a lookahead (not a consume) is refilling the
+	// window: Peek(5) at position 10 needs token 15, the fault is at 12.
+	g := aGrammar()
+	boom := errors.New("boom")
+	cur := source.FromPull(g.Compiled(),
+		faultinject.WrapPull(aTokens(50), faultinject.FailAtToken(12, boom)))
+	for i := 0; i < 10; i++ {
+		if _, ok := cur.Peek(0); !ok {
+			t.Fatalf("token %d missing before the fault", i)
+		}
+		cur.Advance()
+	}
+	if _, ok := cur.Peek(5); ok {
+		t.Fatal("deep peek crossed the fault")
+	}
+	if !errors.Is(cur.Err(), boom) {
+		t.Fatalf("Err = %v, want the injected fault", cur.Err())
+	}
+	// The tokens fetched before the fault are still readable.
+	if _, ok := cur.Peek(1); !ok {
+		t.Fatal("pre-fault window entries lost")
+	}
+	if tok, ok := cur.Token(0); !ok || tok.Terminal != "a" {
+		t.Fatalf("pre-fault token corrupted: %v %v", tok, ok)
+	}
+}
+
+func TestCursorTornRuneAtEOF(t *testing.T) {
+	// A byte-level truncation that cuts a multi-byte rune in half: the
+	// incremental lexer must surface a sticky error through the cursor, not
+	// absorb the torn tail as a clean EOF.
+	full := `[1, "café"]`
+	cut := strings.Index(full, "é") + 1 // keep only the first byte of é
+	cur := jsonlang.Lang.Cursor(faultinject.NewReader(
+		strings.NewReader(full), faultinject.TruncateAt(int64(cut))))
+
+	n := 0
+	for {
+		if _, ok := cur.Peek(0); !ok {
+			break
+		}
+		cur.Advance()
+		if n++; n > 20 {
+			t.Fatal("cursor never ended")
+		}
+	}
+	if cur.Err() == nil {
+		t.Fatal("torn rune at EOF read as a clean end of input")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := cur.Peek(0); ok || cur.Err() == nil {
+			t.Fatal("torn-rune error not sticky")
+		}
+	}
+	// The same input truncated at a token boundary is merely incomplete:
+	// clean EOF, no error (the parser will Reject it instead).
+	clean := jsonlang.Lang.Cursor(faultinject.NewReader(
+		strings.NewReader(full), faultinject.TruncateAt(int64(strings.Index(full, `"`)))))
+	for {
+		if _, ok := clean.Peek(0); !ok {
+			break
+		}
+		clean.Advance()
+	}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("rune-boundary truncation must be a clean EOF, got %v", err)
+	}
+}
