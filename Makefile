@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race stress bench bench-parallel bench-stream fuzz-smoke vet lint vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem alloc-guard fuzz-smoke vet lint vet-grammars
 
 all: build test race
 
@@ -41,6 +41,20 @@ bench-parallel:
 # and the peak retained-window size for the reader pipeline.
 bench-stream:
 	$(GO) test -bench=BenchmarkStreamingWindow -benchmem -count=1 .
+
+# The memory figure behind BENCH_alloc.json: steady-state allocs/op, B/op,
+# and process peak RSS per language on a warm (pooled, cached) session.
+bench-mem:
+	$(GO) run ./cmd/costar-bench -fig mem
+
+# Allocation-regression guards: warm parses must stay under their fixed
+# allocs/token ceilings (plain build), and the pooled-reuse lifetime tests
+# must stay clean under the race detector (where the ceilings self-skip).
+alloc-guard:
+	$(GO) test -run 'TestAllocGuard' -count=1 .
+	GOMAXPROCS=8 $(GO) test -race -count=1 \
+		-run 'TestAllocGuard|TestPooled|TestAborted|TestArena|TestSlab' \
+		. ./internal/parser ./internal/arena
 
 # Short fuzz smoke. One invocation per target because -fuzz must match
 # exactly one: the stream/slice equivalence contract (chunked reads through

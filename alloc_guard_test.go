@@ -1,0 +1,73 @@
+package costar
+
+// Allocation-regression guards for the arena/pool allocation work: a warm
+// session (scratch pool and SLL DFA primed) must parse with a near-zero
+// steady-state allocation rate. The ceilings are deliberately loose —
+// roughly 10x the measured values recorded in BENCH_alloc.json — so they
+// absorb GC-emptied pool refills and allocator noise while still failing
+// loudly if per-node heap allocation ever creeps back into the machine loop
+// (the pre-arena rate was ~15 allocs/token).
+//
+// The ceilings are skipped under -race (see race_off_test.go): the race
+// detector inflates allocation counts. The correctness companions — arena
+// lifetime, pooled reuse under concurrency — run raced in
+// internal/parser/pool_test.go.
+
+import (
+	"strings"
+	"testing"
+
+	"costar/internal/languages/jsonlang"
+	"costar/internal/machine"
+	"costar/internal/parser"
+)
+
+// allocGuard measures steady-state allocs/token for op on a warm session
+// and fails if it exceeds ceiling.
+func allocGuard(t *testing.T, tokens int, ceiling float64, op func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation ceilings are not meaningful under -race")
+	}
+	for i := 0; i < 3; i++ {
+		op() // prime analyses, the SLL DFA, and the scratch pool
+	}
+	perOp := testing.AllocsPerRun(10, op)
+	perTok := perOp / float64(tokens)
+	t.Logf("%.1f allocs/op over %d tokens = %.4f allocs/token (ceiling %.2f)", perOp, tokens, perTok, ceiling)
+	if perTok > ceiling {
+		t.Errorf("warm parse allocates %.4f allocs/token, ceiling %.2f — per-node allocation is back in the hot path", perTok, ceiling)
+	}
+}
+
+// TestAllocGuardWarmJSONParse guards the slice path: parse a pre-tokenized
+// JSON word on a warm session.
+func TestAllocGuardWarmJSONParse(t *testing.T) {
+	src := jsonlang.Generate(42, 3000)
+	toks, err := jsonlang.Lang.Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parser.MustNew(jsonlang.Lang.Grammar(), parser.Options{})
+	allocGuard(t, len(toks), 0.1, func() {
+		if res := p.Parse(toks); res.Kind != machine.Unique {
+			t.Fatal(res.Reason)
+		}
+	})
+}
+
+// TestAllocGuardWarmJSONStream guards the end-to-end reader pipeline:
+// incremental zero-copy lexing plus a cursor-fed parse.
+func TestAllocGuardWarmJSONStream(t *testing.T) {
+	src := jsonlang.Generate(42, 3000)
+	toks, err := jsonlang.Lang.Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parser.MustNew(jsonlang.Lang.Grammar(), parser.Options{})
+	allocGuard(t, len(toks), 0.2, func() {
+		if res := p.ParseSource(jsonlang.Lang.Cursor(strings.NewReader(src))); res.Kind != machine.Unique {
+			t.Fatal(res.Reason)
+		}
+	})
+}

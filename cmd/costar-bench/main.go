@@ -17,21 +17,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"costar/internal/bench"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, all")
-		full    = flag.Bool("full", false, "paper-scale corpora (slower)")
-		files   = flag.Int("files", 0, "files per language (overrides preset)")
-		minTok  = flag.Int("min", 0, "smallest file target in tokens")
-		maxTok  = flag.Int("max", 0, "largest file target in tokens")
-		trials  = flag.Int("trials", 0, "timing trials per data point")
-		workers = flag.Int("j", 8, "max worker count for the parallel scaling experiment (powers of two up to -j)")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, mem, all")
+		full       = flag.Bool("full", false, "paper-scale corpora (slower)")
+		files      = flag.Int("files", 0, "files per language (overrides preset)")
+		minTok     = flag.Int("min", 0, "smallest file target in tokens")
+		maxTok     = flag.Int("max", 0, "largest file target in tokens")
+		trials     = flag.Int("trials", 0, "timing trials per data point")
+		workers    = flag.Int("j", 8, "max worker count for the parallel scaling experiment (powers of two up to -j)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costar-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "costar-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "costar-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "costar-bench:", err)
+			}
+		}()
+	}
 
 	cfg := bench.Quick()
 	if *full {
@@ -115,8 +147,17 @@ func run(fig string, cfg bench.Config, maxWorkers int) error {
 		bench.PrintParallel(out, rep)
 		fmt.Fprintln(out)
 	}
+	if want("mem") {
+		ran = true
+		rows, err := bench.FigMem(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigMem(out, rows)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, all)", fig)
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, mem, all)", fig)
 	}
 	return nil
 }

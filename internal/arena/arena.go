@@ -1,0 +1,123 @@
+// Package arena provides slab-based bump allocators so a parse performs
+// O(slabs) rather than O(nodes) heap allocations.
+//
+// An Arena[T] hands out *T one element at a time from geometrically growing
+// slabs; a Slab[T] hands out []T spans the same way. Neither supports
+// freeing individual elements: lifetime is wholesale. There are two
+// disciplines, chosen per use site:
+//
+//   - GC-scoped: the arena is dropped when the values it backs become
+//     unreachable (e.g. the tree arena referenced, transitively, by a
+//     parser.Result). The garbage collector releases every slab at once.
+//   - Pooled: the arena lives in a per-session pool and is Reset between
+//     parses. Reset zeroes the used prefix of the current slab and drops
+//     references to full slabs, so pooled scratch never pins the previous
+//     parse's trees or input buffers while idle in the pool.
+//
+// Arenas are single-goroutine values. Publishing an element pointer to
+// another goroutine is safe under the usual Go memory model (distinct
+// addresses, happens-before established by the publishing primitive), but
+// two goroutines must not allocate from the same arena concurrently.
+package arena
+
+// Slab growth: first slab holds minSlab elements, doubling to maxSlab.
+// The bound keeps worst-case waste (unused tail of the last slab) small
+// relative to total allocation while keeping slab count logarithmic then
+// linear with small constant.
+const (
+	minSlab = 64
+	maxSlab = 4096
+)
+
+// Arena is a bump allocator for single elements of type T.
+// The zero value is ready to use.
+type Arena[T any] struct {
+	buf  []T // current slab; buf[:off] are live
+	off  int
+	next int // capacity of the next slab
+}
+
+// New allocates a slot, stores v in it, and returns its address. The
+// address stays valid until the arena (or the slab, under GC scoping)
+// becomes unreachable; Reset recycles addresses, so pooled arenas must only
+// back values that die before the arena returns to the pool.
+func (a *Arena[T]) New(v T) *T {
+	if a.off == len(a.buf) {
+		a.grow()
+	}
+	p := &a.buf[a.off]
+	a.off++
+	*p = v
+	return p
+}
+
+func (a *Arena[T]) grow() {
+	n := a.next
+	if n < minSlab {
+		n = minSlab
+	}
+	a.buf = make([]T, n)
+	a.off = 0
+	if n < maxSlab {
+		a.next = n * 2
+	} else {
+		a.next = maxSlab
+	}
+}
+
+// Reset recycles the arena for a fresh parse: the used prefix of the
+// current slab is zeroed (so no stale pointers pin dead trees or input
+// buffers from the pool) and the bump offset rewinds. Earlier, full slabs
+// were already abandoned at grow time and are collected normally.
+func (a *Arena[T]) Reset() {
+	clear(a.buf[:a.off])
+	a.off = 0
+}
+
+// Slab is a bump allocator for []T spans.
+// The zero value is ready to use.
+type Slab[T any] struct {
+	buf  []T
+	off  int
+	next int
+}
+
+// Make returns a span with length 0 and capacity exactly n, carved from the
+// current slab. The exact capacity means append beyond n reallocates rather
+// than clobbering a neighbor. Spans of at least half a slab bypass the
+// arena and are allocated directly.
+func (s *Slab[T]) Make(n int) []T {
+	if n >= maxSlab/2 {
+		return make([]T, 0, n)
+	}
+	if s.off+n > len(s.buf) {
+		s.grow(n)
+	}
+	sp := s.buf[s.off : s.off : s.off+n]
+	s.off += n
+	return sp
+}
+
+func (s *Slab[T]) grow(n int) {
+	c := s.next
+	if c < minSlab {
+		c = minSlab
+	}
+	for c < n {
+		c *= 2
+	}
+	s.buf = make([]T, c)
+	s.off = 0
+	if c < maxSlab {
+		s.next = c * 2
+	} else {
+		s.next = maxSlab
+	}
+}
+
+// Reset recycles the slab allocator, zeroing the used prefix of the
+// current slab so pooled scratch cannot pin previously returned spans.
+func (s *Slab[T]) Reset() {
+	clear(s.buf[:s.off])
+	s.off = 0
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"costar/internal/languages/dotlang"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/langkit"
+	"costar/internal/languages/pylang"
+	"costar/internal/languages/xmllang"
+)
+
+// ---------------------------------------------------------------------------
+// Memory figure: allocations, bytes, and peak RSS per language
+// ---------------------------------------------------------------------------
+
+// MemRow is one language's allocation profile, measured on a warm session
+// (scratch pool and SLL DFA primed) so it reports the steady-state cost,
+// not the one-time warm-up. Slice columns cover Parse on a pre-tokenized
+// word; the Stream columns cover the end-to-end reader pipeline
+// (incremental lexing, layout, cursor-fed parse) — the configuration
+// BENCH_alloc.json gates.
+type MemRow struct {
+	Benchmark string
+	Tokens    int
+
+	AllocsPerOp  uint64 // warm slice-path parse
+	BytesPerOp   uint64
+	AllocsPerTok float64
+
+	StreamAllocsPerOp  uint64 // warm reader-pipeline parse
+	StreamBytesPerOp   uint64
+	StreamAllocsPerTok float64
+}
+
+// memOps is how many parses each measurement averages over; enough to
+// amortize an occasional GC-emptied pool refill without hiding a leak.
+const memOps = 10
+
+// memLang pairs a benchmark language with its streaming-capable langkit
+// bundle (bench.Lang carries only the batch tokenizer).
+type memLang struct {
+	name string
+	kit  *langkit.Language
+	gen  func(int64, int) string
+}
+
+func memLangs() []memLang {
+	return []memLang{
+		{"json", jsonlang.Lang, jsonlang.Generate},
+		{"xml", xmllang.Lang, xmllang.Generate},
+		{"dot", dotlang.Lang, dotlang.Generate},
+		{"python", pylang.Lang, pylang.Generate},
+	}
+}
+
+// FigMem measures steady-state allocation behaviour per language at the
+// corpus configuration's largest file size.
+func FigMem(cfg Config) ([]MemRow, error) {
+	var rows []MemRow
+	for _, ml := range memLangs() {
+		src := ml.gen(42, cfg.MaxTokens)
+		toks, err := ml.kit.Tokenize(src)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", ml.name, err)
+		}
+		p := newCoStar(ml.kit.Grammar(), false) // session config: cache + pool reused
+		for i := 0; i < 3; i++ {                // prime analyses, the DFA, and the scratch pool
+			mustUnique(p.Parse(toks).Kind, ml.name, 42, "warm-up")
+			mustUnique(p.ParseSource(ml.kit.Cursor(strings.NewReader(src))).Kind, ml.name, 42, "warm-up")
+		}
+		row := MemRow{Benchmark: ml.name, Tokens: len(toks)}
+		row.AllocsPerOp, row.BytesPerOp = measureAllocs(func() {
+			mustUnique(p.Parse(toks).Kind, ml.name, 42, "measured parse")
+		})
+		row.StreamAllocsPerOp, row.StreamBytesPerOp = measureAllocs(func() {
+			mustUnique(p.ParseSource(ml.kit.Cursor(strings.NewReader(src))).Kind, ml.name, 42, "measured stream parse")
+		})
+		row.AllocsPerTok = float64(row.AllocsPerOp) / float64(row.Tokens)
+		row.StreamAllocsPerTok = float64(row.StreamAllocsPerOp) / float64(row.Tokens)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// measureAllocs returns the mean allocation count and bytes per call of fn,
+// from runtime.MemStats deltas over memOps calls on a quiesced heap.
+func measureAllocs(fn func()) (allocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < memOps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.Mallocs - before.Mallocs) / memOps, (after.TotalAlloc - before.TotalAlloc) / memOps
+}
+
+// PeakRSSKB reports the process's peak resident set size in KiB from
+// /proc/self/status (VmHWM), or -1 where that interface is unavailable
+// (non-Linux hosts). It is process-wide: meaningful after a measurement
+// run, as a ceiling on everything the run touched.
+func PeakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			v := strings.TrimSuffix(strings.TrimSpace(rest), "kB")
+			if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}
+
+// PrintFigMem renders the allocation table plus the process peak RSS.
+func PrintFigMem(w io.Writer, rows []MemRow) {
+	fmt.Fprintf(w, "Memory figure: steady-state allocations per parse (warm session: pooled scratch + shared SLL DFA)\n")
+	fmt.Fprintf(w, "%-10s %8s %12s %14s %10s %14s %16s %12s\n",
+		"Benchmark", "tokens", "allocs/op", "B/op", "allocs/tok", "stream allocs", "stream B/op", "stream a/tok")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %12d %14d %10.3f %14d %16d %12.3f\n",
+			r.Benchmark, r.Tokens, r.AllocsPerOp, r.BytesPerOp, r.AllocsPerTok,
+			r.StreamAllocsPerOp, r.StreamBytesPerOp, r.StreamAllocsPerTok)
+	}
+	if rss := PeakRSSKB(); rss >= 0 {
+		fmt.Fprintf(w, "peak RSS (VmHWM, process-wide): %d KiB\n", rss)
+	} else {
+		fmt.Fprintf(w, "peak RSS: unavailable on this platform\n")
+	}
+}

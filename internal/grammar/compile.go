@@ -268,13 +268,18 @@ func (c *Compiled) Rhs(i int) []SymID { return c.prodRhs[i] }
 // InternTerms maps a token word to its terminal IDs (NoTerm for terminals
 // the grammar does not mention — those tokens can never be consumed).
 func (c *Compiled) InternTerms(w []Token) []TermID {
-	out := make([]TermID, len(w))
-	for i, t := range w {
+	return c.InternTermsInto(make([]TermID, 0, len(w)), w)
+}
+
+// InternTermsInto is InternTerms appending into dst, so pooled cursors can
+// re-intern a new word without reallocating their ID buffer.
+func (c *Compiled) InternTermsInto(dst []TermID, w []Token) []TermID {
+	for _, t := range w {
 		id, ok := c.termIDs[t.Terminal]
 		if !ok {
 			id = NoTerm
 		}
-		out[i] = id
+		dst = append(dst, id)
 	}
-	return out
+	return dst
 }

@@ -56,6 +56,12 @@ type Spec struct {
 
 // Lexeme is a token with source position information (1-based line/col and
 // byte offset), which layout passes (e.g. Python's INDENT/DEDENT) consume.
+//
+// Tok.Literal is a zero-copy view into the scanner's input window — a
+// (pointer, length) string header over [Offset, End()) of the original
+// bytes, never a per-token copy. On the batch path the window is the input
+// string itself; on the reader path it is the refill window that contained
+// the token. Holding a lexeme keeps exactly that window alive.
 type Lexeme struct {
 	Tok    grammar.Token
 	Line   int
@@ -64,7 +70,17 @@ type Lexeme struct {
 	Skip   bool // produced by a skip rule (retained in Scan output)
 }
 
-// Error is a lexing failure with position context.
+// Len returns the lexeme's length in bytes.
+func (lx Lexeme) Len() int { return len(lx.Tok.Literal) }
+
+// End returns the byte offset one past the lexeme, so [Offset, End()) spans
+// it in the original input.
+func (lx Lexeme) End() int { return lx.Offset + len(lx.Tok.Literal) }
+
+// Error is a lexing failure with position context. Snippet is a bounded
+// zero-copy slice of the input window starting at Offset — diagnostics are
+// built lazily from it, so the error path forces no buffer copies on the
+// scan path.
 type Error struct {
 	Line, Col int
 	Offset    int
@@ -190,9 +206,10 @@ func MustNew(spec Spec) *Lexer {
 // need layout information want them; Tokenize drops them). Mode switches
 // take effect immediately after the triggering rule matches. Scan is a
 // drain of the incremental Scanner, so the batch and streaming paths are
-// the same code and cannot disagree.
+// the same code and cannot disagree; with src resident, every literal is a
+// zero-copy slice of src.
 func (l *Lexer) Scan(src string) ([]Lexeme, error) {
-	return scanAll(l.ScanReader(strings.NewReader(src)))
+	return scanAll(l.ScanString(src))
 }
 
 // Tokenize scans src and returns the non-skip tokens — the word the parser

@@ -2,6 +2,7 @@ package lexer
 
 import (
 	"io"
+	"strings"
 	"unicode/utf8"
 
 	"costar/internal/grammar"
@@ -15,20 +16,27 @@ const fillChunk = 4096
 // the batch Scan path.
 const errSnippet = 12
 
-// Scanner tokenizes an io.Reader incrementally: it holds only the bytes of
-// the token currently being matched (plus at most one read chunk), so
-// arbitrarily large inputs lex in bounded memory. It produces exactly the
-// lexemes — and exactly the errors — that Scan produces on the same bytes;
-// Scan itself is implemented as a drain of a Scanner, so the equivalence
-// holds by construction.
+// Scanner tokenizes input incrementally over a retained string window.
+// Token literals are zero-copy: each Lexeme's Tok.Literal is a slice of the
+// window — a (pointer, length) view, no per-token byte copy — and keeps
+// exactly its window string alive. On the batch path (ScanString / Scan)
+// the window is the input itself, so lexing performs zero literal copies;
+// on the reader path each refill folds the unconsumed tail and one read
+// chunk into a fresh window string, so the scanner retains only the bytes
+// of the token currently being matched plus at most one chunk, preserving
+// the bounded-memory streaming guarantee. It produces exactly the lexemes —
+// and exactly the errors — that Scan produces on the same bytes; Scan
+// itself is implemented as a drain of a Scanner, so the equivalence holds
+// by construction.
 //
 // A Scanner is single-use and not safe for concurrent use.
 type Scanner struct {
 	l   *Lexer
-	r   io.Reader
-	tmp []byte // reusable read chunk
+	r   io.Reader // nil on the batch path: the window is the whole input
+	tmp []byte    // reusable read chunk
 
-	buf   []byte // unconsumed bytes pulled from r
+	text  string // current window; text[start:] are unconsumed bytes
+	start int    // consumption offset into text
 	atEOF bool   // r reported io.EOF (or another terminal error)
 	ioErr error  // terminal reader error other than io.EOF
 	zero  int    // consecutive (0, nil) reads, to detect stuck readers
@@ -53,16 +61,37 @@ func (l *Lexer) ScanReader(r io.Reader) *Scanner {
 	}
 }
 
-// fill pulls one chunk from the reader into the buffer. It returns a non-nil
-// error only for terminal reader failures (never io.EOF, which just marks
-// the buffer as final).
+// ScanString starts a scan over resident src. The window is src itself —
+// already complete — so the scanner never reads, never copies, and every
+// lexeme's literal is a slice of src.
+func (l *Lexer) ScanString(src string) *Scanner {
+	return &Scanner{
+		l:         l,
+		text:      src,
+		atEOF:     true,
+		line:      1,
+		col:       1,
+		modeStack: []int{0},
+	}
+}
+
+// fill pulls one chunk from the reader and rebases the window: the
+// unconsumed tail and the new chunk become a fresh string, so lexemes
+// already produced keep referencing their old window while the scan moves
+// on. It returns a non-nil error only for terminal reader failures (never
+// io.EOF, which just marks the window as final).
 func (s *Scanner) fill() error {
 	if s.atEOF {
 		return s.ioErr
 	}
 	n, err := s.r.Read(s.tmp)
 	if n > 0 {
-		s.buf = append(s.buf, s.tmp[:n]...)
+		var b strings.Builder
+		b.Grow(len(s.text) - s.start + n)
+		b.WriteString(s.text[s.start:])
+		b.Write(s.tmp[:n])
+		s.text = b.String()
+		s.start = 0
 		s.zero = 0
 	} else if err == nil {
 		// A reader may legitimately return (0, nil) occasionally, but a
@@ -82,10 +111,10 @@ func (s *Scanner) fill() error {
 	return nil
 }
 
-// want grows the buffer until it holds at least n bytes or the reader is
-// exhausted.
+// want grows the window until it holds at least n unconsumed bytes or the
+// reader is exhausted.
 func (s *Scanner) want(n int) error {
-	for len(s.buf) < n && !s.atEOF {
+	for len(s.text)-s.start < n && !s.atEOF {
 		if err := s.fill(); err != nil {
 			return err
 		}
@@ -93,12 +122,14 @@ func (s *Scanner) want(n int) error {
 	return nil
 }
 
-// match runs the current mode's DFA over the buffer, refilling as the match
-// frontier approaches the buffer end, and returns the longest match (byte
+// match runs the current mode's DFA over the window, refilling as the match
+// frontier approaches the window end, and returns the longest match (byte
 // length and pattern index). It mirrors rx.MultiDFA.LongestPrefix, with two
 // streaming additions: it refills rather than decode a rune split across
-// chunks (utf8.FullRune), and at true end of input it decodes truncated
-// bytes to (RuneError, 1) exactly as the string path does.
+// chunks (utf8.FullRuneInString), and at true end of input it decodes
+// truncated bytes to (RuneError, 1) exactly as the string path does. The
+// index i is relative to s.start, which fill rebases to 0 with the tail's
+// order preserved, so i survives refills unadjusted.
 func (s *Scanner) match(m *rx.MultiDFA) (length, pattern int, ok bool, err error) {
 	st := m.Start()
 	best, bestPat, found := 0, -1, false
@@ -107,15 +138,15 @@ func (s *Scanner) match(m *rx.MultiDFA) (length, pattern int, ok bool, err error
 	}
 	i := 0
 	for {
-		for !s.atEOF && !utf8.FullRune(s.buf[i:]) {
+		for !s.atEOF && !utf8.FullRuneInString(s.text[s.start+i:]) {
 			if err := s.fill(); err != nil {
 				return 0, 0, false, err
 			}
 		}
-		if i >= len(s.buf) {
+		if s.start+i >= len(s.text) {
 			break
 		}
-		r, size := utf8.DecodeRune(s.buf[i:])
+		r, size := utf8.DecodeRuneInString(s.text[s.start+i:])
 		st = m.Next(st, r)
 		if st < 0 {
 			break
@@ -129,7 +160,8 @@ func (s *Scanner) match(m *rx.MultiDFA) (length, pattern int, ok bool, err error
 }
 
 // Next returns the next lexeme (including skip lexemes). The second result
-// is false at end of input or on error; errors are sticky.
+// is false at end of input or on error; errors are sticky. The lexeme's
+// literal is a zero-copy slice of the scanner's current window.
 func (s *Scanner) Next() (Lexeme, bool, error) {
 	if s.err != nil {
 		return Lexeme{}, false, s.err
@@ -141,7 +173,7 @@ func (s *Scanner) Next() (Lexeme, bool, error) {
 		s.err = err
 		return Lexeme{}, false, err
 	}
-	if len(s.buf) == 0 {
+	if s.start >= len(s.text) {
 		s.done = true
 		return Lexeme{}, false, nil
 	}
@@ -156,16 +188,17 @@ func (s *Scanner) Next() (Lexeme, bool, error) {
 			s.err = err
 			return Lexeme{}, false, err
 		}
-		end := errSnippet
-		if end > len(s.buf) {
-			end = len(s.buf)
+		end := s.start + errSnippet
+		if end > len(s.text) {
+			end = len(s.text)
 		}
-		s.err = &Error{Line: s.line, Col: s.col, Offset: s.offset, Snippet: string(s.buf[:end])}
+		// The snippet is a slice of the window, not a copy — see Error.
+		s.err = &Error{Line: s.line, Col: s.col, Offset: s.offset, Snippet: s.text[s.start:end]}
 		return Lexeme{}, false, s.err
 	}
 	rule := cur.rules[pat]
 	r := s.l.spec.Rules[rule]
-	text := string(s.buf[:n])
+	text := s.text[s.start : s.start+n]
 	lx := Lexeme{
 		Tok:    grammar.Tok(r.Name, text),
 		Line:   s.line,
@@ -182,9 +215,12 @@ func (s *Scanner) Next() (Lexeme, bool, error) {
 		}
 	}
 	s.offset += n
-	s.buf = s.buf[n:]
-	if len(s.buf) == 0 {
-		s.buf = nil // let the consumed backing array go; fill reallocates
+	s.start += n
+	if s.start == len(s.text) && s.r != nil {
+		// Window fully consumed on the reader path: drop the reference so
+		// the next fill starts a fresh window and this one's lifetime is
+		// governed solely by the lexemes that slice it.
+		s.text, s.start = "", 0
 	}
 	switch a := s.l.actions[rule]; {
 	case a.push >= 0:

@@ -110,10 +110,19 @@ type Governor struct {
 // NewGovernor builds a governor for one parse. ctx may be nil (treated as
 // context.Background()); the zero Limits means unlimited.
 func NewGovernor(ctx context.Context, limits Limits) *Governor {
+	g := &Governor{}
+	g.Reset(ctx, limits)
+	return g
+}
+
+// Reset rearms the governor for a new parse — fresh context, fresh budget,
+// zeroed Usage, sticky error cleared. Pooled sessions reuse one governor
+// per scratch state instead of allocating one per parse.
+func (g *Governor) Reset(ctx context.Context, limits Limits) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Governor{ctx: ctx, limits: limits, countdown: ctxCheckEvery}
+	*g = Governor{ctx: ctx, limits: limits, countdown: ctxCheckEvery}
 }
 
 // Err returns the sticky failure, or nil while the parse is within budget.

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"costar/internal/arena"
+	"costar/internal/grammar"
+	"costar/internal/tree"
+)
+
+// Mem is the machine's allocation context: slab arenas backing the values a
+// run produces in O(nodes) quantity — states, stack nodes, the frames'
+// processed-symbol and partial-forest accumulators, visited-set overflow
+// words — plus the Result-scoped tree arena the final parse tree is built
+// in. With a Mem attached a run costs O(slabs) heap allocations; without
+// one (a nil *Mem everywhere) every helper falls back to plain allocation,
+// so the functional machine API and its tests are unchanged.
+//
+// Lifetime contract (see DESIGN.md §5f):
+//
+//   - Everything except the tree arena is scratch: it dies when the caller
+//     drops the machine Result's Final state. Reset recycles it. A pooled
+//     Mem must therefore never be Reset (or returned to a pool) while a
+//     *State, stack node, or NTSet from the previous run is still
+//     reachable — the parser drops Result.Final before releasing its Mem.
+//   - The tree arena is NOT scratch: the parse tree escapes into the
+//     caller's Result and keeps its slabs alive. Reset detaches the old
+//     arena (ownership passes to the Result) and installs a fresh one.
+//
+// A Mem belongs to a single parse on a single goroutine, like the Governor.
+type Mem struct {
+	states arena.Arena[State]
+	prefix arena.Arena[PrefixStack]
+	suffix arena.Arena[SuffixStack]
+	syms   arena.Slab[grammar.SymID]
+	acc    arena.Slab[*tree.Tree] // PrefixFrame.Trees accumulators (scratch)
+	words  arena.Slab[uint64]     // NTSet overflow words
+	trees  *tree.Arena            // Result-scoped; replaced, never reset
+}
+
+// NewMem returns a fresh allocation context.
+func NewMem() *Mem { return &Mem{trees: tree.NewArena()} }
+
+// Reset recycles the scratch arenas for the next run and detaches the tree
+// arena, whose slabs now belong to whatever retained the previous parse
+// tree. Used prefixes are zeroed, so an idle pooled Mem pins no memory from
+// the parse it last served.
+func (m *Mem) Reset() {
+	m.states.Reset()
+	m.prefix.Reset()
+	m.suffix.Reset()
+	m.syms.Reset()
+	m.acc.Reset()
+	m.words.Reset()
+	m.trees = tree.NewArena()
+}
+
+// Trees returns the Result-scoped tree arena (nil for a nil Mem — the tree
+// package treats a nil arena as plain allocation).
+func (m *Mem) Trees() *tree.Arena {
+	if m == nil {
+		return nil
+	}
+	return m.trees
+}
+
+// wordSlab returns the visited-set overflow-word slab, nil for a nil Mem.
+func (m *Mem) wordSlab() *arena.Slab[uint64] {
+	if m == nil {
+		return nil
+	}
+	return &m.words
+}
+
+func (m *Mem) newState(v State) *State {
+	if m == nil {
+		st := v
+		return &st
+	}
+	return m.states.New(v)
+}
+
+func (m *Mem) pushPrefix(f PrefixFrame, below *PrefixStack) *PrefixStack {
+	if m == nil {
+		return &PrefixStack{F: f, Below: below}
+	}
+	return m.prefix.New(PrefixStack{F: f, Below: below})
+}
+
+func (m *Mem) pushSuffix(f SuffixFrame, below *SuffixStack) *SuffixStack {
+	if m == nil {
+		return &SuffixStack{F: f, Below: below}
+	}
+	return m.suffix.New(SuffixStack{F: f, Below: below})
+}
+
+func (m *Mem) symSpan(n int) []grammar.SymID {
+	if m == nil {
+		return make([]grammar.SymID, 0, n)
+	}
+	return m.syms.Make(n)
+}
+
+func (m *Mem) accSpan(n int) []*tree.Tree {
+	if m == nil {
+		return make([]*tree.Tree, 0, n)
+	}
+	return m.acc.Make(n)
+}
+
+// consProcIn is PrefixFrame.consProc with the copies carved from m.
+func (m *Mem) consProcIn(f PrefixFrame, s grammar.SymID, v *tree.Tree) PrefixFrame {
+	proc := append(m.symSpan(len(f.Proc)+1), s)
+	proc = append(proc, f.Proc...)
+	trees := append(m.accSpan(len(f.Trees)+1), v)
+	trees = append(trees, f.Trees...)
+	return PrefixFrame{Proc: proc, Trees: trees}
+}
+
+// forestInOrderIn is PrefixFrame.ForestInOrder allocating the forest from
+// the tree arena: the slice becomes the children of a parse-tree node, so
+// its lifetime is the tree's, not the run's.
+func (m *Mem) forestInOrderIn(f PrefixFrame) []*tree.Tree {
+	out := m.Trees().Forest(len(f.Trees))[:len(f.Trees)]
+	for i, v := range f.Trees {
+		out[len(f.Trees)-1-i] = v
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"costar/internal/arena"
 	"costar/internal/grammar"
 )
 
@@ -39,7 +40,13 @@ func (s NTSet) Contains(n grammar.NTID) bool {
 }
 
 // Add returns the set with n included.
-func (s NTSet) Add(n grammar.NTID) NTSet {
+func (s NTSet) Add(n grammar.NTID) NTSet { return s.AddIn(nil, n) }
+
+// AddIn is Add with the copy-on-write overflow words carved from sl (nil
+// falls back to plain allocation). The resulting set's lifetime is bounded
+// by sl's next Reset; the machine passes its Mem's word slab, which the
+// parser recycles only after the run's states are dropped.
+func (s NTSet) AddIn(sl *arena.Slab[uint64], n grammar.NTID) NTSet {
 	if n < 0 {
 		return s
 	}
@@ -51,24 +58,46 @@ func (s NTSet) Add(n grammar.NTID) NTSet {
 	if w >= width {
 		width = w + 1
 	}
-	hi := make([]uint64, width)
+	hi := makeWords(sl, width)
 	copy(hi, s.hi)
 	hi[w] |= 1 << uint((n-64)&63)
 	return NTSet{lo: s.lo, hi: hi}
 }
 
 // Remove returns the set with n excluded.
-func (s NTSet) Remove(n grammar.NTID) NTSet {
+func (s NTSet) Remove(n grammar.NTID) NTSet { return s.RemoveIn(nil, n) }
+
+// RemoveIn is Remove with overflow words carved from sl, under the same
+// lifetime contract as AddIn.
+func (s NTSet) RemoveIn(sl *arena.Slab[uint64], n grammar.NTID) NTSet {
 	if !s.Contains(n) {
 		return s
 	}
 	if n < 64 {
 		return NTSet{lo: s.lo &^ (1 << uint(n)), hi: s.hi}
 	}
-	hi := make([]uint64, len(s.hi))
+	hi := makeWords(sl, len(s.hi))
 	copy(hi, s.hi)
 	hi[int(n-64)>>6] &^= 1 << uint((n-64)&63)
 	return NTSet{lo: s.lo, hi: hi}
+}
+
+// Clone returns a copy whose overflow words are freshly heap-allocated, so
+// the result stays valid after any slab the receiver was carved from is
+// recycled. The SLL cache clones visited sets when interning DFA states
+// built from prediction scratch.
+func (s NTSet) Clone() NTSet {
+	if len(s.hi) == 0 {
+		return NTSet{lo: s.lo}
+	}
+	return NTSet{lo: s.lo, hi: append([]uint64(nil), s.hi...)}
+}
+
+func makeWords(sl *arena.Slab[uint64], width int) []uint64 {
+	if sl == nil {
+		return make([]uint64, width)
+	}
+	return sl.Make(width)[:width]
 }
 
 // Len returns the number of members.

@@ -41,6 +41,11 @@ type State struct {
 	// termination measure (measure.go) reads Visited — so certified and
 	// uncertified runs take bit-identical transitions on certified grammars.
 	Certified bool
+	// Mem is the run's allocation context, propagated unchanged through
+	// every step. Nil means plain heap allocation (the default for Init and
+	// InitSource); InitSourceIn attaches one. See Mem for the lifetime
+	// contract pooled callers must honor.
+	Mem *Mem
 }
 
 // Init builds the initial machine state for start symbol start and word w:
@@ -58,20 +63,27 @@ func Init(g *grammar.Grammar, start string, w []grammar.Token) *State {
 // point. The cursor must be fresh (nothing consumed) and is owned by the
 // machine for the duration of the run.
 func InitSource(g *grammar.Grammar, start string, src *source.Cursor) *State {
+	return InitSourceIn(nil, g, start, src)
+}
+
+// InitSourceIn is InitSource with the run's allocations carved from m, the
+// arena-backed entry point pooled sessions use. A nil m is InitSource.
+func InitSourceIn(m *Mem, g *grammar.Grammar, start string, src *source.Cursor) *State {
 	c := g.Compiled()
 	sid, ok := c.NTIDOf(start)
 	if !ok {
 		panic(fmt.Sprintf("machine: start symbol %q is not in the grammar", start))
 	}
-	return &State{
+	return m.newState(State{
 		C:        c,
 		Start:    sid,
-		Prefix:   PushPrefix(PrefixFrame{}, nil),
-		Suffix:   PushSuffix(SuffixFrame{Lhs: grammar.NoNT, Rest: []grammar.SymID{grammar.NTSym(sid)}}, nil),
+		Prefix:   m.pushPrefix(PrefixFrame{}, nil),
+		Suffix:   m.pushSuffix(SuffixFrame{Lhs: grammar.NoNT, Rest: append(m.symSpan(1), grammar.NTSym(sid))}, nil),
 		Src:      src,
 		Consumed: src.Pos(),
 		Unique:   true,
-	}
+		Mem:      m,
+	})
 }
 
 // String renders the state compactly for traces:

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"costar/internal/grammar"
-	"costar/internal/tree"
 )
 
 // Step performs a single atomic transition σ { σ′ (Section 3.3). It
@@ -77,23 +76,25 @@ func stepReturn(st *State) StepResult {
 			"return: prefix stack height %d below suffix stack height %d",
 			st.Prefix.Height(), st.Suffix.Height())}
 	}
-	node := tree.Node(st.C.NTName(x), st.Prefix.F.ForestInOrder()...)
-	caller := st.Prefix.Below.F.consProc(grammar.NTSym(x), node)
+	m := st.Mem
+	node := m.Trees().Node(st.C.NTName(x), m.forestInOrderIn(st.Prefix.F))
+	caller := m.consProcIn(st.Prefix.Below.F, grammar.NTSym(x), node)
 	// X is now fully processed, so it leaves the visited set (it is present
 	// only when X derived ε-so-far, i.e. no token was consumed since its
 	// push). The two cases are exactly Lemma 4.4's "(a) decreases or
 	// (b) remains constant" split for the stack score.
-	next := &State{
+	next := m.newState(State{
 		C:         st.C,
 		Start:     st.Start,
-		Prefix:    PushPrefix(caller, st.Prefix.Below.Below),
+		Prefix:    m.pushPrefix(caller, st.Prefix.Below.Below),
 		Suffix:    st.Suffix.Below,
 		Src:       st.Src,
 		Consumed:  st.Consumed,
-		Visited:   st.Visited.Remove(x),
+		Visited:   st.Visited.RemoveIn(m.wordSlab(), x),
 		Unique:    st.Unique,
 		Certified: st.Certified,
-	}
+		Mem:       m,
+	})
 	return StepResult{Kind: StepCont, Op: OpReturn, State: next}
 }
 
@@ -114,19 +115,21 @@ func stepConsume(st *State, a grammar.TermID) StepResult {
 		return StepResult{Kind: StepReject,
 			Reason: "expected terminal " + grammar.T(st.C.TermName(a)).String() + ", found " + tok.String()}
 	}
+	m := st.Mem
 	topSuffix := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
-	topPrefix := st.Prefix.F.consProc(grammar.TermSym(a), tree.Leaf(tok))
+	topPrefix := m.consProcIn(st.Prefix.F, grammar.TermSym(a), m.Trees().Leaf(tok))
 	st.Src.Advance()
-	next := &State{
+	next := m.newState(State{
 		C:         st.C,
 		Start:     st.Start,
-		Prefix:    PushPrefix(topPrefix, st.Prefix.Below),
-		Suffix:    PushSuffix(topSuffix, st.Suffix.Below),
+		Prefix:    m.pushPrefix(topPrefix, st.Prefix.Below),
+		Suffix:    m.pushSuffix(topSuffix, st.Suffix.Below),
 		Src:       st.Src,
 		Consumed:  st.Consumed + 1,
 		Unique:    st.Unique,
 		Certified: st.Certified,
-	}
+		Mem:       m,
+	})
 	return StepResult{Kind: StepCont, Op: OpConsume, State: next}
 }
 
@@ -169,18 +172,20 @@ func stepPush(g *grammar.Grammar, pred Predictor, st *State, x grammar.NTID) Ste
 		}
 		return StepResult{Kind: StepError, Err: err}
 	}
+	m := st.Mem
 	caller := SuffixFrame{Lhs: st.Suffix.F.Lhs, Rest: st.Suffix.F.Rest[1:]}
 	pushed := SuffixFrame{Lhs: x, Rest: p.Rhs}
-	next := &State{
+	next := m.newState(State{
 		C:         st.C,
 		Start:     st.Start,
-		Prefix:    PushPrefix(PrefixFrame{}, st.Prefix),
-		Suffix:    PushSuffix(pushed, PushSuffix(caller, st.Suffix.Below)),
+		Prefix:    m.pushPrefix(PrefixFrame{}, st.Prefix),
+		Suffix:    m.pushSuffix(pushed, m.pushSuffix(caller, st.Suffix.Below)),
 		Src:       st.Src,
 		Consumed:  st.Consumed,
-		Visited:   st.Visited.Add(x),
+		Visited:   st.Visited.AddIn(m.wordSlab(), x),
 		Unique:    st.Unique && p.Kind != PredAmbig,
 		Certified: st.Certified,
-	}
+		Mem:       m,
+	})
 	return StepResult{Kind: StepCont, Op: OpPush, State: next}
 }

@@ -150,8 +150,49 @@ type Parser struct {
 	// assertion (Theorem 5.8 makes it unreachable).
 	certified bool
 
+	// pool recycles per-parse state (governor, predictor with its decision
+	// scratch, machine arenas, token cursor) across parses, so a warm
+	// session's steady-state allocation rate is amortized to near zero. See
+	// parseScratch for the lifetime contract.
+	pool sync.Pool
+
 	statsMu sync.Mutex
 	stats   prediction.Stats // accumulated across parses
+}
+
+// parseScratch is the pooled per-parse state. Everything here is scratch
+// whose lifetime ends with the parse: the governor and predictor are Reset
+// for each parse, the machine arenas (states, stack frames, accumulators)
+// are cleared once the Result is built, and the cursor keeps only its
+// interned-ID capacity between parses. The tree arena inside mem is the one
+// Result-scoped piece: Mem.Reset detaches it (the Result's tree keeps it
+// alive) and installs a fresh one, so pooled reuse can never reclaim nodes
+// a caller still holds. A scratch is used by one goroutine for one parse at
+// a time; a parse that panics abandons its scratch rather than returning a
+// half-mutated value to the pool.
+type parseScratch struct {
+	gov *machine.Governor
+	ap  *prediction.AdaptivePredictor
+	mem *machine.Mem
+	cur source.Cursor
+}
+
+// getScratch fetches pooled per-parse state, or builds a fresh set.
+func (p *Parser) getScratch() *parseScratch {
+	if sc, ok := p.pool.Get().(*parseScratch); ok {
+		return sc
+	}
+	return &parseScratch{mem: machine.NewMem()}
+}
+
+// release returns scratch to the pool. Callers must have dropped every
+// reference into the scratch arenas first (in parse, the deferred release
+// runs after the Result — which aliases only the detached tree arena — is
+// fully built and the machine's final state is out of scope).
+func (p *Parser) release(sc *parseScratch) {
+	sc.mem.Reset()
+	sc.cur.Clear()
+	p.pool.Put(sc)
 }
 
 // New validates g and builds a session. The error reports the first
@@ -240,7 +281,9 @@ func (p *Parser) ParseFrom(start string, w []grammar.Token) Result {
 
 // ParseFromContext is ParseFrom under a context.
 func (p *Parser) ParseFromContext(ctx context.Context, start string, w []grammar.Token) Result {
-	return p.parse(ctx, start, source.FromTokens(p.g.Compiled(), w), len(w))
+	sc := p.getScratch()
+	sc.cur.ResetTokens(p.g.Compiled(), w)
+	return p.parse(ctx, start, sc, &sc.cur, len(w))
 }
 
 // ParseSource parses the tokens of src from the grammar's start symbol. The
@@ -260,12 +303,12 @@ func (p *Parser) ParseSourceContext(ctx context.Context, src *source.Cursor) Res
 // from the cursor on demand and only the sliding lookahead window is
 // retained, so memory stays bounded regardless of input length.
 func (p *Parser) ParseSourceFrom(start string, src *source.Cursor) Result {
-	return p.parse(context.Background(), start, src, -1)
+	return p.ParseSourceFromContext(context.Background(), start, src)
 }
 
 // ParseSourceFromContext is ParseSourceFrom under a context.
 func (p *Parser) ParseSourceFromContext(ctx context.Context, start string, src *source.Cursor) Result {
-	return p.parse(ctx, start, src, -1)
+	return p.parse(ctx, start, p.getScratch(), src, -1)
 }
 
 // ParseReader lexes r incrementally with lex and parses the token stream
@@ -292,7 +335,9 @@ func (p *Parser) ParseReaderFrom(start string, lex *lexer.Lexer, r io.Reader) Re
 
 // ParseReaderFromContext is ParseReaderFrom under a context.
 func (p *Parser) ParseReaderFromContext(ctx context.Context, start string, lex *lexer.Lexer, r io.Reader) Result {
-	return p.parse(ctx, start, source.FromPull(p.g.Compiled(), lex.Pull(r)), -1)
+	sc := p.getScratch()
+	sc.cur.ResetPull(p.g.Compiled(), lex.Pull(r))
+	return p.parse(ctx, start, sc, &sc.cur, -1)
 }
 
 // limits folds the MaxSteps shorthand into the session's Limits.
@@ -306,18 +351,24 @@ func (p *Parser) limits() Limits {
 
 // parse is the shared core: run the machine over a token cursor. total is
 // the input length when known up front (the slice path), or -1 when the
-// input is streamed and the length is unknowable before the parse ends.
+// input is streamed and the length is unknowable before the parse ends. sc
+// is the parse's pooled scratch (its cursor may or may not be src); parse
+// owns it from here: the deferred release recycles it after the Result is
+// fully built, and a panicking parse abandons it so a half-mutated scratch
+// never reenters the pool.
 //
 // parse is the panic-containment boundary: a panic anywhere below —
 // machine, prediction, cursor, incremental lexer, a hostile pull function —
 // is recovered into an Error result carrying the panic value and a stack
 // summary, so one poisoned parse can never take down a batch worker pool or
 // a serving goroutine.
-func (p *Parser) parse(ctx context.Context, start string, src *source.Cursor, total int) (res Result) {
+func (p *Parser) parse(ctx context.Context, start string, sc *parseScratch, src *source.Cursor, total int) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Kind: Error, Err: machine.PanicErr(r, debug.Stack())}
+			return // abandon sc: don't poison the pool
 		}
+		p.release(sc)
 	}()
 	if !p.g.HasNT(start) {
 		return Result{Kind: Error, Err: fmt.Errorf("parser: start symbol %q has no productions", start)}
@@ -336,15 +387,29 @@ func (p *Parser) parse(ctx context.Context, start string, src *source.Cursor, to
 		cache = prediction.NewCache()
 	}
 	// One governor serves the machine loop and the prediction closures, so
-	// cancellation and the cumulative limits cover both layers.
-	gov := machine.NewGovernor(ctx, p.limits())
-	ap := prediction.NewWith(p.g, tg, prediction.Options{
+	// cancellation and the cumulative limits cover both layers. Both come
+	// from the pooled scratch: built once, Reset per parse.
+	gov := sc.gov
+	if gov == nil {
+		gov = machine.NewGovernor(ctx, p.limits())
+		sc.gov = gov
+	} else {
+		gov.Reset(ctx, p.limits())
+	}
+	popts := prediction.Options{
 		DisableSLL:    p.opts.DisableSLL,
 		Cache:         cache,
 		Governor:      gov,
 		ClosureBudget: p.opts.ClosureBudget,
-	})
-	mres := machine.Multistep(p.g, ap, machine.InitSource(p.g, start, src), machine.Options{
+	}
+	ap := sc.ap
+	if ap == nil {
+		ap = prediction.NewWith(p.g, tg, popts)
+		sc.ap = ap
+	} else {
+		ap.Reset(tg, popts)
+	}
+	mres := machine.Multistep(p.g, ap, machine.InitSourceIn(sc.mem, p.g, start, src), machine.Options{
 		CheckInvariants: p.opts.CheckInvariants,
 		Governor:        gov,
 		Certified:       p.certified,

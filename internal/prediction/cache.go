@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"costar/internal/grammar"
+	"costar/internal/machine"
 )
 
 // dfaState is one state of the SLL prediction DFA: a canonical set of
@@ -129,7 +130,14 @@ func (c *Cache) start(nt grammar.NTID, build func() *dfaState) *dfaState {
 // length-prefixed so the binary keys cannot collide across configs.
 // Content addressing also makes interning idempotent under concurrency:
 // LoadOrStore picks one winner per fingerprint and every racer gets it.
-func (c *Cache) intern(res closureResult) *dfaState {
+//
+// res.stable aliases the calling engine's scratch (stacks and visited sets
+// live in decision-scoped arenas), so everything a new state retains is
+// deep-copied into cache-owned heap memory first. Only this cold path pays
+// the copy; warm-path cache hits never reach intern. The copy is also what
+// makes publication to the shared cache race-free: no published state ever
+// references another predictor's recycled scratch.
+func (c *Cache) intern(e *engine, res closureResult) *dfaState {
 	keys := sortConfigs(res.stable)
 	size := 1
 	for _, k := range keys {
@@ -150,11 +158,11 @@ func (c *Cache) intern(res closureResult) *dfaState {
 	if st, ok := g.states.Load(key); ok {
 		return st.(*dfaState)
 	}
-	alts, halted := altSummary(res.stable)
+	alts, halted := e.altSummary(res.stable)
 	st := &dfaState{
 		key:        key,
-		configs:    res.stable,
-		haltedAlts: halted,
+		configs:    copyConfigs(res.stable),
+		haltedAlts: append([]int(nil), halted...),
 		uniqueAlt:  -1,
 		anomalous:  res.anomaly != anomalyNone,
 	}
@@ -168,6 +176,25 @@ func (c *Cache) intern(res closureResult) *dfaState {
 	}
 	g.nStates.Add(1)
 	return st
+}
+
+// copyConfigs clones configs into cache-owned memory: the slice, each
+// stack chain, and each visited set's overflow words. Stack tails reaching
+// into previously interned states are copied too rather than detected —
+// SLL stacks are shallow, and content-addressed dedup bounds the total.
+func copyConfigs(cfgs []config) []config {
+	out := make([]config, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = config{alt: cfg.alt, stack: copyStack(cfg.stack), visited: cfg.visited.Clone()}
+	}
+	return out
+}
+
+func copyStack(s *machine.SuffixStack) *machine.SuffixStack {
+	if s == nil {
+		return nil
+	}
+	return &machine.SuffixStack{F: s.F, Below: copyStack(s.Below)}
 }
 
 // Size returns (#start states, #interned states); benchmarks report it as

@@ -83,7 +83,7 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 		budget = defaultClosureBudget
 	}
 	ap := &AdaptivePredictor{
-		eng:   engine{c: g.Compiled(), targets: targets, gov: gov, budget: budget},
+		eng:   engine{c: g.Compiled(), targets: targets, gov: gov, budget: budget, scr: &scratch{}},
 		cache: c,
 		opts:  opts,
 	}
@@ -95,6 +95,34 @@ func NewWith(g *grammar.Grammar, targets *analysis.Targets, opts Options) *Adapt
 // later inputs (Section 6.2 notes ANTLR can do this and CoStar could not;
 // parser sessions expose it as the paper's discussed extension).
 func (ap *AdaptivePredictor) Cache() *Cache { return ap.cache }
+
+// Reset rearms the predictor for another parse of the same grammar: fresh
+// Stats, new targets/cache/governor/budget from opts, scratch buffers and
+// arenas retained. It must only be called between parses — never while a
+// prediction is in flight — and only with targets computed for the same
+// grammar the predictor was built with. Pooled parser sessions use this to
+// reach steady-state zero predictor allocation.
+func (ap *AdaptivePredictor) Reset(targets *analysis.Targets, opts Options) {
+	c := opts.Cache
+	if c == nil {
+		c = NewCache()
+	}
+	gov := opts.Governor
+	if gov == nil {
+		gov = machine.NewGovernor(nil, machine.Limits{})
+	}
+	budget := opts.ClosureBudget
+	if budget <= 0 {
+		budget = defaultClosureBudget
+	}
+	ap.cache = c
+	ap.opts = opts
+	ap.decisionNT = 0
+	ap.Stats = Stats{}
+	ap.eng.targets = targets
+	ap.eng.gov = gov
+	ap.eng.budget = budget
+}
 
 // Predict implements machine.Predictor: adaptivePredict for decision
 // nonterminal nt with the machine's current suffix stack and a lookahead
@@ -115,6 +143,7 @@ func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStac
 		return machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(idxs[0])}
 	}
 	ap.decisionNT = nt
+	ap.eng.beginDecision()
 	if !ap.opts.DisableSLL {
 		ap.Stats.SLLCalls++
 		if p, ok := ap.sllPredict(nt, la); ok {
@@ -136,17 +165,19 @@ func (ap *AdaptivePredictor) Predict(nt grammar.NTID, suffix *machine.SuffixStac
 // is genuine and yields ErrorP.
 func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixStack, la *source.Cursor) machine.Prediction {
 	c := ap.eng.c
+	scr := ap.eng.scr
 	caller := machine.SuffixFrame{Lhs: suffix.F.Lhs, Rest: suffix.F.Rest[1:]}
-	below := machine.PushSuffix(caller, suffix.Below)
-	v0 := machine.NTSet{}.Add(nt)
-	var initial []config
+	below := ap.eng.push(caller, suffix.Below)
+	v0 := machine.NTSet{}.AddIn(&scr.words, nt)
+	initial := scr.initial[:0]
 	for _, idx := range c.ProdsFor(nt) {
 		initial = append(initial, config{
 			alt:     idx,
-			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, below),
+			stack:   ap.eng.push(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, below),
 			visited: v0,
 		})
 	}
+	scr.initial = initial[:0]
 	cfgs, pred := ap.closeAndCheckLL(initial, 0)
 	if pred != nil {
 		return *pred
@@ -160,7 +191,7 @@ func (ap *AdaptivePredictor) llPredict(nt grammar.NTID, suffix *machine.SuffixSt
 			return ap.resolveAtEOF(cfgs, depth)
 		}
 		ap.noteLookahead(depth + 1)
-		cfgs, pred = ap.closeAndCheckLL(move(cfgs, term), depth+1)
+		cfgs, pred = ap.closeAndCheckLL(ap.eng.move(cfgs, term), depth+1)
 		if pred != nil {
 			return *pred
 		}
@@ -189,7 +220,7 @@ func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config
 		p := machine.Prediction{Kind: machine.PredReject, FailDepth: depth}
 		return nil, &p
 	}
-	alts, _ := altSummary(cfgs)
+	alts, _ := ap.eng.altSummary(cfgs)
 	if len(alts) == 1 {
 		p := machine.Prediction{Kind: machine.PredUnique, Rhs: ap.eng.c.Rhs(alts[0])}
 		return nil, &p
@@ -200,7 +231,7 @@ func (ap *AdaptivePredictor) closeAndCheckLL(work []config, depth int) ([]config
 // resolveAtEOF applies the end-of-input rule shared by both modes: only
 // subparsers that completed an entire parse remain viable.
 func (ap *AdaptivePredictor) resolveAtEOF(cfgs []config, depth int) machine.Prediction {
-	_, halted := altSummary(cfgs)
+	_, halted := ap.eng.altSummary(cfgs)
 	switch len(halted) {
 	case 0:
 		return machine.Prediction{Kind: machine.PredReject, FailDepth: depth}
@@ -265,14 +296,14 @@ func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, la *source.Cursor) (mac
 			// on the same edge interns the identical state (content
 			// addressing), so setEdge converges regardless of who wins.
 			ap.Stats.CacheMisses++
-			res := ap.eng.closure(modeSLL, move(st.configs, term))
+			res := ap.eng.closure(modeSLL, ap.eng.move(st.configs, term))
 			if res.anomaly == anomalyGoverned {
 				// A governed abort reflects this parse's budget, not the
 				// grammar: never intern it into the shared DFA, where it
 				// would poison decisions of unrelated parses.
 				return machine.Prediction{Kind: machine.PredError, Err: res.govErr}, true
 			}
-			next = st.setEdge(term, ap.cache.intern(res))
+			next = st.setEdge(term, ap.cache.intern(&ap.eng, res))
 		}
 		st = next
 	}
@@ -283,20 +314,22 @@ func (ap *AdaptivePredictor) sllPredict(nt grammar.NTID, la *source.Cursor) (mac
 // construction; the governor's sticky error carries the cause.
 func (ap *AdaptivePredictor) buildStart(nt grammar.NTID) *dfaState {
 	c := ap.eng.c
-	v0 := machine.NTSet{}.Add(nt)
-	var initial []config
+	scr := ap.eng.scr
+	v0 := machine.NTSet{}.AddIn(&scr.words, nt)
+	initial := scr.initial[:0]
 	for _, idx := range c.ProdsFor(nt) {
 		initial = append(initial, config{
 			alt:     idx,
-			stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, nil),
+			stack:   ap.eng.push(machine.SuffixFrame{Lhs: nt, Rest: c.Rhs(idx)}, nil),
 			visited: v0,
 		})
 	}
+	scr.initial = initial[:0]
 	res := ap.eng.closure(modeSLL, initial)
 	if res.anomaly == anomalyGoverned {
 		return nil
 	}
-	return ap.cache.intern(res)
+	return ap.cache.intern(&ap.eng, res)
 }
 
 func (ap *AdaptivePredictor) noteLookahead(depth int) {

@@ -146,8 +146,8 @@ func TestCacheEdgeIdempotence(t *testing.T) {
 			defer wg.Done()
 			ap := New(g, Options{Cache: shared})
 			st := shared.start(startID, func() *dfaState { return ap.buildStart(startID) })
-			res := ap.eng.closure(modeSLL, move(st.configs, aID))
-			got[k] = st.setEdge(aID, shared.intern(res))
+			res := ap.eng.closure(modeSLL, ap.eng.move(st.configs, aID))
+			got[k] = st.setEdge(aID, shared.intern(&ap.eng, res))
 		}(k)
 	}
 	wg.Wait()

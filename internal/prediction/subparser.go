@@ -25,6 +25,7 @@ package prediction
 import (
 	"sort"
 
+	"costar/internal/arena"
 	"costar/internal/grammar"
 	"costar/internal/machine"
 )
@@ -88,14 +89,51 @@ const (
 
 // engine carries the pieces shared by all prediction calls: the compiled
 // grammar and static analyses (immutable), the per-parse governor, the
-// per-call closure budget, and a pointer to the predictor's Stats so budget
-// exhaustions are reported rather than silently absorbed.
+// per-call closure budget, a pointer to the predictor's Stats so budget
+// exhaustions are reported rather than silently absorbed, and the reused
+// scratch buffers.
 type engine struct {
 	c       *grammar.Compiled
 	targets *Targets
 	gov     *machine.Governor
 	budget  int // per-closure-call expansion budget
 	stats   *Stats
+	scr     *scratch
+}
+
+// scratch is the engine's reusable prediction memory: worklists, dedup
+// maps, alt summaries, and the arenas configs are built in. Everything here
+// is recycled — buffers across calls, arenas at the start of each decision
+// — so the warm prediction path allocates nothing.
+//
+// Lifetime contract: a []config returned by closure (res.stable), move, or
+// altSummary is valid only until the engine's next call of the same kind,
+// and every config's stack and visited set die when the current decision
+// ends. Results that must outlive a decision — DFA states — are
+// deep-copied by Cache.intern into cache-owned memory.
+type scratch struct {
+	work       []config
+	stable     []config
+	moved      []config
+	initial    []config
+	seen       map[dedupKey]bool
+	stableSeen map[dedupKey]bool
+	alts       []int
+	halted     []int
+	suffix     arena.Arena[machine.SuffixStack] // closure-built stack nodes
+	words      arena.Slab[uint64]               // visited-set overflow words
+}
+
+// beginDecision recycles the decision-scoped arenas. Safe because nothing
+// allocated from them survives a decision (see scratch).
+func (e *engine) beginDecision() {
+	e.scr.suffix.Reset()
+	e.scr.words.Reset()
+}
+
+// push allocates a suffix node from the decision arena.
+func (e *engine) push(f machine.SuffixFrame, below *machine.SuffixStack) *machine.SuffixStack {
+	return e.scr.suffix.New(machine.SuffixStack{F: f, Below: below})
 }
 
 // Targets is re-exported from analysis to keep this package's surface
@@ -139,11 +177,28 @@ func keyOf(c config) dedupKey {
 // nonterminals into all their right-hand sides (push), popping exhausted
 // frames (return), and fanning empty SLL stacks out to their static return
 // targets. Left-recursive expansions kill the config and record an anomaly.
-func (e *engine) closure(m mode, work []config) closureResult {
-	var res closureResult
+//
+// The input slice is consumed; the returned res.stable aliases engine
+// scratch and is valid until the next closure call (Cache.intern copies).
+func (e *engine) closure(m mode, in []config) (res closureResult) {
 	budget := e.budget
-	seen := make(map[dedupKey]bool)
-	stableSeen := make(map[dedupKey]bool)
+	work := append(e.scr.work[:0], in...)
+	stable := e.scr.stable[:0]
+	seen := e.scr.seen
+	stableSeen := e.scr.stableSeen
+	if seen == nil {
+		seen, stableSeen = make(map[dedupKey]bool), make(map[dedupKey]bool)
+		e.scr.seen, e.scr.stableSeen = seen, stableSeen
+	} else {
+		clear(seen)
+		clear(stableSeen)
+	}
+	defer func() {
+		// Hand the (possibly grown) buffers back so later calls reuse them.
+		e.scr.work = work[:0]
+		e.scr.stable = stable
+		res.stable = stable
+	}()
 	for len(work) > 0 {
 		if budget--; budget < 0 {
 			e.stats.BudgetExhaustions++
@@ -165,7 +220,7 @@ func (e *engine) closure(m mode, work []config) closureResult {
 		seen[key] = true
 
 		if cfg.stack == nil {
-			e.addStable(&res, stableSeen, cfg)
+			stable = addStable(stable, stableSeen, cfg)
 			continue
 		}
 		top := cfg.stack.F
@@ -175,7 +230,7 @@ func (e *engine) closure(m mode, work []config) closureResult {
 				work = append(work, config{
 					alt:     cfg.alt,
 					stack:   cfg.stack.Below,
-					visited: cfg.visited.Remove(top.Lhs),
+					visited: cfg.visited.RemoveIn(&e.scr.words, top.Lhs),
 				})
 				continue
 			}
@@ -186,11 +241,11 @@ func (e *engine) closure(m mode, work []config) closureResult {
 			}
 			// SLL: the local context is exhausted at nonterminal top.Lhs —
 			// return into every statically possible continuation.
-			v := cfg.visited.Remove(top.Lhs)
+			v := cfg.visited.RemoveIn(&e.scr.words, top.Lhs)
 			for _, rt := range e.targets.For(top.Lhs) {
 				work = append(work, config{
 					alt:     cfg.alt,
-					stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: rt.Lhs, Rest: rt.Rest}, nil),
+					stack:   e.push(machine.SuffixFrame{Lhs: rt.Lhs, Rest: rt.Rest}, nil),
 					visited: v,
 				})
 			}
@@ -201,7 +256,7 @@ func (e *engine) closure(m mode, work []config) closureResult {
 		}
 		head := top.Rest[0]
 		if head.IsT() {
-			e.addStable(&res, stableSeen, cfg)
+			stable = addStable(stable, stableSeen, cfg)
 			continue
 		}
 		// Push: expand the nonterminal into each right-hand side.
@@ -220,12 +275,12 @@ func (e *engine) closure(m mode, work []config) closureResult {
 			continue
 		}
 		caller := machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}
-		below := machine.PushSuffix(caller, cfg.stack.Below)
-		v := cfg.visited.Add(x)
+		below := e.push(caller, cfg.stack.Below)
+		v := cfg.visited.AddIn(&e.scr.words, x)
 		for _, pi := range prods {
 			work = append(work, config{
 				alt:     cfg.alt,
-				stack:   machine.PushSuffix(machine.SuffixFrame{Lhs: x, Rest: e.c.Rhs(pi)}, below),
+				stack:   e.push(machine.SuffixFrame{Lhs: x, Rest: e.c.Rhs(pi)}, below),
 				visited: v,
 			})
 		}
@@ -233,21 +288,22 @@ func (e *engine) closure(m mode, work []config) closureResult {
 	return res
 }
 
-func (e *engine) addStable(res *closureResult, stableSeen map[dedupKey]bool, cfg config) {
+func addStable(stable []config, stableSeen map[dedupKey]bool, cfg config) []config {
 	key := keyOf(cfg)
 	if stableSeen[key] {
-		return
+		return stable
 	}
 	stableSeen[key] = true
-	res.stable = append(res.stable, cfg)
+	return append(stable, cfg)
 }
 
 // move advances every stable config across terminal t: configs whose top
 // symbol matches consume it (and reset their visited set, mirroring the
 // machine's consume); mismatching and halted configs die. An input terminal
-// the grammar does not mention (NoTerm) matches nothing.
-func move(cfgs []config, t grammar.TermID) []config {
-	var out []config
+// the grammar does not mention (NoTerm) matches nothing. The returned slice
+// aliases engine scratch and is valid until the next move call.
+func (e *engine) move(cfgs []config, t grammar.TermID) []config {
+	out := e.scr.moved[:0]
 	for _, cfg := range cfgs {
 		if cfg.stack == nil {
 			continue // claimed the parse ends here, but input continues
@@ -258,9 +314,10 @@ func move(cfgs []config, t grammar.TermID) []config {
 		}
 		out = append(out, config{
 			alt:   cfg.alt,
-			stack: machine.PushSuffix(machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}, cfg.stack.Below),
+			stack: e.push(machine.SuffixFrame{Lhs: top.Lhs, Rest: top.Rest[1:]}, cfg.stack.Below),
 		})
 	}
+	e.scr.moved = out[:0]
 	return out
 }
 
@@ -340,21 +397,31 @@ func sortConfigs(cfgs []config) []string {
 }
 
 // altSummary returns the distinct alts over stable configs (halted and
-// live), ascending.
-func altSummary(cfgs []config) (alts []int, haltedAlts []int) {
-	seen := map[int]bool{}
-	seenH := map[int]bool{}
+// live), ascending. The returned slices alias engine scratch and are valid
+// until the next altSummary call; Cache.intern copies what it retains. The
+// dedup is a linear scan — a decision has at most a handful of alternatives,
+// where a map costs more than it saves.
+func (e *engine) altSummary(cfgs []config) (alts []int, haltedAlts []int) {
+	alts, haltedAlts = e.scr.alts[:0], e.scr.halted[:0]
 	for _, c := range cfgs {
-		if !seen[c.alt] {
-			seen[c.alt] = true
+		if !containsInt(alts, c.alt) {
 			alts = append(alts, c.alt)
 		}
-		if c.stack == nil && !seenH[c.alt] {
-			seenH[c.alt] = true
+		if c.stack == nil && !containsInt(haltedAlts, c.alt) {
 			haltedAlts = append(haltedAlts, c.alt)
 		}
 	}
 	sort.Ints(alts)
 	sort.Ints(haltedAlts)
+	e.scr.alts, e.scr.halted = alts[:0], haltedAlts[:0]
 	return alts, haltedAlts
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }

@@ -52,6 +52,7 @@ type Cursor struct {
 	eof  bool             // producer exhausted (or failed)
 	err  error            // sticky producer failure
 	peak int              // peak window occupancy (diagnostics)
+	own  bool             // toks is cursor-allocated (reusable), not the caller's word
 }
 
 // FromTokens builds a slice-backed cursor over w. The entire word is the
@@ -65,7 +66,40 @@ func FromTokens(c *grammar.Compiled, w []grammar.Token) *Cursor {
 // demand, interned against c as they arrive, and dropped from the window
 // once consumed and out of reach of any outstanding peek.
 func FromPull(c *grammar.Compiled, pull Pull) *Cursor {
-	return &Cursor{c: c, pull: pull}
+	return &Cursor{c: c, pull: pull, own: true}
+}
+
+// ResetTokens re-initializes s as a slice-backed cursor over w (the
+// FromTokens configuration), reusing s's interned-ID buffer so pooled
+// cursors re-intern a new word with zero allocations once warm.
+func (s *Cursor) ResetTokens(c *grammar.Compiled, w []grammar.Token) {
+	ids := c.InternTermsInto(s.ids[:0], w)
+	*s = Cursor{c: c, toks: w, ids: ids, eof: true, peak: len(w)}
+}
+
+// ResetPull re-initializes s as a pull-backed cursor (the FromPull
+// configuration), reusing s's window buffers when they are cursor-owned (a
+// previous slice-backed word is the caller's memory and is not recycled).
+func (s *Cursor) ResetPull(c *grammar.Compiled, pull Pull) {
+	var toks []grammar.Token
+	if s.own {
+		clear(s.toks[:cap(s.toks)]) // compaction leaves stale tokens past len
+		toks = s.toks[:0]
+	}
+	*s = Cursor{c: c, toks: toks, ids: s.ids[:0], pull: pull, own: true}
+}
+
+// Clear drops every reference to caller-owned data — the token slice of a
+// slice-backed cursor, the pull function, buffered token literals, the
+// producer error — while keeping the cursor's own buffers, so a pooled
+// cursor retains only reusable capacity between parses.
+func (s *Cursor) Clear() {
+	var toks []grammar.Token
+	if s.own {
+		clear(s.toks[:cap(s.toks)]) // compaction leaves stale tokens past len
+		toks = s.toks[:0]
+	}
+	*s = Cursor{toks: toks, ids: s.ids[:0], own: s.own}
 }
 
 // Peek returns the terminal ID of the k-th token past the cursor (k = 0 is

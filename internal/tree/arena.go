@@ -1,0 +1,53 @@
+package tree
+
+import (
+	"costar/internal/arena"
+
+	"costar/internal/grammar"
+)
+
+// Arena allocates parse trees from slabs so building a tree of N nodes
+// costs O(slabs) heap allocations instead of N (plus N child slices).
+//
+// Lifetime is Result-scoped and GC-backed: the machine allocates every node
+// of a parse from one Arena, the finished tree escapes into the caller's
+// Result, and the Result's references keep the slabs alive. There is no
+// Reset — when the caller drops the tree, the garbage collector releases
+// the slabs wholesale. A fresh Arena is used per parse; an Arena is a
+// single-goroutine value while allocation is in progress.
+//
+// A nil *Arena is valid and falls back to plain heap allocation, so code
+// paths that build trees by hand (tests, oracles) need no arena plumbing.
+type Arena struct {
+	nodes arena.Arena[Tree]
+	kids  arena.Slab[*Tree]
+}
+
+// NewArena returns an empty tree arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Leaf allocates a leaf for token t.
+func (a *Arena) Leaf(t grammar.Token) *Tree {
+	if a == nil {
+		return Leaf(t)
+	}
+	return a.nodes.New(Tree{IsLeaf: true, Token: t})
+}
+
+// Node allocates an interior node for nonterminal nt over children. Unlike
+// the package-level Node it takes the children as a slice (typically one
+// produced by Forest) and does not copy it.
+func (a *Arena) Node(nt string, children []*Tree) *Tree {
+	if a == nil {
+		return &Tree{NT: nt, Children: children}
+	}
+	return a.nodes.New(Tree{NT: nt, Children: children})
+}
+
+// Forest allocates a child slice with length 0 and capacity exactly n.
+func (a *Arena) Forest(n int) []*Tree {
+	if a == nil {
+		return make([]*Tree, 0, n)
+	}
+	return a.kids.Make(n)
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package costar
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-ceiling assertions are skipped under -race: the detector's
+// shadow-memory bookkeeping inflates testing.AllocsPerRun far past the
+// ceilings that hold in a normal build. The lifetime and pooled-reuse tests
+// still run raced — only the numeric ceilings are gated.
+const raceEnabled = false
