@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem alloc-guard fuzz-smoke vet lint vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate alloc-guard fuzz-smoke vet lint vet-grammars
 
 all: build test race
 
@@ -47,6 +47,17 @@ bench-stream:
 bench-mem:
 	$(GO) run ./cmd/costar-bench -fig mem
 
+# The cold-start figure behind BENCH_cold.json: compile+warm vs artifact
+# load per language (see DESIGN.md §5g).
+bench-cold:
+	$(GO) run ./cmd/costar-bench -fig cold
+	$(GO) test ./internal/bench -run xxx -bench BenchmarkColdStart -benchtime 5x -count=1
+
+# The cold-start CI gate: artifact load must stay >=5x faster than
+# compile+warm on Python (best-of-trials; self-skips under -race).
+cold-gate:
+	$(GO) test ./internal/bench -run TestColdStartGate -count=1 -v
+
 # Allocation-regression guards: warm parses must stay under their fixed
 # allocs/token ceilings (plain build), and the pooled-reuse lifetime tests
 # must stay clean under the race detector (where the ceilings self-skip).
@@ -61,11 +72,14 @@ alloc-guard:
 # the incremental lexer agree with batch lexing on arbitrary bytes), the
 # static grammar verifier (never panics, deterministic, Certify agrees with
 # the report's Certifiable verdict), and the fault-injection pipeline
-# (fuzzer-chosen fault schedules always yield a well-formed result).
+# (fuzzer-chosen fault schedules always yield a well-formed result), and the
+# artifact decoder (arbitrary bytes never panic; valid decodes re-encode
+# canonically and never realize silently uncertified).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzStreamEquivalence -fuzztime=20s -run=FuzzStreamEquivalence .
 	$(GO) test -fuzz=FuzzGrammarLint -fuzztime=20s -run=FuzzGrammarLint .
 	$(GO) test -fuzz=FuzzFaultInjection -fuzztime=20s -run=FuzzFaultInjection .
+	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=20s -run=FuzzArtifactDecode ./internal/artifact
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,78 @@
+package costar
+
+// The artifact differential gate: a session loaded from an encoded artifact
+// must be observably identical to the source-compiled session the artifact
+// was exported from — same trees, same result kinds, same prediction
+// statistics (the imported warm DFA serves exactly the hits the live one
+// would) — on every bundled language.
+
+import (
+	"testing"
+
+	"costar/internal/bench"
+	"costar/internal/grammarlint"
+	"costar/internal/parser"
+)
+
+func TestArtifactSessionsMatchSourceSessions(t *testing.T) {
+	for _, l := range bench.Languages() {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			files, err := bench.Corpus(l, bench.Config{Files: 6, MinTokens: 100, MaxTokens: 2500, Trials: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Grammar.Compiled().Certificate() == nil {
+				if _, _, err := grammarlint.Certify(l.Grammar); err != nil {
+					t.Fatal(err)
+				}
+			}
+			src := parser.MustNew(l.Grammar, parser.Options{})
+			for _, f := range files {
+				src.Parse(f.Tokens) // warm the DFA the artifact will carry
+			}
+
+			a, err := src.ExportArtifact(l.Name, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := NewParserFromArtifact(DecodeMust(t, EncodeArtifact(a)), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Certified() != src.Certified() {
+				t.Fatalf("certified: artifact %v, source %v", loaded.Certified(), src.Certified())
+			}
+
+			// Both sessions are now fully warm on this corpus; every parse
+			// must agree in result, tree, and per-parse statistics.
+			for _, f := range files {
+				want := src.Parse(f.Tokens)
+				got := loaded.Parse(f.Tokens)
+				if got.Kind != want.Kind || got.Consumed != want.Consumed || got.Steps != want.Steps {
+					t.Fatalf("seed %d: result (%v, %d tokens, %d steps) vs source (%v, %d, %d)",
+						f.Seed, got.Kind, got.Consumed, got.Steps, want.Kind, want.Consumed, want.Steps)
+				}
+				if gs, ws := got.Tree.String(), want.Tree.String(); gs != ws {
+					t.Fatalf("seed %d: trees differ:\nartifact: %s\nsource:   %s", f.Seed, gs, ws)
+				}
+				if got.Stats != want.Stats {
+					t.Fatalf("seed %d: stats differ:\nartifact: %+v\nsource:   %+v", f.Seed, got.Stats, want.Stats)
+				}
+				if got.Stats.CacheMisses != 0 {
+					t.Fatalf("seed %d: warm artifact session missed the DFA cache %d times", f.Seed, got.Stats.CacheMisses)
+				}
+			}
+		})
+	}
+}
+
+// DecodeMust decodes or fails the test.
+func DecodeMust(t *testing.T, data []byte) *Artifact {
+	t.Helper()
+	a, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -49,14 +49,21 @@ import (
 
 func main() {
 	// Subcommand dispatch before flag parsing: `costar vet ...` runs the
-	// static grammar verifier instead of a parse.
-	if len(os.Args) > 1 && os.Args[1] == "vet" {
-		os.Exit(runVet(os.Args[2:]))
+	// static grammar verifier, `costar compile ...` builds an ahead-of-time
+	// artifact (see compile.go); everything else is a parse.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "vet":
+			os.Exit(runVet(os.Args[2:]))
+		case "compile":
+			os.Exit(runCompile(os.Args[2:]))
+		}
 	}
 	var (
 		langName = flag.String("lang", "", "built-in language: json, xml, dot, python")
 		g4Path   = flag.String("g4", "", "path to an ANTLR-style .g4 grammar")
 		bnfPath  = flag.String("bnf", "", "path to a BNF grammar file")
+		artPath  = flag.String("artifact", "", "path to an ahead-of-time artifact (see `costar compile`)")
 		tokens   = flag.String("tokens", "", "space-separated terminal names (with -bnf)")
 		workers  = flag.Int("j", 1, "worker goroutines for multiple input files (0 = one per CPU)")
 		showTree = flag.Bool("tree", false, "print the parse tree as an s-expression")
@@ -73,7 +80,7 @@ func main() {
 		stats: *stats, check: *check, dot: *dot,
 		timeout: *timeout, maxSteps: *maxSteps,
 	}
-	if err := run(*langName, *g4Path, *bnfPath, *tokens, opts, flag.Args()); err != nil {
+	if err := run(*langName, *g4Path, *bnfPath, *artPath, *tokens, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "costar:", err)
 		os.Exit(1)
 	}
@@ -87,17 +94,34 @@ type cliOptions struct {
 	maxSteps                            int
 }
 
-func run(langName, g4Path, bnfPath, tokens string, opts cliOptions, args []string) error {
-	g, inputs, err := loadInputs(langName, g4Path, bnfPath, tokens, args)
-	if err != nil {
-		return err
-	}
-	p, err := costar.NewParser(g, costar.Options{
+func run(langName, g4Path, bnfPath, artPath, tokens string, opts cliOptions, args []string) error {
+	popts := costar.Options{
 		CheckInvariants: opts.check,
 		Limits:          costar.Limits{MaxSteps: opts.maxSteps},
-	})
-	if err != nil {
-		return err
+	}
+	var (
+		p      *costar.Parser
+		inputs []input
+	)
+	if artPath != "" {
+		if langName != "" || g4Path != "" || bnfPath != "" {
+			return fmt.Errorf("-artifact replaces -lang/-g4/-bnf (the grammar is in the artifact)")
+		}
+		var err error
+		p, inputs, err = loadArtifact(artPath, tokens, popts, args)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, ins, err := loadInputs(langName, g4Path, bnfPath, tokens, args)
+		if err != nil {
+			return err
+		}
+		p, err = costar.NewParser(g, popts)
+		if err != nil {
+			return err
+		}
+		inputs = ins
 	}
 	if lr := p.LeftRecursiveNTs(); len(lr) > 0 {
 		fmt.Fprintf(os.Stderr, "warning: grammar is left-recursive in %v; parsing will report an error\n", lr)
@@ -221,6 +245,57 @@ func loadInputs(langName, g4Path, bnfPath, tokens string, args []string) (*costa
 	default:
 		return nil, nil, fmt.Errorf("one of -lang, -g4, -bnf is required (see -h)")
 	}
+}
+
+// loadArtifact builds a session from an ahead-of-time artifact (skipping
+// grammar compilation, analysis, and cache warm-up — the load verifies what
+// it skips; see `costar compile`) and resolves the token cursor for it:
+// artifacts named after a built-in language use that language's full lexer
+// and layout pipeline (layout passes are Go code, resolved from the
+// registry by name); artifacts carrying embedded .g4 source recompile their
+// lexer from it; everything else reads the -bnf whitespace word format.
+func loadArtifact(path, tokens string, popts costar.Options, args []string) (*costar.Parser, []input, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := costar.DecodeArtifact(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := costar.NewParserFromArtifact(a, popts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cursor func(io.Reader) *costar.TokenSource
+	if lang, _, err := builtinLanguage(a.Name); err == nil &&
+		lang.Grammar().Compiled().Fingerprint() == a.Fingerprint {
+		// Same name AND same grammar: a stale artifact named "json" built
+		// from an older grammar falls through to its embedded lexer source
+		// instead of silently pairing with the current language pipeline.
+		cursor = lang.Cursor
+	}
+	if cursor == nil && a.LexerG4 != "" {
+		_, lex, err := costar.LoadG4(a.LexerG4)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recompiling artifact lexer: %w", err)
+		}
+		g := p.Grammar()
+		cursor = func(r io.Reader) *costar.TokenSource { return costar.NewTokenSource(g, lex.Pull(r)) }
+	}
+	if cursor == nil {
+		g := p.Grammar()
+		cursor = func(r io.Reader) *costar.TokenSource { return costar.NewTokenSource(g, wordPull(r)) }
+	}
+	if tokens != "" {
+		return p, []input{{
+			name: "<tokens>",
+			open: func() (*costar.TokenSource, func(), error) {
+				return cursor(strings.NewReader(tokens)), nil, nil
+			},
+		}}, nil
+	}
+	return p, fileInputs(cursor, args), nil
 }
 
 // fileInputs wraps each file argument (stdin when none) as a deferred-open

@@ -121,7 +121,7 @@ func TestLoadInputsDeferredOpen(t *testing.T) {
 	if _, _, err := inputs[0].open(); err == nil {
 		t.Error("open of a missing file succeeded")
 	}
-	err = run("json", "", "", "", cliOptions{workers: 1}, []string{missing})
+	err = run("json", "", "", "", "", cliOptions{workers: 1}, []string{missing})
 	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
 	}
@@ -130,11 +130,11 @@ func TestLoadInputsDeferredOpen(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	f := write(t, "t.json", `{"k": null}`)
 	all := cliOptions{workers: 1, showTree: true, pretty: true, stats: true, check: true, dot: true}
-	if err := run("json", "", "", "", all, []string{f}); err != nil {
+	if err := run("json", "", "", "", "", all, []string{f}); err != nil {
 		t.Fatal(err)
 	}
 	bad := write(t, "bad.json", `{"k": }`)
-	err := run("json", "", "", "", cliOptions{workers: 1}, []string{bad})
+	err := run("json", "", "", "", "", cliOptions{workers: 1}, []string{bad})
 	if err == nil || !strings.Contains(err.Error(), "rejected") {
 		t.Errorf("err = %v", err)
 	}
@@ -151,12 +151,12 @@ func TestRunParallelBatch(t *testing.T) {
 		write(t, "d.json", `[[[1], [2]], []]`),
 	}
 	for _, j := range []int{0, 1, 2, 8} {
-		if err := run("json", "", "", "", cliOptions{workers: j}, files); err != nil {
+		if err := run("json", "", "", "", "", cliOptions{workers: j}, files); err != nil {
 			t.Fatalf("j=%d: %v", j, err)
 		}
 	}
 	bad := write(t, "bad.json", `{"k": }`)
-	err := run("json", "", "", "", cliOptions{workers: 2}, append(files, bad))
+	err := run("json", "", "", "", "", cliOptions{workers: 2}, append(files, bad))
 	if err == nil || !strings.Contains(err.Error(), "rejected") || !strings.Contains(err.Error(), "bad.json") {
 		t.Errorf("err = %v", err)
 	}
@@ -167,7 +167,7 @@ func TestRunParallelBatch(t *testing.T) {
 // false accept or a crash.
 func TestRunLexFailure(t *testing.T) {
 	bad := write(t, "bad.json", "{\"k\": \x01}")
-	err := run("json", "", "", "", cliOptions{workers: 1}, []string{bad})
+	err := run("json", "", "", "", "", cliOptions{workers: 1}, []string{bad})
 	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
 	}
@@ -175,7 +175,7 @@ func TestRunLexFailure(t *testing.T) {
 
 func TestRunLeftRecursionWarning(t *testing.T) {
 	bf := write(t, "lr.bnf", "E -> E plus n | n")
-	err := run("", "", bf, "n", cliOptions{workers: 1}, nil)
+	err := run("", "", bf, "", "n", cliOptions{workers: 1}, nil)
 	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
 	}

@@ -10,6 +10,7 @@
 //	grammar-convert -lexer grammar.g4    # also list the lexer rules
 //	grammar-convert -check grammar.g4    # report left recursion & LL(1) status
 //	grammar-convert -vet grammar.g4      # run the full static verifier on the result
+//	grammar-convert -emit-artifact g.csar grammar.g4  # write a cold ahead-of-time artifact
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"costar"
 	"costar/internal/analysis"
 	"costar/internal/ebnf"
 	"costar/internal/g4"
@@ -32,19 +34,20 @@ func main() {
 		check    = flag.Bool("check", false, "report left recursion and LL(1) conflicts")
 		fix      = flag.Bool("fix", false, "eliminate left recursion (Paull's algorithm) before printing")
 		vet      = flag.Bool("vet", false, "run the static grammar verifier on the desugared result")
+		emit     = flag.String("emit-artifact", "", "also write a cold ahead-of-time artifact to this path (certified when the grammar vets clean; warm it with `costar compile`)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: grammar-convert [flags] grammar.g4")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *stats, *lexRules, *check, *fix, *vet); err != nil {
+	if err := run(flag.Arg(0), *stats, *lexRules, *check, *fix, *vet, *emit); err != nil {
 		fmt.Fprintln(os.Stderr, "grammar-convert:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, stats, lexRules, check, fix, vet bool) error {
+func run(path string, stats, lexRules, check, fix, vet bool, emit string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -110,6 +113,29 @@ func run(path string, stats, lexRules, check, fix, vet bool) error {
 		} else if !rep.Certifiable() {
 			return fmt.Errorf("vet found %d error(s); grammar cannot be certified", rep.Count(grammarlint.Error))
 		}
+	}
+	if emit != "" {
+		// A cold artifact: tables, analysis, certificate (when the grammar
+		// vets clean), and the embedded .g4 source the lexer recompiles
+		// from — no warm DFA snapshot. `costar compile` adds the warming.
+		if rep := grammarlint.Check(g); rep.Clean() {
+			if _, _, err := costar.Certify(g); err != nil {
+				return fmt.Errorf("certification failed on a clean grammar: %v", err)
+			}
+		}
+		p, err := costar.NewParser(g, costar.Options{})
+		if err != nil {
+			return err
+		}
+		a, err := p.ExportArtifact(f.Name, string(src))
+		if err != nil {
+			return err
+		}
+		data := costar.EncodeArtifact(a)
+		if err := os.WriteFile(emit, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# artifact: %s (%d bytes, fingerprint %016x, cold)\n", emit, len(data), a.Fingerprint)
 	}
 	return nil
 }

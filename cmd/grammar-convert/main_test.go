@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"costar"
 )
 
 func TestRunConvert(t *testing.T) {
@@ -19,18 +21,18 @@ func TestRunConvert(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, true, true, false, false); err != nil {
+	if err := run(path, true, true, true, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false, true, false); err != nil {
+	if err := run(path, false, false, false, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(dir, "missing.g4"), false, false, false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.g4"), false, false, false, false, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(dir, "bad.g4")
 	os.WriteFile(bad, []byte("nonsense"), 0o644)
-	if err := run(bad, false, false, false, false, false); err == nil {
+	if err := run(bad, false, false, false, false, false, ""); err == nil {
 		t.Error("bad grammar accepted")
 	}
 }
@@ -46,8 +48,45 @@ func TestRunConvertFixesLeftRecursion(t *testing.T) {
 		WS : [ ]+ -> skip ;
 	`
 	os.WriteFile(path, []byte(src), 0o644)
-	if err := run(path, false, false, true, true, false); err != nil {
+	if err := run(path, false, false, true, true, false, ""); err != nil {
 		t.Fatalf("fix failed: %v", err)
+	}
+}
+
+// TestRunConvertEmitArtifact: -emit-artifact writes a loadable certified
+// artifact whose embedded lexer source round-trips the conversion input.
+func TestRunConvertEmitArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "calc.g4")
+	src := `
+		grammar Calc;
+		e : t ('+' t)* ;
+		t : NUM ;
+		NUM : [0-9]+ ;
+		WS : [ ]+ -> skip ;
+	`
+	os.WriteFile(path, []byte(src), 0o644)
+	out := filepath.Join(dir, "calc.csar")
+	if err := run(path, false, false, false, false, false, out); err != nil {
+		t.Fatalf("-emit-artifact: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := costar.DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if a.LexerG4 != src {
+		t.Error("artifact does not embed the source grammar text")
+	}
+	p, err := costar.NewParserFromArtifact(a, costar.Options{})
+	if err != nil {
+		t.Fatalf("realize: %v", err)
+	}
+	if !p.Certified() {
+		t.Error("emitted artifact lost its certificate")
 	}
 }
 
@@ -63,7 +102,7 @@ func TestRunConvertVet(t *testing.T) {
 		NUM : [0-9]+ ;
 		WS : [ ]+ -> skip ;
 	`), 0o644)
-	if err := run(clean, false, false, false, false, true); err != nil {
+	if err := run(clean, false, false, false, false, true, ""); err != nil {
 		t.Fatalf("-vet on clean grammar: %v", err)
 	}
 	lr := filepath.Join(dir, "lr.g4")
@@ -74,10 +113,10 @@ func TestRunConvertVet(t *testing.T) {
 		NUM : [0-9]+ ;
 		WS : [ ]+ -> skip ;
 	`), 0o644)
-	if err := run(lr, false, false, false, false, true); err == nil {
+	if err := run(lr, false, false, false, false, true, ""); err == nil {
 		t.Error("-vet let a left-recursive grammar through")
 	}
-	if err := run(lr, false, false, false, true, true); err != nil {
+	if err := run(lr, false, false, false, true, true, ""); err != nil {
 		t.Errorf("-fix -vet on rewritable grammar: %v", err)
 	}
 }

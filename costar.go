@@ -29,6 +29,7 @@ import (
 	"context"
 	"io"
 
+	"costar/internal/artifact"
 	"costar/internal/ebnf"
 	"costar/internal/g4"
 	"costar/internal/grammar"
@@ -83,6 +84,13 @@ type (
 	// left recursion; Certify attaches one, switching later Parser sessions
 	// into certified mode.
 	Certificate = grammar.Certificate
+	// Artifact is an ahead-of-time grammar artifact: compiled tables,
+	// analysis fixpoints, certificate, and an offline-warmed SLL DFA cache
+	// in one versioned binary container (see internal/artifact). Build one
+	// with Parser.ExportArtifact (after warming the session on a corpus),
+	// serialize with EncodeArtifact, and reconstruct near-instant sessions
+	// with NewParserFromArtifact.
+	Artifact = artifact.Artifact
 )
 
 // Result kinds.
@@ -250,6 +258,31 @@ func Vet(g *Grammar) *VetReport { return grammarlint.Check(g) }
 // provably unreachable (Theorem 5.8) and demoted to a debug assertion,
 // with bit-identical parse results. On refusal the report explains why.
 func Certify(g *Grammar) (*Certificate, *VetReport, error) { return grammarlint.Certify(g) }
+
+// EncodeArtifact serializes an artifact to its versioned binary form
+// (magic, format version, sections, integrity checksum). Encoding is
+// deterministic: equal artifacts produce identical bytes.
+func EncodeArtifact(a *Artifact) []byte { return artifact.Encode(a) }
+
+// DecodeArtifact parses artifact bytes. The decoder never panics:
+// truncated, corrupted, or non-artifact input yields a structured error
+// (artifact.ErrCorrupt / ErrNotArtifact / ErrVersion, matchable with
+// errors.Is). A decoded artifact is not yet trusted — the verification
+// happens when a session is built from it.
+func DecodeArtifact(b []byte) (*Artifact, error) { return artifact.Decode(b) }
+
+// NewParserFromArtifact builds a session from an artifact, skipping grammar
+// compilation, the analysis fixpoints, and cache warm-up. The load verifies
+// what it skips: the grammar is recompiled from the dense tables and must
+// reproduce the artifact's recorded fingerprint, a certificate (when
+// present) is re-verified against that fingerprint — a tampered artifact is
+// rejected, never loaded silently uncertified — and the DFA snapshot is
+// bounds-checked and re-interned into cache-owned memory. The session
+// starts with the artifact's warmed DFA and parses exactly like a
+// source-compiled session warmed on the same corpus.
+func NewParserFromArtifact(a *Artifact, opts Options) (*Parser, error) {
+	return parser.NewFromArtifact(a, opts)
+}
 
 // EliminateLeftRecursion rewrites g into an equivalent grammar without
 // left recursion (Paull's algorithm) so that ALL(*) can parse it — the

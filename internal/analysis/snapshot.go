@@ -1,0 +1,188 @@
+package analysis
+
+// Snapshot/import layer for ahead-of-time artifacts (internal/artifact).
+// The fixpoint results (NULLABLE, FIRST, FOLLOW) are the expensive,
+// grammar-global part of an Analysis; a Snapshot captures exactly those
+// dense tables so an artifact load can skip the fixpoint iteration. The
+// derived views (string maps, call sites, left-recursion witnesses) are
+// cheap and deterministic, so the import path recomputes them rather than
+// trusting serialized copies — fewer bytes to verify, and the imported
+// Analysis is reflect.DeepEqual-identical to a source-computed one by
+// construction of everything outside the snapshot.
+//
+// Targets get the same treatment with one extra subtlety: a ReturnTarget's
+// Rest slice must alias the compiled production array (prediction's config
+// dedup keys on the address of Rest's first element), so the snapshot
+// stores grammar positions (Prod, Dot) and the import rebuilds each Rest
+// as c.Rhs(Prod)[Dot+1:] — the exact same backing array a source-side
+// computation would alias.
+
+import (
+	"fmt"
+
+	"costar/internal/grammar"
+)
+
+// Snapshot is the dense-table state of an Analysis: the fixpoint outputs,
+// in NTID/TermID coordinates. Rows are flattened row-major (NTID × word).
+type Snapshot struct {
+	// Nullable is nullableID: NTID → derives ε.
+	Nullable []bool
+	// First and Follow are the bitset rows, flattened: row n occupies
+	// words [n*RowWords, (n+1)*RowWords). Columns are TermIDs; column
+	// NumTerms is the virtual EOF terminal.
+	First  []uint64
+	Follow []uint64
+	// RowWords is the per-row word count, (NumTerms+1+63)/64.
+	RowWords int
+}
+
+// Snapshot captures the fixpoint tables. The returned slices are copies.
+func (a *Analysis) Snapshot() Snapshot {
+	n := len(a.nullableID)
+	s := Snapshot{
+		Nullable: append([]bool(nil), a.nullableID...),
+		First:    make([]uint64, n*a.rowWords),
+		Follow:   make([]uint64, n*a.rowWords),
+		RowWords: a.rowWords,
+	}
+	for i := 0; i < n; i++ {
+		copy(s.First[i*a.rowWords:], a.firstRow[i])
+		copy(s.Follow[i*a.rowWords:], a.followRow[i])
+	}
+	return s
+}
+
+// FromSnapshot rebuilds an Analysis for g from a fixpoint snapshot,
+// skipping the fixpoint iteration. The snapshot's dimensions are checked
+// against the compiled grammar; mismatches (a snapshot taken from a
+// different grammar, or corrupted) are rejected. The derived views are
+// recomputed, so the result is deep-equal to New(g) whenever the snapshot
+// is genuine.
+func FromSnapshot(g *grammar.Grammar, s Snapshot) (*Analysis, error) {
+	c := g.Compiled()
+	n := c.NumNTs()
+	eofCol := c.NumTerms()
+	rowWords := (eofCol + 1 + 63) / 64
+	if s.RowWords != rowWords {
+		return nil, fmt.Errorf("analysis: snapshot row width %d, grammar needs %d", s.RowWords, rowWords)
+	}
+	if len(s.Nullable) != n {
+		return nil, fmt.Errorf("analysis: snapshot has %d nullable entries, grammar has %d nonterminals", len(s.Nullable), n)
+	}
+	if len(s.First) != n*rowWords || len(s.Follow) != n*rowWords {
+		return nil, fmt.Errorf("analysis: snapshot FIRST/FOLLOW sized %d/%d words, want %d", len(s.First), len(s.Follow), n*rowWords)
+	}
+	a := &Analysis{
+		G:         g,
+		c:         c,
+		callSites: make(map[string][]CallSite),
+		leftRec:   make(map[string]bool),
+		cycles:    make(map[string][]string),
+		eofCol:    eofCol,
+		rowWords:  rowWords,
+	}
+	a.nullableID = append([]bool(nil), s.Nullable...)
+	a.firstRow = newRows(n, rowWords)
+	a.followRow = newRows(n, rowWords)
+	for i := 0; i < n; i++ {
+		copy(a.firstRow[i], s.First[i*rowWords:(i+1)*rowWords])
+		copy(a.followRow[i], s.Follow[i*rowWords:(i+1)*rowWords])
+	}
+	a.materialize()
+	a.computeCallSites()
+	a.computeLeftRecursion()
+	return a, nil
+}
+
+// TargetsSnapshot is the serializable form of a Targets table: per
+// nonterminal, the grammar positions of its stable return targets, plus
+// the canFinish column and the start symbol the table was computed for.
+type TargetsSnapshot struct {
+	// Start is the parse start symbol the targets were computed against.
+	Start string
+	// Prods and Dots hold the flattened (Prod, Dot) position pairs;
+	// Offsets[n]..Offsets[n+1] index the pairs belonging to NTID n
+	// (len(Offsets) == NumNTs+1).
+	Prods   []int32
+	Dots    []int32
+	Offsets []int32
+	// CanFinish is the per-NTID "pop chain can end the parse" column.
+	CanFinish []bool
+}
+
+// Snapshot captures the targets table as grammar positions. start must be
+// the start symbol the table was computed for (the parser tracks this; the
+// Targets value itself does not retain it).
+func (t *Targets) Snapshot(start string) TargetsSnapshot {
+	s := TargetsSnapshot{
+		Start:     start,
+		Offsets:   make([]int32, 1, len(t.byNT)+1),
+		CanFinish: append([]bool(nil), t.canFinish...),
+	}
+	for _, targets := range t.byNT {
+		for _, rt := range targets {
+			s.Prods = append(s.Prods, int32(rt.Prod))
+			s.Dots = append(s.Dots, int32(rt.Dot))
+		}
+		s.Offsets = append(s.Offsets, int32(len(s.Prods)))
+	}
+	return s
+}
+
+// TargetsFromSnapshot rebuilds a Targets table over g's compiled grammar.
+// Every position is bounds-checked and each Rest is reconstructed as a
+// true suffix of the compiled production array, restoring the aliasing
+// invariant prediction depends on. Malformed snapshots yield an error.
+func TargetsFromSnapshot(g *grammar.Grammar, s TargetsSnapshot) (*Targets, error) {
+	c := g.Compiled()
+	n := c.NumNTs()
+	if len(s.Offsets) != n+1 {
+		return nil, fmt.Errorf("analysis: targets snapshot has %d offsets, grammar needs %d", len(s.Offsets), n+1)
+	}
+	if len(s.CanFinish) != n {
+		return nil, fmt.Errorf("analysis: targets snapshot has %d canFinish entries, grammar has %d nonterminals", len(s.CanFinish), n)
+	}
+	if len(s.Prods) != len(s.Dots) {
+		return nil, fmt.Errorf("analysis: targets snapshot has %d prods but %d dots", len(s.Prods), len(s.Dots))
+	}
+	if s.Offsets[0] != 0 || int(s.Offsets[n]) != len(s.Prods) {
+		return nil, fmt.Errorf("analysis: targets snapshot offsets do not span the position table")
+	}
+	nProds := len(c.Grammar().Prods)
+	t := &Targets{
+		c:         c,
+		byNT:      make([][]ReturnTarget, n),
+		canFinish: append([]bool(nil), s.CanFinish...),
+	}
+	for nt := 0; nt < n; nt++ {
+		lo, hi := s.Offsets[nt], s.Offsets[nt+1]
+		if lo > hi {
+			return nil, fmt.Errorf("analysis: targets snapshot offsets not monotone at nonterminal %d", nt)
+		}
+		if lo == hi {
+			continue
+		}
+		targets := make([]ReturnTarget, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			prod, dot := int(s.Prods[k]), int(s.Dots[k])
+			if prod < 0 || prod >= nProds {
+				return nil, fmt.Errorf("analysis: targets snapshot: production %d out of range", prod)
+			}
+			rhs := c.Rhs(prod)
+			// A return target's Rest is the remainder after an occurrence,
+			// and targets with empty remainders are never materialized.
+			if dot < 0 || dot+1 >= len(rhs) {
+				return nil, fmt.Errorf("analysis: targets snapshot: dot %d out of range for production %d", dot, prod)
+			}
+			targets = append(targets, ReturnTarget{
+				Lhs:  c.Lhs(prod),
+				Rest: rhs[dot+1:],
+				Prod: prod,
+				Dot:  dot,
+			})
+		}
+		t.byNT[nt] = targets
+	}
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+// The cold-start experiment behind `costar-bench -fig cold` and
+// BENCH_cold.json: how long until a process can serve its first warm parse?
+// The source path compiles the grammar, runs the analysis fixpoints, and
+// warms the SLL DFA by parsing a corpus; the artifact path decodes an
+// ahead-of-time artifact and realizes a session from it (which re-verifies
+// the grammar identity and re-interns the warmed DFA). Both end in
+// observably identical sessions — the differential artifact tests pin that
+// — so the ratio is pure start-up cost.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"costar/internal/artifact"
+	"costar/internal/grammar"
+	"costar/internal/parser"
+)
+
+// ColdRow is one language's cold-start comparison.
+type ColdRow struct {
+	Lang          string
+	CorpusFiles   int
+	CorpusTokens  int           // total warm-corpus tokens
+	States        int           // DFA states the artifact carries
+	ArtifactBytes int           // encoded size
+	CompileWarm   time.Duration // fresh grammar -> session -> corpus-warmed DFA
+	Load          time.Duration // decode bytes -> realized session
+	Speedup       float64       // CompileWarm / Load
+}
+
+// FigCold measures the cold-start comparison for every bundled language.
+func FigCold(cfg Config) ([]ColdRow, error) {
+	rows := make([]ColdRow, 0, 4)
+	for _, l := range Languages() {
+		row, err := coldStart(l, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// coldStart measures one language. Each compile+warm trial starts from a
+// fresh *grammar.Grammar (dense tables are the cheapest honest way to get
+// one — reusing the bundled singleton would hit its memoized compilation
+// and undercount the source path).
+func coldStart(l Lang, cfg Config) (ColdRow, error) {
+	files, err := Corpus(l, cfg)
+	if err != nil {
+		return ColdRow{}, err
+	}
+	tokens := 0
+	for _, f := range files {
+		tokens += len(f.Tokens)
+	}
+	tables := l.Grammar.Compiled().Tables()
+
+	compileWarm := func() *parser.Parser {
+		g, err := grammar.FromTables(tables)
+		if err != nil {
+			panic(err)
+		}
+		p := parser.MustNew(g, parser.Options{})
+		for _, f := range files {
+			mustUnique(p.Parse(f.Tokens).Kind, l.Name, f.Seed, "cold-start warm")
+		}
+		return p
+	}
+
+	// Build the artifact once, from a session warmed exactly like the
+	// compile-side trials, so both paths end in the same DFA.
+	a, err := compileWarm().ExportArtifact(l.Name, "")
+	if err != nil {
+		return ColdRow{}, err
+	}
+	data := artifact.Encode(a)
+
+	tCompile, _ := timeIt(cfg.Trials, func() { compileWarm() })
+	tLoad, _ := timeIt(cfg.Trials, func() {
+		aa, err := artifact.Decode(data)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := parser.NewFromArtifact(aa, parser.Options{}); err != nil {
+			panic(err)
+		}
+	})
+
+	return ColdRow{
+		Lang:          l.Name,
+		CorpusFiles:   len(files),
+		CorpusTokens:  tokens,
+		States:        len(a.Cache.States),
+		ArtifactBytes: len(data),
+		CompileWarm:   tCompile,
+		Load:          tLoad,
+		Speedup:       float64(tCompile) / float64(max64(tLoad, 1)),
+	}, nil
+}
+
+// PrintFigCold renders the cold-start table.
+func PrintFigCold(w io.Writer, rows []ColdRow) {
+	fmt.Fprintln(w, "Cold start: compile+warm vs artifact load (same corpus, identical resulting sessions)")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %12s %14s %12s %9s\n",
+		"lang", "files", "tokens", "states", "artifact", "compile+warm", "load", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %8d %8d %8d %11dB %14s %12s %8.1fx\n",
+			r.Lang, r.CorpusFiles, r.CorpusTokens, r.States, r.ArtifactBytes,
+			r.CompileWarm.Round(time.Microsecond), r.Load.Round(time.Microsecond), r.Speedup)
+	}
+}
+
+func max64(d time.Duration, floor time.Duration) time.Duration {
+	if d > floor {
+		return d
+	}
+	return floor
+}

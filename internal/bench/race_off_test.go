@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// The cold-start ratio gate is skipped under -race: shadow-memory
+// bookkeeping slows the allocation-heavy load path far more than the
+// compute-heavy compile path, so the ratio measured raced says nothing
+// about production cold start.
+const raceEnabled = false

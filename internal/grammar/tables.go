@@ -1,0 +1,170 @@
+package grammar
+
+// This file is the table-snapshot layer of the compile pipeline: a Tables
+// value is the dense, self-contained form of a compiled grammar — name
+// tables plus ID-coordinate productions — from which the whole Grammar /
+// Compiled pair can be rebuilt without the source text or front-end AST
+// that originally produced it. It exists for ahead-of-time grammar
+// artifacts (internal/artifact): `costar compile` snapshots a grammar to
+// tables once, and every later process start reconstructs the session
+// structures from the tables alone.
+//
+// The contract is exact reconstruction: FromTables(c.Tables()) yields a
+// grammar whose Compiled tables — and therefore its Fingerprint — are
+// deep-equal to the original's. That holds because compile() is a pure,
+// deterministic function of (start, productions), and Tables carries
+// precisely that information in already-interned coordinates.
+
+import "fmt"
+
+// Tables is the dense snapshot of a compiled grammar. All symbol
+// references are in the grammar's own ID coordinates: production left-hand
+// sides are NTIDs, right-hand sides are SymIDs (terminals ≥ 0 indexing
+// TermNames, nonterminals < 0 complement-indexing NTNames).
+type Tables struct {
+	// TermNames is the terminal table, TermID → name, sorted.
+	TermNames []string
+	// NTNames is the nonterminal table, NTID → name. The first NumDefined
+	// entries are defined (have productions); the rest were interned for
+	// referenced-but-undefined names and the start symbol.
+	NTNames []string
+	// NumDefined counts the defined prefix of NTNames.
+	NumDefined int
+	// Start is the compiled start symbol.
+	Start NTID
+	// ProdLhs and ProdRhs are the production tables, by production index.
+	ProdLhs []NTID
+	ProdRhs [][]SymID
+	// ProdLines is the optional 1-based source line per production (nil or
+	// all-zero when unknown); carried so artifact-loaded grammars keep
+	// positioned diagnostics.
+	ProdLines []int
+}
+
+// Tables snapshots the compiled grammar's dense tables. The returned value
+// shares no mutable state with the receiver: slices are copied, so callers
+// may serialize or mutate it freely.
+func (c *Compiled) Tables() Tables {
+	t := Tables{
+		TermNames:  append([]string(nil), c.termNames...),
+		NTNames:    append([]string(nil), c.ntNames...),
+		NumDefined: c.numDefined,
+		Start:      c.start,
+		ProdLhs:    append([]NTID(nil), c.prodLhs...),
+		ProdRhs:    make([][]SymID, len(c.prodRhs)),
+	}
+	for i, rhs := range c.prodRhs {
+		t.ProdRhs[i] = append([]SymID(nil), rhs...)
+	}
+	if len(c.g.prodLines) == len(c.prodLhs) {
+		t.ProdLines = append([]int(nil), c.g.prodLines...)
+	}
+	return t
+}
+
+// FromTables rebuilds a Grammar (and its Compiled form) from a table
+// snapshot. Every ID is bounds-checked — FromTables is the trust boundary
+// for deserialized tables, so malformed input yields an error, never a
+// panic or an inconsistent grammar. On success the reconstructed grammar's
+// compiled tables (and fingerprint) are deep-equal to those the snapshot
+// was taken from.
+func FromTables(t Tables) (*Grammar, error) {
+	if t.NumDefined < 0 || t.NumDefined > len(t.NTNames) {
+		return nil, fmt.Errorf("grammar: tables: NumDefined %d out of range [0, %d]", t.NumDefined, len(t.NTNames))
+	}
+	if t.Start < 0 || int(t.Start) >= len(t.NTNames) {
+		return nil, fmt.Errorf("grammar: tables: start NTID %d out of range", t.Start)
+	}
+	if len(t.ProdLhs) != len(t.ProdRhs) {
+		return nil, fmt.Errorf("grammar: tables: %d production LHSs but %d RHSs", len(t.ProdLhs), len(t.ProdRhs))
+	}
+	seen := make(map[string]bool, len(t.NTNames))
+	for _, n := range t.NTNames {
+		if n == "" {
+			return nil, fmt.Errorf("grammar: tables: empty nonterminal name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("grammar: tables: duplicate nonterminal name %q", n)
+		}
+		seen[n] = true
+	}
+	seen = make(map[string]bool, len(t.TermNames))
+	for _, n := range t.TermNames {
+		if seen[n] {
+			return nil, fmt.Errorf("grammar: tables: duplicate terminal name %q", n)
+		}
+		seen[n] = true
+	}
+	prods := make([]Production, len(t.ProdLhs))
+	for i, lhs := range t.ProdLhs {
+		if lhs < 0 || int(lhs) >= t.NumDefined {
+			return nil, fmt.Errorf("grammar: tables: production %d LHS NTID %d is not a defined nonterminal", i, lhs)
+		}
+		rhs := make([]Symbol, len(t.ProdRhs[i]))
+		for j, s := range t.ProdRhs[i] {
+			if s.IsT() {
+				id := s.Term()
+				if int(id) >= len(t.TermNames) {
+					return nil, fmt.Errorf("grammar: tables: production %d symbol %d: TermID %d out of range", i, j, id)
+				}
+				rhs[j] = T(t.TermNames[id])
+			} else {
+				id := s.NT()
+				if int(id) >= len(t.NTNames) {
+					return nil, fmt.Errorf("grammar: tables: production %d symbol %d: NTID %d out of range", i, j, id)
+				}
+				rhs[j] = NT(t.NTNames[id])
+			}
+		}
+		prods[i] = Production{Lhs: t.NTNames[lhs], Rhs: rhs}
+	}
+	g := New(t.NTNames[t.Start], prods)
+	if len(t.ProdLines) == len(prods) {
+		g.SetProdLines(append([]int(nil), t.ProdLines...))
+	}
+	// compile() re-interns from scratch; verify it reproduced the snapshot's
+	// coordinate system exactly. A mismatch means the tables were not
+	// produced by Tables() (hand-edited or corrupted in a way that changed
+	// interning order), and silently renumbered IDs would desynchronize
+	// every other artifact section, so reject.
+	c := g.Compiled()
+	if err := c.tablesMatch(t); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// tablesMatch checks that the freshly compiled tables agree with snapshot t
+// in every coordinate.
+func (c *Compiled) tablesMatch(t Tables) error {
+	if len(c.termNames) != len(t.TermNames) || len(c.ntNames) != len(t.NTNames) ||
+		c.numDefined != t.NumDefined || c.start != t.Start {
+		return fmt.Errorf("grammar: tables: reconstruction produced a different interning (%d/%d terms, %d/%d nts)",
+			len(c.termNames), len(t.TermNames), len(c.ntNames), len(t.NTNames))
+	}
+	for i, n := range t.TermNames {
+		if c.termNames[i] != n {
+			return fmt.Errorf("grammar: tables: terminal %d reinterned as %q, snapshot says %q", i, c.termNames[i], n)
+		}
+	}
+	for i, n := range t.NTNames {
+		if c.ntNames[i] != n {
+			return fmt.Errorf("grammar: tables: nonterminal %d reinterned as %q, snapshot says %q", i, c.ntNames[i], n)
+		}
+	}
+	for i, lhs := range t.ProdLhs {
+		if c.prodLhs[i] != lhs {
+			return fmt.Errorf("grammar: tables: production %d LHS reinterned as %d, snapshot says %d", i, c.prodLhs[i], lhs)
+		}
+		if len(c.prodRhs[i]) != len(t.ProdRhs[i]) {
+			return fmt.Errorf("grammar: tables: production %d RHS length mismatch", i)
+		}
+		for j, s := range t.ProdRhs[i] {
+			if c.prodRhs[i][j] != s {
+				return fmt.Errorf("grammar: tables: production %d symbol %d reinterned as %d, snapshot says %d",
+					i, j, c.prodRhs[i][j], s)
+			}
+		}
+	}
+	return nil
+}

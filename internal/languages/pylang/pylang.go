@@ -226,23 +226,30 @@ func Layout(lexs []lexer.Lexeme) ([]grammar.Token, error) {
 // are sticky.
 func StreamLayout(next func() (lexer.Lexeme, bool, error)) func() (grammar.Token, bool, error) {
 	st := newLayoutState()
-	var queue []grammar.Token
-	done := false
-	var sticky error
+	var (
+		queue  []grammar.Token
+		head   int // queue[head:] is pending; queue[:head] already handed out
+		done   bool
+		sticky error
+	)
 	return func() (grammar.Token, bool, error) {
 		for {
 			if sticky != nil {
 				return grammar.Token{}, false, sticky
 			}
-			if len(queue) > 0 {
-				t := queue[0]
-				queue = queue[1:]
+			if head < len(queue) {
+				t := queue[head]
+				head++
 				return t, true, nil
 			}
+			// Drained: rewind onto the full backing array. Popping by
+			// reslicing (queue = queue[1:]) would strand the consumed
+			// prefix and force a reallocation on nearly every refill —
+			// about one extra allocation per token over a long stream.
+			queue, head = queue[:0], 0
 			if done {
 				return grammar.Token{}, false, nil
 			}
-			queue = queue[:0]
 			lx, ok, err := next()
 			if err != nil {
 				sticky = err

@@ -82,6 +82,38 @@ func (s NTSet) RemoveIn(sl *arena.Slab[uint64], n grammar.NTID) NTSet {
 	return NTSet{lo: s.lo, hi: hi}
 }
 
+// NTSetFromMembers builds a set from strictly-ascending member IDs with at
+// most one allocation (sized from the last, largest member). It is the bulk
+// constructor for the artifact import path, where building by repeated Add
+// would copy the overflow words once per member. Returns ok=false when ids
+// are not strictly ascending or contain a negative.
+func NTSetFromMembers(ids []grammar.NTID) (NTSet, bool) {
+	if len(ids) == 0 {
+		return NTSet{}, true
+	}
+	last := ids[len(ids)-1]
+	if ids[0] < 0 {
+		return NTSet{}, false
+	}
+	var s NTSet
+	if last >= 64 {
+		s.hi = make([]uint64, int(last-64)>>6+1)
+	}
+	prev := grammar.NTID(-1)
+	for _, n := range ids {
+		if n <= prev {
+			return NTSet{}, false
+		}
+		prev = n
+		if n < 64 {
+			s.lo |= 1 << uint(n)
+		} else {
+			s.hi[int(n-64)>>6] |= 1 << uint((n-64)&63)
+		}
+	}
+	return s, true
+}
+
 // Clone returns a copy whose overflow words are freshly heap-allocated, so
 // the result stays valid after any slab the receiver was carved from is
 // recycled. The SLL cache clones visited sets when interning DFA states

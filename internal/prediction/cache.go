@@ -55,6 +55,14 @@ func (st *dfaState) setEdge(t grammar.TermID, next *dfaState) *dfaState {
 	return next
 }
 
+// installEdges publishes a complete edge map on a state not yet visible to
+// any reader — the snapshot-import bulk path, where building edges one
+// setEdge at a time would copy the map once per edge. Once a state is
+// shared, edges grow only through setEdge's copy-on-write protocol.
+func (st *dfaState) installEdges(m map[grammar.TermID]*dfaState) {
+	st.edges.Store(&m)
+}
+
 // cacheGen is one generation of cached DFA states; Reset swaps the whole
 // generation so in-flight readers keep a consistent snapshot.
 type cacheGen struct {
@@ -69,6 +77,13 @@ func newGen() *cacheGen {
 	m := make(map[grammar.NTID]*dfaState)
 	g.starts.Store(&m)
 	return g
+}
+
+// installStarts publishes a complete start map on a generation not yet
+// visible to any reader (snapshot import); shared generations grow starts
+// only through Cache.start's copy-on-write path.
+func (g *cacheGen) installStarts(m map[grammar.NTID]*dfaState) {
+	g.starts.Store(&m)
 }
 
 // Cache is the persistent SLL DFA: start states per decision nonterminal
@@ -138,43 +153,37 @@ func (c *Cache) start(nt grammar.NTID, build func() *dfaState) *dfaState {
 // makes publication to the shared cache race-free: no published state ever
 // references another predictor's recycled scratch.
 func (c *Cache) intern(e *engine, res closureResult) *dfaState {
-	keys := sortConfigs(res.stable)
-	size := 1
-	for _, k := range keys {
-		size += 4 + len(k)
-	}
-	b := make([]byte, 0, size)
-	if res.anomaly != anomalyNone {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
-	}
-	for _, k := range keys {
-		b = appendInt32(b, int32(len(k)))
-		b = append(b, k...)
-	}
-	key := string(b)
+	key := canonicalKey(res.anomaly != anomalyNone, res.stable)
 	g := c.gen.Load()
 	if st, ok := g.states.Load(key); ok {
 		return st.(*dfaState)
 	}
 	alts, halted := e.altSummary(res.stable)
-	st := &dfaState{
-		key:        key,
-		configs:    copyConfigs(res.stable),
-		haltedAlts: append([]int(nil), halted...),
-		uniqueAlt:  -1,
-		anomalous:  res.anomaly != anomalyNone,
-	}
-	empty := make(map[grammar.TermID]*dfaState)
-	st.edges.Store(&empty)
-	if len(alts) == 1 && !st.anomalous {
-		st.uniqueAlt = alts[0]
-	}
+	st := newDFAState(key, copyConfigs(res.stable), alts, append([]int(nil), halted...), res.anomaly != anomalyNone)
 	if prev, loaded := g.states.LoadOrStore(key, st); loaded {
 		return prev.(*dfaState)
 	}
 	g.nStates.Add(1)
+	return st
+}
+
+// newDFAState assembles a state from cache-owned configs and its alt
+// summary (alts drive uniqueAlt; haltedAlts is retained). cfgs and
+// haltedAlts must already be owned by the cache — callers deep-copy scratch
+// before passing it here.
+func newDFAState(key string, cfgs []config, alts, haltedAlts []int, anomalous bool) *dfaState {
+	st := &dfaState{
+		key:        key,
+		configs:    cfgs,
+		haltedAlts: haltedAlts,
+		uniqueAlt:  -1,
+		anomalous:  anomalous,
+	}
+	empty := make(map[grammar.TermID]*dfaState)
+	st.edges.Store(&empty)
+	if len(alts) == 1 && !anomalous {
+		st.uniqueAlt = alts[0]
+	}
 	return st
 }
 

@@ -23,6 +23,7 @@
 package prediction
 
 import (
+	"bytes"
 	"sort"
 
 	"costar/internal/arena"
@@ -368,15 +369,45 @@ func (c config) fingerprint(withVisited bool) string {
 	return string(c.appendFingerprint(nil, withVisited))
 }
 
-// sortConfigs orders configs canonically (by alt, then content
-// fingerprint) and returns the fingerprints, computed once per config —
-// they dominate DFA-state interning cost, so they must not be recomputed
-// inside the comparator.
-func sortConfigs(cfgs []config) []string {
-	keys := make([]string, len(cfgs))
-	idx := make([]int, len(cfgs))
+// canonicalKey orders cfgs canonically in place (by alt, then content
+// fingerprint) and returns the packed state key: one anomaly byte followed
+// by the length-prefixed config fingerprints in sorted order. Fingerprints
+// are built once each into a single shared buffer and compared as byte
+// slices — they dominate DFA-state interning cost, so neither a
+// per-config string nor a comparator-time recomputation is affordable.
+func canonicalKey(anomalous bool, cfgs []config) string {
+	// Build the key layout in one pass: fingerprints are emitted directly
+	// behind their length prefixes into an exactly presized buffer (per
+	// config: 4-byte prefix + 4-byte alt + 1 terminator; per frame: 9-byte
+	// header + 4 bytes per remaining symbol). Append-doubling and a
+	// rebuild-after-sort copy over a multi-megabyte buffer otherwise
+	// dominate snapshot import, where configs arrive already canonical.
+	size := 1
 	for i := range cfgs {
-		keys[i] = cfgs[i].fingerprint(false)
+		size += 9
+		for s := cfgs[i].stack; s != nil; s = s.Below {
+			size += 9 + 4*len(s.F.Rest)
+		}
+	}
+	buf := make([]byte, 0, size)
+	if anomalous {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	offs := make([]int, len(cfgs)+1) // offs[i]: start of config i's length prefix
+	offs[0] = 1
+	for i := range cfgs {
+		buf = appendInt32(buf, 0) // placeholder, patched below
+		start := len(buf)
+		buf = cfgs[i].appendFingerprint(buf, false)
+		n := int32(len(buf) - start)
+		buf[start-4], buf[start-3], buf[start-2], buf[start-1] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		offs[i+1] = len(buf)
+	}
+	fp := func(i int) []byte { return buf[offs[i]+4 : offs[i+1]] }
+	idx := make([]int, len(cfgs))
+	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
@@ -384,16 +415,29 @@ func sortConfigs(cfgs []config) []string {
 		if cfgs[i].alt != cfgs[j].alt {
 			return cfgs[i].alt < cfgs[j].alt
 		}
-		return keys[i] < keys[j]
+		return bytes.Compare(fp(i), fp(j)) < 0
 	})
+	inOrder := true
+	for i, j := range idx {
+		if i != j {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return string(buf)
+	}
 	sorted := make([]config, len(cfgs))
-	sortedKeys := make([]string, len(cfgs))
 	for a, i := range idx {
 		sorted[a] = cfgs[i]
-		sortedKeys[a] = keys[i]
 	}
 	copy(cfgs, sorted)
-	return sortedKeys
+	key := make([]byte, 1, len(buf))
+	key[0] = buf[0]
+	for _, i := range idx {
+		key = append(key, buf[offs[i]:offs[i+1]]...)
+	}
+	return string(key)
 }
 
 // altSummary returns the distinct alts over stable configs (halted and

@@ -31,7 +31,10 @@ var protected = map[string]struct {
 	"analysis": {
 		fields: set("nullableID", "firstRow", "followRow", "rowWords", "eofCol",
 			"nullable", "first", "follow", "callSites", "leftRec", "cycles"),
-		allow: set("analysis.go"),
+		// snapshot.go holds FromSnapshot, the artifact-load constructor: it
+		// populates a fresh Analysis from serialized fixpoint tables before
+		// any sharing, the same lifecycle phase as New in analysis.go.
+		allow: set("analysis.go", "snapshot.go"),
 	},
 }
 
