@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate alloc-guard fuzz-smoke vet lint vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate bench-recover recover-gate alloc-guard fuzz-smoke vet lint vet-grammars
 
 all: build test race
 
@@ -58,6 +58,18 @@ bench-cold:
 cold-gate:
 	$(GO) test ./internal/bench -run TestColdStartGate -count=1 -v
 
+# The recovery figure behind BENCH_recover.json: recover-off vs recover-on
+# ns/token on clean corpora plus repair throughput on mutated ones (see
+# DESIGN.md §5h).
+bench-recover:
+	$(GO) run ./cmd/costar-bench -fig recover
+	$(GO) test ./internal/bench -run TestRecoverOverheadGate -count=1 -v
+
+# The recovery CI gate alone: recover-on must stay within 2% of recover-off
+# ns/token on clean inputs (paired best-of-trials; self-skips under -race).
+recover-gate:
+	$(GO) test ./internal/bench -run TestRecoverOverheadGate -count=1 -v
+
 # Allocation-regression guards: warm parses must stay under their fixed
 # allocs/token ceilings (plain build), and the pooled-reuse lifetime tests
 # must stay clean under the race detector (where the ceilings self-skip).
@@ -74,20 +86,24 @@ alloc-guard:
 # the report's Certifiable verdict), and the fault-injection pipeline
 # (fuzzer-chosen fault schedules always yield a well-formed result), and the
 # artifact decoder (arbitrary bytes never panic; valid decodes re-encode
-# canonically and never realize silently uncertified).
+# canonically and never realize silently uncertified), and the recovery
+# driver (fuzzer-mutated inputs: recover-off stays bit-identical, recovered
+# results partition the input and respect the repair budget).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzStreamEquivalence -fuzztime=20s -run=FuzzStreamEquivalence .
 	$(GO) test -fuzz=FuzzGrammarLint -fuzztime=20s -run=FuzzGrammarLint .
 	$(GO) test -fuzz=FuzzFaultInjection -fuzztime=20s -run=FuzzFaultInjection .
 	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=20s -run=FuzzArtifactDecode ./internal/artifact
+	$(GO) test -fuzz=FuzzRecover -fuzztime=20s -run=FuzzRecover .
 
 vet:
 	$(GO) vet ./...
 
 # Repo-specific static analyzers (tools/analyzers) bundled in cmd/costar-lint,
 # run through the standard `go vet -vettool` protocol: immutablecompiled
-# (no writes to compiled grammar/analysis tables outside their constructors)
-# and cowedges (the shared SLL DFA cache is copy-on-write only).
+# (no writes to compiled grammar/analysis tables outside their constructors),
+# cowedges (the shared SLL DFA cache is copy-on-write only), and diagliterals
+# (no pre-diag error literals outside their home packages).
 lint:
 	$(GO) build -o bin/costar-lint ./cmd/costar-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/costar-lint ./...

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, mem, cold, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, mem, cold, recover, all")
 		full       = flag.Bool("full", false, "paper-scale corpora (slower)")
 		files      = flag.Int("files", 0, "files per language (overrides preset)")
 		minTok     = flag.Int("min", 0, "smallest file target in tokens")
@@ -165,8 +165,17 @@ func run(fig string, cfg bench.Config, maxWorkers int) error {
 		bench.PrintFigCold(out, rows)
 		fmt.Fprintln(out)
 	}
+	if want("recover") {
+		ran = true
+		rows, err := bench.FigRecover(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigRecover(out, rows)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, mem, cold, all)", fig)
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, mem, cold, recover, all)", fig)
 	}
 	return nil
 }

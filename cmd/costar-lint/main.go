@@ -5,16 +5,19 @@
 //	go vet -vettool=$(which costar-lint) ./...  # as a vet backend (CI)
 //
 // Analyzers: immutablecompiled (no writes to compiled grammar / analysis
-// tables outside their constructors) and cowedges (no direct mutation of
-// shared DFA edge maps outside the copy-on-write path).
+// tables outside their constructors), cowedges (no direct mutation of
+// shared DFA edge maps outside the copy-on-write path), and diagliterals
+// (no composite literals of pre-diag error types outside their home
+// packages — consumers build diag.Diagnostic values instead).
 package main
 
 import (
 	"costar/tools/analyzers/analyzerkit"
 	"costar/tools/analyzers/cowedges"
+	"costar/tools/analyzers/diagliterals"
 	"costar/tools/analyzers/immutablecompiled"
 )
 
 func main() {
-	analyzerkit.Main(immutablecompiled.Analyzer, cowedges.Analyzer)
+	analyzerkit.Main(immutablecompiled.Analyzer, cowedges.Analyzer, diagliterals.Analyzer)
 }

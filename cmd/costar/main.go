@@ -25,11 +25,23 @@
 //	-timeout D  abandon the whole batch after duration D (e.g. 500ms, 2s);
 //	            timed-out parses report a structured deadline error
 //	-max-steps N abort any single parse after N machine transitions
+//	-recover    keep parsing past syntax errors: rejected inputs come back
+//	            as partial trees with one positioned diagnostic per repair
+//	-format F   output format: text (default) or json (one object per input)
+//
+// Exit codes distinguish failure shapes, stable with or without -recover:
+//
+//	0  every input parsed cleanly (Unique or Ambig)
+//	1  some input was rejected, or recovered with syntax errors (-recover)
+//	2  some parse failed with an engine error (lexing, limits, I/O mid-parse)
+//	3  usage or setup error (bad flags, unreadable grammar, bad artifact)
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,17 +85,47 @@ func main() {
 		dot      = flag.Bool("dot", false, "print the parse tree as a Graphviz DOT document")
 		timeout  = flag.Duration("timeout", 0, "abandon the batch after this duration (0 = no deadline)")
 		maxSteps = flag.Int("max-steps", 0, "abort any single parse after this many machine steps (0 = unlimited)")
+		recov    = flag.Bool("recover", false, "recover from syntax errors: partial tree + positioned diagnostics")
+		format   = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
 	opts := cliOptions{
 		workers: *workers, showTree: *showTree, pretty: *pretty,
 		stats: *stats, check: *check, dot: *dot,
 		timeout: *timeout, maxSteps: *maxSteps,
+		recover: *recov, format: *format,
 	}
 	if err := run(*langName, *g4Path, *bnfPath, *artPath, *tokens, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "costar:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
 	}
+}
+
+// Exit codes (see the package comment).
+const (
+	exitOK     = 0 // clean Accept on every input
+	exitReject = 1 // rejected, or recovered with syntax errors
+	exitError  = 2 // engine error: lexing failure, limits, I/O mid-parse
+	exitUsage  = 3 // bad flags, unreadable grammar, bad artifact
+)
+
+// exitError carries the process exit code alongside the message; run wraps
+// parse failures in one so main can distinguish Reject from engine errors
+// from usage mistakes. Anything unwrapped is a setup problem: exitUsage.
+type exitCodeError struct {
+	code int
+	err  error
+}
+
+func (e *exitCodeError) Error() string { return e.err.Error() }
+func (e *exitCodeError) Unwrap() error { return e.err }
+
+func exitCodeFor(err error) int {
+	var ec *exitCodeError
+	if errors.As(err, &ec) {
+		return ec.code
+	}
+	return exitUsage
 }
 
 // cliOptions carries the output/behaviour flags.
@@ -92,11 +134,17 @@ type cliOptions struct {
 	showTree, pretty, stats, check, dot bool
 	timeout                             time.Duration
 	maxSteps                            int
+	recover                             bool
+	format                              string
 }
 
 func run(langName, g4Path, bnfPath, artPath, tokens string, opts cliOptions, args []string) error {
+	if opts.format != "" && opts.format != "text" && opts.format != "json" {
+		return fmt.Errorf("unknown -format %q (want text or json)", opts.format)
+	}
 	popts := costar.Options{
 		CheckInvariants: opts.check,
+		Recover:         opts.recover,
 		Limits:          costar.Limits{MaxSteps: opts.maxSteps},
 	}
 	var (
@@ -136,31 +184,56 @@ func run(langName, g4Path, bnfPath, artPath, tokens string, opts cliOptions, arg
 		return inputs[i].open()
 	}, opts.workers)
 	var firstErr error
+	worst := exitOK
+	// note records a failing input: the first failure becomes the returned
+	// error (main prints it and exits with the worst code seen), the rest go
+	// straight to stderr so no result is silently dropped.
+	note := func(code int, err error) {
+		if code > worst {
+			worst = code
+		}
+		if firstErr == nil {
+			firstErr = err
+		} else {
+			fmt.Fprintln(os.Stderr, "costar:", err)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for i, res := range results {
 		prefix := ""
 		if len(inputs) > 1 {
 			prefix = inputs[i].name + ": "
+		}
+		if opts.format == "json" {
+			if err := enc.Encode(jsonOutput(inputs[i].name, res, opts)); err != nil {
+				return err
+			}
+			switch res.Kind {
+			case costar.Reject:
+				note(exitReject, fmt.Errorf("%sinput rejected: %s", prefix, res.Reason))
+			case costar.Recovered:
+				note(exitReject, fmt.Errorf("%srecovered with %d syntax error(s)", prefix, len(res.Diags)))
+			case costar.Error:
+				note(exitError, fmt.Errorf("%sparse error: %v", prefix, res.Err))
+			}
+			continue
 		}
 		switch res.Kind {
 		case costar.Unique:
 			fmt.Printf("%sUnique parse: %d tokens, %d machine steps\n", prefix, res.Consumed, res.Steps)
 		case costar.Ambig:
 			fmt.Printf("%sAMBIGUOUS input: returning one of several parse trees (%d tokens)\n", prefix, res.Consumed)
-		case costar.Reject:
-			err := fmt.Errorf("%sinput rejected: %s", prefix, res.Reason)
-			if firstErr == nil {
-				firstErr = err
-			} else {
-				fmt.Fprintln(os.Stderr, "costar:", err)
+		case costar.Recovered:
+			fmt.Printf("%sRecovered parse: %d tokens, %d syntax error(s)\n", prefix, res.Consumed, len(res.Diags))
+			for _, d := range res.Diags {
+				fmt.Fprintf(os.Stderr, "costar: %s%s\n", prefix, d)
 			}
+			note(exitReject, fmt.Errorf("%srecovered with %d syntax error(s)", prefix, len(res.Diags)))
+		case costar.Reject:
+			note(exitReject, fmt.Errorf("%sinput rejected: %s", prefix, res.Reason))
 			continue
 		default:
-			err := fmt.Errorf("%sparse error: %v", prefix, res.Err)
-			if firstErr == nil {
-				firstErr = err
-			} else {
-				fmt.Fprintln(os.Stderr, "costar:", err)
-			}
+			note(exitError, fmt.Errorf("%sparse error: %v", prefix, res.Err))
 			continue
 		}
 		if opts.showTree {
@@ -179,7 +252,43 @@ func run(langName, g4Path, bnfPath, artPath, tokens string, opts cliOptions, arg
 			fmt.Printf("%susage: %s\n", prefix, res.Usage)
 		}
 	}
-	return firstErr
+	if firstErr != nil {
+		return &exitCodeError{code: worst, err: firstErr}
+	}
+	return nil
+}
+
+// resultJSON is the -format json output: one object per input, diagnostics
+// in the unified positioned form (sorted), the tree as an s-expression when
+// a tree flag is on. Error nodes render with a '!' marker, so recovered
+// spans are visible in the JSON too.
+type resultJSON struct {
+	Name        string              `json:"name"`
+	Kind        string              `json:"kind"`
+	Tokens      int                 `json:"tokens"`
+	Steps       int                 `json:"steps"`
+	Reason      string              `json:"reason,omitempty"`
+	Error       string              `json:"error,omitempty"`
+	Diagnostics []costar.Diagnostic `json:"diagnostics,omitempty"`
+	Tree        string              `json:"tree,omitempty"`
+}
+
+func jsonOutput(name string, res costar.Result, opts cliOptions) resultJSON {
+	out := resultJSON{
+		Name:        name,
+		Kind:        res.Kind.String(),
+		Tokens:      res.Consumed,
+		Steps:       res.Steps,
+		Reason:      res.Reason,
+		Diagnostics: res.Diags,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	if res.Tree != nil && (opts.showTree || opts.pretty || opts.dot) {
+		out.Tree = res.Tree.String()
+	}
+	return out
 }
 
 // input is one parse input: a display name plus a deferred open — the file

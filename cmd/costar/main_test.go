@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -178,5 +180,80 @@ func TestRunLeftRecursionWarning(t *testing.T) {
 	err := run("", "", bf, "", "n", cliOptions{workers: 1}, nil)
 	if err == nil || !strings.Contains(err.Error(), "parse error") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestExitCodes pins the exit-code contract: 0 clean accept, 1 reject or
+// recovered, 2 engine error, 3 usage — stable with and without -recover.
+func TestExitCodes(t *testing.T) {
+	good := write(t, "good.json", `{"k": 1}`)
+	bad := write(t, "bad.json", `{"k": }`)
+	lexbad := write(t, "lexbad.json", "{\"k\": \x01}")
+
+	if err := run("json", "", "", "", "", cliOptions{workers: 1}, []string{good}); err != nil {
+		t.Fatalf("clean accept: %v", err)
+	}
+	if err := run("json", "", "", "", "", cliOptions{workers: 1}, []string{bad}); exitCodeFor(err) != exitReject {
+		t.Errorf("reject exit = %d (%v), want %d", exitCodeFor(err), err, exitReject)
+	}
+	err := run("json", "", "", "", "", cliOptions{workers: 1, recover: true}, []string{bad})
+	if exitCodeFor(err) != exitReject || !strings.Contains(err.Error(), "recovered") {
+		t.Errorf("recovered exit = %d (%v), want %d and a recovered message", exitCodeFor(err), err, exitReject)
+	}
+	// -recover does not change the clean-accept exit.
+	if err := run("json", "", "", "", "", cliOptions{workers: 1, recover: true}, []string{good}); err != nil {
+		t.Errorf("clean accept with -recover: %v", err)
+	}
+	if err := run("json", "", "", "", "", cliOptions{workers: 1}, []string{lexbad}); exitCodeFor(err) != exitError {
+		t.Errorf("lex failure exit = %d (%v), want %d", exitCodeFor(err), err, exitError)
+	}
+	// A recovering run cannot repair a lexing failure: still an engine error.
+	if err := run("json", "", "", "", "", cliOptions{workers: 1, recover: true}, []string{lexbad}); exitCodeFor(err) != exitError {
+		t.Errorf("lex failure with -recover exit = %d (%v), want %d", exitCodeFor(err), err, exitError)
+	}
+	if err := run("klingon", "", "", "", "", cliOptions{workers: 1}, nil); exitCodeFor(err) != exitUsage {
+		t.Errorf("unknown language exit = %d (%v), want %d", exitCodeFor(err), err, exitUsage)
+	}
+	if err := run("json", "", "", "", "", cliOptions{workers: 1, format: "yaml"}, []string{good}); exitCodeFor(err) != exitUsage {
+		t.Errorf("bad format exit = %d (%v), want %d", exitCodeFor(err), err, exitUsage)
+	}
+	// Mixed batch: an engine error outranks a reject.
+	err = run("json", "", "", "", "", cliOptions{workers: 1}, []string{bad, lexbad})
+	if exitCodeFor(err) != exitError {
+		t.Errorf("mixed batch exit = %d (%v), want %d", exitCodeFor(err), err, exitError)
+	}
+}
+
+// TestFormatJSON checks the machine-readable output: one JSON object per
+// input with kind, diagnostics (positioned, with codes), and the tree when
+// a tree flag is set.
+func TestFormatJSON(t *testing.T) {
+	bad := write(t, "bad.json", `{"k": }`)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("json", "", "", "", "", cliOptions{workers: 1, recover: true, format: "json", showTree: true}, []string{bad})
+	w.Close()
+	os.Stdout = old
+	outBytes, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exitCodeFor(runErr) != exitReject {
+		t.Fatalf("exit = %d (%v)", exitCodeFor(runErr), runErr)
+	}
+	var out resultJSON
+	if err := json.Unmarshal(outBytes, &out); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, outBytes)
+	}
+	if out.Kind != "Recovered" || len(out.Diagnostics) == 0 || out.Tree == "" {
+		t.Fatalf("json output = %+v", out)
+	}
+	d := out.Diagnostics[0]
+	if d.Pos.Token < 0 || !strings.HasPrefix(string(d.Code), "repair-") {
+		t.Errorf("diagnostic = %+v", d)
 	}
 }

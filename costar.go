@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"costar/internal/artifact"
+	"costar/internal/diag"
 	"costar/internal/ebnf"
 	"costar/internal/g4"
 	"costar/internal/grammar"
@@ -75,6 +76,17 @@ type (
 	// with NewTokenSource (from a pull function) or obtain one from a
 	// language's Cursor; pass it to Parser.ParseSource.
 	TokenSource = source.Cursor
+	// Diagnostic is one positioned, severity-tagged finding in the unified
+	// diagnostics layer (see internal/diag): every failure shape — lexer
+	// errors, machine rejections, resource-limit errors, and recovery
+	// repairs — flows through this one type from the engine to the CLI.
+	Diagnostic = diag.Diagnostic
+	// Severity ranks a Diagnostic: Info, Warning, or Error.
+	Severity = diag.Severity
+	// Pos locates a Diagnostic: a token index into the parsed word, plus
+	// byte offset and line/column when the source text is known (lexer
+	// errors). Unknown components are -1 (Token, Offset) or 0 (Line, Col).
+	Pos = diag.Pos
 	// VetReport is the result of Vet: structured, positioned diagnostics
 	// over a grammar (see internal/grammarlint).
 	VetReport = grammarlint.Report
@@ -104,6 +116,19 @@ const (
 	// Error: left recursion was detected (or an internal invariant broke,
 	// which the test suite shows cannot happen for well-formed grammars).
 	Error = parser.Error
+	// Recovered: the input is not in the language, but recovering parse
+	// mode (Options.Recover, or ParseRecover) repaired it — the Result
+	// carries a partial tree whose error nodes cover the repaired spans
+	// and one positioned Diagnostic per repair. Only produced when
+	// recovery is on; never a silent accept (Accepts treats it as false).
+	Recovered = parser.Recovered
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = diag.Info
+	SeverityWarning = diag.Warning
+	SeverityError   = diag.Error
 )
 
 // T constructs a terminal symbol.
@@ -155,6 +180,19 @@ func Parse(g *Grammar, start string, w []Token) Result { return parser.Parse(g, 
 // ParseAllContext, ...) with Limits configured once in Options.
 func ParseContext(ctx context.Context, g *Grammar, start string, w []Token, limits Limits) Result {
 	return parser.ParseContext(ctx, g, start, w, limits)
+}
+
+// ParseRecover is Parse in recovering mode: a rejected input is repaired by
+// panic-mode error recovery (skip / insert / pop / drop guided by the
+// grammar's FOLLOW and anchor sets) and comes back as a Recovered result —
+// a partial tree covering the whole input, with error nodes over the
+// repaired spans and one positioned Diagnostic per repair, so a caller can
+// report several syntax errors from a single run. Inputs in the language
+// parse exactly as Parse does (recovery activates only after a would-be
+// Reject). Sessions offer the same via Options.Recover, with the repair
+// budget bounded by Limits.MaxRepairs.
+func ParseRecover(g *Grammar, start string, w []Token) Result {
+	return parser.ParseRecover(g, start, w)
 }
 
 // ParseAll parses every word from start in g on a pool of workers

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"costar/internal/diag"
 	"costar/internal/earley"
 	"costar/internal/languages/jsonlang"
 	"costar/internal/languages/pylang"
@@ -374,6 +375,77 @@ func FuzzG4(f *testing.F) {
 		}
 		if _, err := lex.Tokenize("aa bb"); err != nil {
 			return // lexing may fail; must not panic
+		}
+	})
+}
+
+// FuzzRecover drives recovering parse mode with arbitrary JSON-ish bytes.
+// The invariants: no panic; no false Accept (a Recovered result implies the
+// recover-off parse rejects, and a clean kind implies recovery changed
+// nothing); the repair budget is respected; recovered trees partition the
+// input and carry positioned, sorted diagnostics.
+func FuzzRecover(f *testing.F) {
+	seeds := []string{
+		`{"a": [1, true, null]}`, `{"a": }`, `[1, 2 3]`, `{"a" 1}`, `[1,`,
+		`{]`, `}{`, `[[[`, `{"a": 1,, "b": 2}`, `null null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const budget = 16
+	g := jsonlang.Grammar()
+	off := MustNewParser(g, Options{MaxSteps: 100000})
+	on := MustNewParser(g, Options{MaxSteps: 100000, Recover: true,
+		Limits: Limits{MaxRepairs: budget}})
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := jsonlang.Tokenize(src)
+		if err != nil {
+			return
+		}
+		base := off.Parse(toks)
+		rec := on.Parse(toks)
+		switch rec.Kind {
+		case Unique, Ambig:
+			if base.Kind != rec.Kind {
+				t.Fatalf("recover-on %v but recover-off %v for %q", rec.Kind, base.Kind, src)
+			}
+			if !rec.Tree.Equal(base.Tree) {
+				t.Fatalf("recovery changed an accepted tree for %q", src)
+			}
+			if len(rec.Diags) != 0 {
+				t.Fatalf("diagnostics on accepted input %q: %v", src, rec.Diags)
+			}
+		case Recovered:
+			if base.Kind != Reject {
+				t.Fatalf("Recovered but recover-off gave %v for %q", base.Kind, src)
+			}
+			if len(rec.Diags) == 0 {
+				t.Fatalf("Recovered without diagnostics for %q", src)
+			}
+			if !diag.Sorted(rec.Diags) {
+				t.Fatalf("unsorted diagnostics for %q: %v", src, rec.Diags)
+			}
+			ys := rec.Tree.YieldSource()
+			if len(ys) != len(toks) {
+				t.Fatalf("YieldSource %d tokens, input %d for %q", len(ys), len(toks), src)
+			}
+			for i := range ys {
+				if ys[i] != toks[i] {
+					t.Fatalf("YieldSource[%d] diverges for %q", i, src)
+				}
+			}
+			if rec.Usage.Repairs > budget+1 {
+				t.Fatalf("repair budget exceeded: %d > %d for %q", rec.Usage.Repairs, budget, src)
+			}
+		case Reject:
+			t.Fatalf("recover-on returned a plain Reject for %q", src)
+		case Error:
+			if base.Kind != Error {
+				t.Fatalf("recovery manufactured an error for %q: %v", src, rec.Err)
+			}
 		}
 	})
 }

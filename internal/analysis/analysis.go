@@ -120,6 +120,51 @@ func orRow(dst, src []uint64) bool {
 	return changed
 }
 
+// Dense-row accessors for engine-side bitset consumers (the recovery
+// driver's anchor sets). Rows are rowWords() uint64 words; terminal t
+// occupies bit t and the synthetic end-of-input column occupies bit
+// EOFCol(). Returned slices are live views into the fixpoint tables and
+// must not be modified.
+
+// RowWords is the length in uint64 words of every FIRST/FOLLOW row.
+func (a *Analysis) RowWords() int { return a.rowWords }
+
+// EOFCol is the bit column that represents end-of-input in FOLLOW rows.
+func (a *Analysis) EOFCol() int { return a.eofCol }
+
+// FirstRowID returns the FIRST bitset row for n, or nil if n is out of
+// range.
+func (a *Analysis) FirstRowID(n grammar.NTID) []uint64 {
+	if n < 0 || int(n) >= len(a.firstRow) {
+		return nil
+	}
+	return a.firstRow[n]
+}
+
+// FollowRowID returns the FOLLOW bitset row for n, or nil if n is out of
+// range.
+func (a *Analysis) FollowRowID(n grammar.NTID) []uint64 {
+	if n < 0 || int(n) >= len(a.followRow) {
+		return nil
+	}
+	return a.followRow[n]
+}
+
+// RowHas reports whether bit i is set in row (nil-row safe).
+func RowHas(row []uint64, i int) bool {
+	return i >= 0 && i>>6 < len(row) && hasBit(row, i)
+}
+
+// RowSet sets bit i in row.
+func RowSet(row []uint64, i int) { setBit(row, i) }
+
+// RowOr ORs src into dst (no-op when src is nil).
+func RowOr(dst, src []uint64) {
+	if src != nil {
+		orRow(dst, src)
+	}
+}
+
 // Nullable reports whether nt derives the empty word.
 func (a *Analysis) Nullable(nt string) bool { return a.nullable[nt] }
 

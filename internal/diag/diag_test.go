@@ -1,0 +1,131 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{Info: "info", Warning: "warning", Error: "error"}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestSeverityTextRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{Info, Warning, Error} {
+		b, err := sev.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Errorf("round-trip %v -> %s -> %v", sev, b, back)
+		}
+	}
+	var s Severity
+	if err := s.UnmarshalText([]byte("loud")); err == nil {
+		t.Error("unknown severity text accepted")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Severity: Error, Code: CodeSyntax, Message: "unexpected token",
+		Pos: TokenPos(7), Expected: []string{"a", "b"},
+	}
+	s := d.String()
+	for _, want := range []string{"token 7", "error[syntax]", "unexpected token", "expected a, b"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	// Lexer-shaped position renders line/col, not the token index.
+	d2 := Diagnostic{Severity: Error, Code: CodeLex, Message: "bad byte",
+		Pos: Pos{Token: -1, Offset: 12, Line: 3, Col: 4}, Snippet: "\x01rest"}
+	s2 := d2.String()
+	if !strings.Contains(s2, "3:4") || !strings.Contains(s2, "near") {
+		t.Errorf("String() = %q, want line:col and snippet", s2)
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	ds := []Diagnostic{
+		{Severity: Warning, Code: "b", Pos: TokenPos(5)},
+		{Severity: Error, Code: "a", Pos: TokenPos(5)},
+		{Severity: Error, Code: "z", Pos: TokenPos(1)},
+		{Severity: Error, Code: "m", Pos: Pos{Token: -1, Offset: 3}},
+		{Severity: Error, Code: "m", Pos: Pos{Token: -1, Offset: -1}},
+	}
+	Sort(ds)
+	// Unknown-token diagnostics sort by offset ahead of token-indexed ones
+	// in field order: Token ascending, so -1 positions come first.
+	if ds[0].Pos.Token != -1 || ds[1].Pos.Token != -1 {
+		t.Fatalf("unknown positions must sort first: %v", ds)
+	}
+	if ds[0].Pos.Offset > ds[1].Pos.Offset {
+		t.Fatalf("offset order violated: %v", ds)
+	}
+	if ds[2].Pos.Token != 1 {
+		t.Fatalf("token order violated: %v", ds)
+	}
+	// Equal position: higher severity first.
+	if ds[3].Severity != Error || ds[4].Severity != Warning {
+		t.Fatalf("severity order violated at equal position: %v", ds)
+	}
+	if !Sorted(ds) {
+		t.Fatal("Sort did not sort")
+	}
+}
+
+func TestSortedPredicate(t *testing.T) {
+	out := []Diagnostic{{Pos: TokenPos(9)}, {Pos: TokenPos(1)}}
+	if Sorted(out) {
+		t.Fatal("out-of-order slice reported sorted")
+	}
+	Sort(out)
+	if !Sorted(out) || out[0].Pos.Token != 1 {
+		t.Fatalf("Sort result = %v", out)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	d := New(Error, CodeRepairSkip, TokenPos(3), "discarded 1 token")
+	d.Len = 1
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"severity":"error"`, `"code":"repair-skip"`, `"token":3`, `"len":1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON = %s, missing %s", s, want)
+		}
+	}
+	// Empty optionals stay out of the wire form.
+	for _, absent := range []string{"expected", "snippet", "line", "col"} {
+		if strings.Contains(s, `"`+absent+`"`) {
+			t.Errorf("JSON = %s, should omit %q", s, absent)
+		}
+	}
+	var back Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Severity != Error || back.Code != CodeRepairSkip || back.Pos.Token != 3 {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	d := Errorf(CodeSyntax, TokenPos(2), "want %s", "x")
+	if d.Severity != Error || d.Message != "want x" || d.Pos.Token != 2 {
+		t.Errorf("Errorf = %+v", d)
+	}
+}

@@ -32,35 +32,27 @@ import (
 	"strings"
 
 	"costar/internal/analysis"
+	"costar/internal/diag"
 	"costar/internal/grammar"
 )
 
-// Severity ranks diagnostics. Only errors block certification.
-type Severity uint8
+// Severity ranks diagnostics; only errors block certification. It is
+// re-keyed onto the unified diagnostics layer: a grammarlint severity IS a
+// diag severity (same type, same ordering, same rendering), so findings
+// flow into mixed diagnostic streams without translation.
+type Severity = diag.Severity
 
 const (
 	// Info diagnostics are heuristics (SLL conflicts): the grammar is fine
 	// for ALL(*), but a human may want to know.
-	Info Severity = iota
+	Info = diag.Info
 	// Warning diagnostics are likely mistakes (unreachable nonterminals,
 	// duplicate productions) that do not threaten the parser's guarantees.
-	Warning
+	Warning = diag.Warning
 	// Error diagnostics violate the preconditions of the correctness
 	// theorems; the grammar is rejected for certification.
-	Error
+	Error = diag.Error
 )
-
-// String names the severity.
-func (s Severity) String() string {
-	switch s {
-	case Error:
-		return "error"
-	case Warning:
-		return "warning"
-	default:
-		return "info"
-	}
-}
 
 // Code identifies the diagnostic class, stable across releases for
 // programmatic filtering.
@@ -102,6 +94,18 @@ func (d Diagnostic) String() string {
 	}
 	fmt.Fprintf(&b, "%s[%s]: %s", d.Severity, d.Code, d.Message)
 	return b.String()
+}
+
+// Diag converts the finding to the unified diagnostic form. Grammar
+// findings anchor to grammar source lines, not input tokens, so the token
+// index is unknown.
+func (d Diagnostic) Diag() diag.Diagnostic {
+	return diag.Diagnostic{
+		Severity: d.Severity,
+		Code:     diag.Code(d.Code),
+		Message:  d.Message,
+		Pos:      diag.Pos{Token: -1, Offset: -1, Line: d.Line},
+	}
 }
 
 // Report is the result of a verification run.

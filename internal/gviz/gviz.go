@@ -14,7 +14,9 @@ import (
 
 // TreeDOT renders a parse tree as a DOT digraph: interior nodes are
 // ellipses labeled with nonterminals, leaves are boxes labeled
-// terminal:literal.
+// terminal:literal. Recovery error nodes (partial trees from recovering
+// parse mode) are filled light red — inserted-token leaves are labeled
+// "(inserted)" — so repaired spans stand out in the rendered tree.
 func TreeDOT(v *tree.Tree) string {
 	var b strings.Builder
 	b.WriteString("digraph parsetree {\n")
@@ -24,12 +26,19 @@ func TreeDOT(v *tree.Tree) string {
 	walk = func(n *tree.Tree) int {
 		me := id
 		id++
+		errStyle := ""
+		if n.Err {
+			errStyle = `, style=filled, fillcolor="#ffcccc"`
+		}
 		if n.IsLeaf {
-			fmt.Fprintf(&b, "  n%d [shape=box, label=%s];\n",
-				me, quote(n.Token.Terminal+": "+n.Token.Literal))
+			label := n.Token.Terminal + ": " + n.Token.Literal
+			if n.Err {
+				label += " (inserted)"
+			}
+			fmt.Fprintf(&b, "  n%d [shape=box, label=%s%s];\n", me, quote(label), errStyle)
 			return me
 		}
-		fmt.Fprintf(&b, "  n%d [label=%s];\n", me, quote(n.NT))
+		fmt.Fprintf(&b, "  n%d [label=%s%s];\n", me, quote(n.NT), errStyle)
 		for _, c := range n.Children {
 			child := walk(c)
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", me, child)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"costar/internal/diag"
 	"costar/internal/grammar"
 	"costar/internal/rx"
 )
@@ -90,6 +91,20 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string {
 	return fmt.Sprintf("lexer: no rule matches at line %d, col %d: %q…", e.Line, e.Col, e.Snippet)
+}
+
+// Diag converts the failure to the unified diagnostic form. The snippet is
+// copied out of the zero-copy scan window here: a Diagnostic outlives the
+// retained source (and possibly the session), so it must own its bytes —
+// see package diag's lifetime contract.
+func (e *Error) Diag() diag.Diagnostic {
+	return diag.Diagnostic{
+		Severity: diag.Error,
+		Code:     diag.CodeLex,
+		Message:  "no lexical rule matches",
+		Pos:      diag.Pos{Token: -1, Offset: e.Offset, Line: e.Line, Col: e.Col},
+		Snippet:  strings.Clone(e.Snippet),
+	}
 }
 
 // Lexer is a compiled Spec, safe for concurrent use. Mode names are

@@ -1,0 +1,80 @@
+package lexer
+
+import (
+	"testing"
+	"unsafe"
+
+	"costar/internal/rx"
+)
+
+// TestDiagSnippetOwnsItsBytes pins the zero-copy audit both ways: the raw
+// lexer Error.Snippet is a window into the caller's source bytes (so the
+// scan path never copies), while the converted Diagnostic owns its snippet
+// (so diagnostics stay correct after the source buffer is reused or
+// mutated — the diag package lifetime contract). The test scans a string
+// view over a mutable byte buffer, converts the failure, then scribbles the
+// buffer and checks which views moved.
+func TestDiagSnippetOwnsItsBytes(t *testing.T) {
+	l := MustNew(Spec{Rules: []Rule{
+		{Name: "a", Pattern: rx.Str("a")},
+		Skip("ws", `[ ]+`),
+	}})
+	buf := []byte("aa a !boom")
+	src := unsafe.String(&buf[0], len(buf)) // string view over mutable bytes
+	_, err := l.Scan(src)
+	if err == nil {
+		t.Fatal("scan of unlexable input succeeded")
+	}
+	lexErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if lexErr.Snippet != "!boom" {
+		t.Fatalf("Snippet = %q, want %q", lexErr.Snippet, "!boom")
+	}
+	d := lexErr.Diag()
+	if d.Snippet != "!boom" || d.Pos.Offset != 5 || d.Pos.Line != 1 || d.Pos.Col != 6 {
+		t.Fatalf("Diag = %+v", d)
+	}
+
+	// Scribble the source. The raw error's snippet is a window and must
+	// move with the bytes; the diagnostic's copy must not.
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	if lexErr.Snippet != "XXXXX" {
+		t.Fatalf("Error.Snippet = %q after scribble; the zero-copy window contract broke (a copy crept into the scan path)", lexErr.Snippet)
+	}
+	if d.Snippet != "!boom" {
+		t.Fatalf("Diagnostic.Snippet = %q after scribble; Diag() must copy out of the scan window", d.Snippet)
+	}
+}
+
+// TestDiagSnippetAfterTokenize is the same audit through the batch
+// pipeline: lexeme literals are windows (zero-copy), and a diagnostic built
+// from a failure among them stays stable when the source is scribbled after
+// the parse consumed its tokens.
+func TestDiagSnippetAfterTokenize(t *testing.T) {
+	l := MustNew(Spec{Rules: []Rule{
+		{Name: "word", Pattern: rx.MustParse(`[a-z]+`)},
+		Skip("ws", `[ ]+`),
+	}})
+	buf := []byte("abc def 123")
+	src := unsafe.String(&buf[0], len(buf))
+	lexs, err := l.Scan(src)
+	if err == nil {
+		t.Fatal("digits should not lex")
+	}
+	d := err.(*Error).Diag()
+	for i := range buf {
+		buf[i] = '?'
+	}
+	// Lexemes produced before the failure are zero-copy views, so they
+	// track the scribble; the diagnostic's copy must not.
+	if len(lexs) > 0 && lexs[0].Tok.Literal != "???" {
+		t.Fatalf("lexeme literal = %q after scribble, want zero-copy window", lexs[0].Tok.Literal)
+	}
+	if d.Snippet != "123" {
+		t.Fatalf("Diagnostic.Snippet = %q after scribble, want owned copy %q", d.Snippet, "123")
+	}
+}

@@ -35,6 +35,13 @@ type Limits struct {
 	// nodes). Every live node was built, so this also caps live tree
 	// memory.
 	MaxTreeNodes int
+	// MaxRepairs bounds the repairs (skip/insert/pop/drop) the recovery
+	// driver may apply in recovering parse mode. 0 means the driver's
+	// default budget (DefaultMaxRepairs); it is ignored entirely when
+	// recovery is off. Unlike the other limits, exhaustion is not a
+	// terminal error: the driver force-closes the parse into a partial
+	// tree and reports a repair-budget diagnostic.
+	MaxRepairs int
 }
 
 // LimitKind names the limit an ErrLimit error tripped.
@@ -47,6 +54,7 @@ const (
 	LimitStackDepth
 	LimitClosureWork
 	LimitTreeNodes
+	LimitRepairs
 )
 
 // String names the limit.
@@ -62,6 +70,8 @@ func (k LimitKind) String() string {
 		return "MaxClosureWork"
 	case LimitTreeNodes:
 		return "MaxTreeNodes"
+	case LimitRepairs:
+		return "MaxRepairs"
 	default:
 		return "none"
 	}
@@ -77,12 +87,17 @@ type Usage struct {
 	ClosureWork int // cumulative prediction closure expansions
 	TreeNodes   int // parse-tree nodes built (leaves + interior)
 	PeakWindow  int // peak token-window occupancy (streaming memory bound)
+	Repairs     int // recovery repairs applied (0 unless recovering)
 }
 
 // String renders the usage compactly.
 func (u Usage) String() string {
-	return fmt.Sprintf("steps=%d tokens=%d stack=%d closure=%d nodes=%d window=%d",
+	s := fmt.Sprintf("steps=%d tokens=%d stack=%d closure=%d nodes=%d window=%d",
 		u.Steps, u.Tokens, u.StackDepth, u.ClosureWork, u.TreeNodes, u.PeakWindow)
+	if u.Repairs > 0 {
+		s += fmt.Sprintf(" repairs=%d", u.Repairs)
+	}
+	return s
 }
 
 // ctxCheckEvery amortizes context polling: the governor consults ctx.Err()
@@ -203,6 +218,22 @@ func (g *Governor) LookaheadTick() *Error {
 		return g.err
 	}
 	return g.ctxTick(1)
+}
+
+// RepairTick accounts one recovery repair against Limits.MaxRepairs.
+// over reports budget exhaustion; unlike the sticky limits it is not an
+// error — the recovery driver responds by force-closing the parse into a
+// partial tree, so cancellation (the returned *Error) is still observed
+// on later governor calls.
+func (g *Governor) RepairTick(max int) (over bool, err *Error) {
+	if g.err != nil {
+		return false, g.err
+	}
+	g.u.Repairs++
+	if err := g.ctxTick(1); err != nil {
+		return false, err
+	}
+	return max > 0 && g.u.Repairs > max, nil
 }
 
 // NotePeakWindow records the source window high-water mark (sampled when

@@ -37,6 +37,11 @@ const (
 	// left recursion; unreachable for well-formed non-left-recursive
 	// grammars (Theorem 5.8).
 	ResultError
+	// Recovered: recovering mode repaired one or more would-be Rejects and
+	// produced a partial tree with error nodes (RecoverFrom). The input is
+	// NOT in the language — Recovered is never produced by Multistep
+	// itself, only by the recovery driver, so plain runs are untouched.
+	Recovered
 )
 
 // String names the result kind.
@@ -48,6 +53,8 @@ func (k ResultKind) String() string {
 		return "Ambig"
 	case Reject:
 		return "Reject"
+	case Recovered:
+		return "Recovered"
 	default:
 		return "Error"
 	}

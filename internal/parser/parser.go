@@ -21,6 +21,7 @@ package parser
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"costar/internal/analysis"
+	"costar/internal/diag"
 	"costar/internal/grammar"
 	"costar/internal/lexer"
 	"costar/internal/machine"
@@ -43,10 +45,11 @@ type Kind = machine.ResultKind
 
 // Re-exported result kinds.
 const (
-	Unique = machine.Unique
-	Ambig  = machine.Ambig
-	Reject = machine.Reject
-	Error  = machine.ResultError
+	Unique    = machine.Unique
+	Ambig     = machine.Ambig
+	Reject    = machine.Reject
+	Error     = machine.ResultError
+	Recovered = machine.Recovered
 )
 
 // Limits bounds the resources one parse may consume (see machine.Limits):
@@ -63,7 +66,7 @@ type Usage = machine.Usage
 // Result is the outcome of a parse.
 type Result struct {
 	Kind     Kind
-	Tree     *tree.Tree // for Unique and Ambig
+	Tree     *tree.Tree // for Unique and Ambig; for Recovered, the partial tree
 	Reason   string     // for Reject: why the input was rejected
 	Err      error      // for Error
 	Steps    int        // machine transitions taken
@@ -71,6 +74,11 @@ type Result struct {
 	Expected []string   // for Reject: terminals that could have continued
 	Usage    Usage      // resource high-water marks for this parse
 	Stats    prediction.Stats
+	// Diags carries the unified positioned diagnostics for every failure
+	// shape: one syntax diagnostic for a plain Reject, one per repair for a
+	// Recovered result, and the converted machine/lexer error for Error
+	// results. Always sorted by position (diag.Sort order).
+	Diags []diag.Diagnostic
 }
 
 // Canceled reports whether the result is an Error caused by context
@@ -89,6 +97,8 @@ func (r Result) String() string {
 		return fmt.Sprintf("%s(%s)", r.Kind, r.Tree)
 	case Reject:
 		return "Reject(" + r.Reason + ")"
+	case Recovered:
+		return fmt.Sprintf("Recovered(%s, %d diagnostics)", r.Tree, len(r.Diags))
 	default:
 		return fmt.Sprintf("Error(%v)", r.Err)
 	}
@@ -127,6 +137,15 @@ type Options struct {
 	// are bit-identical on certified grammars (the differential tests check
 	// this); the switch exists for those tests and for debugging.
 	IgnoreCertificate bool
+	// Recover turns on recovering parse mode: a would-be Reject suspends
+	// the machine, the recovery driver applies panic-mode FOLLOW/anchor-set
+	// repairs (skip / insert / pop / drop) under the Limits.MaxRepairs
+	// budget, and the result is Recovered — a partial tree with error nodes
+	// plus one positioned diagnostic per repair. Recovery activates only
+	// after a Reject: accepting inputs take bit-identical paths with the
+	// flag on or off, Error results (limits, cancellation, lex failures)
+	// pass through unrepaired, and certified grammars stay certified.
+	Recover bool
 }
 
 // Parser is a reusable parsing session for one grammar.
@@ -414,11 +433,27 @@ func (p *Parser) parse(ctx context.Context, start string, sc *parseScratch, src 
 		Governor:        gov,
 		Certified:       p.certified,
 	})
+	var recDiags []diag.Diagnostic
+	if mres.Kind == machine.Reject && p.opts.Recover {
+		// Recovery only activates on a would-be Reject, so accepting inputs
+		// take the exact path they take with the flag off. The driver shares
+		// this parse's governor: repairs and the resumed machine segments
+		// charge the same budgets and observe the same cancellation.
+		rr := machine.RecoverFrom(p.g, ap, p.an, mres, machine.Options{
+			Governor:  gov,
+			Certified: p.certified,
+		})
+		mres = rr.Result
+		recDiags = rr.Diags
+	}
 	p.accumulate(ap.Stats)
 	res = Result{Kind: mres.Kind, Tree: mres.Tree, Reason: mres.Reason, Steps: mres.Steps,
-		Consumed: mres.Consumed, Usage: mres.Usage, Stats: ap.Stats}
+		Consumed: mres.Consumed, Usage: mres.Usage, Stats: ap.Stats, Diags: recDiags}
 	if res.Kind == Reject {
 		res.Expected = p.expectedAt(mres.Final)
+		d := diag.Errorf(diag.CodeSyntax, diag.TokenPos(mres.Consumed), "%s", mres.Reason)
+		d.Expected = res.Expected
+		res.Diags = append(res.Diags, d)
 		if total >= 0 {
 			res.Reason = fmt.Sprintf("%s (after %d of %d tokens)", res.Reason, mres.Consumed, total)
 		} else {
@@ -430,8 +465,26 @@ func (p *Parser) parse(ctx context.Context, start string, sc *parseScratch, src 
 	}
 	if mres.Err != nil {
 		res.Err = mres.Err
+		res.Diags = append(res.Diags, errDiag(mres.Err, mres.Consumed))
+		diag.Sort(res.Diags)
 	}
 	return res
+}
+
+// errDiag converts a parse-aborting error to its unified diagnostic: lexer
+// failures keep their byte/line/col position (and copy their snippet out of
+// the zero-copy scan window), machine errors map their kind to a diagnostic
+// code at the current token index, and anything else is an internal error.
+func errDiag(err error, consumed int) diag.Diagnostic {
+	var lexErr *lexer.Error
+	if errors.As(err, &lexErr) {
+		return lexErr.Diag()
+	}
+	var mErr *machine.Error
+	if errors.As(err, &mErr) {
+		return mErr.Diag(consumed)
+	}
+	return diag.Errorf(diag.CodeInternal, diag.TokenPos(consumed), "%v", err)
 }
 
 // Accepts reports whether w ∈ L(G) from the session's start symbol. Because
@@ -444,7 +497,7 @@ func (p *Parser) Accepts(w []grammar.Token) bool {
 	switch res.Kind {
 	case Unique, Ambig:
 		return true
-	case Reject:
+	case Reject, Recovered:
 		return false
 	default:
 		panic(fmt.Sprintf("parser: Accepts hit an error result: %v", res.Err))
@@ -610,6 +663,17 @@ func ParseContext(ctx context.Context, g *grammar.Grammar, start string, w []gra
 		return Result{Kind: Error, Err: err}
 	}
 	return p.ParseFromContext(ctx, start, w)
+}
+
+// ParseRecover is the one-shot Parse in recovering mode: rejected inputs
+// are repaired by panic-mode recovery and come back as Recovered results
+// with a partial tree and positioned diagnostics.
+func ParseRecover(g *grammar.Grammar, start string, w []grammar.Token) Result {
+	p, err := New(g, Options{Recover: true})
+	if err != nil {
+		return Result{Kind: Error, Err: err}
+	}
+	return p.ParseFrom(start, w)
 }
 
 // ParseReader is the one-shot streaming API: lex r incrementally with lex

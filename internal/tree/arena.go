@@ -44,6 +44,23 @@ func (a *Arena) Node(nt string, children []*Tree) *Tree {
 	return a.nodes.New(Tree{NT: nt, Children: children})
 }
 
+// ErrorLeaf allocates a leaf for a terminal synthesized by recovery.
+func (a *Arena) ErrorLeaf(t grammar.Token) *Tree {
+	if a == nil {
+		return ErrorLeaf(t)
+	}
+	return a.nodes.New(Tree{IsLeaf: true, Token: t, Err: true})
+}
+
+// ErrorNode allocates a recovery error node labeled nt over children
+// (the slice is not copied).
+func (a *Arena) ErrorNode(nt string, children []*Tree) *Tree {
+	if a == nil {
+		return &Tree{NT: nt, Children: children, Err: true}
+	}
+	return a.nodes.New(Tree{NT: nt, Children: children, Err: true})
+}
+
 // Forest allocates a child slice with length 0 and capacity exactly n.
 func (a *Arena) Forest(n int) []*Tree {
 	if a == nil {

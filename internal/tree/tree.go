@@ -28,6 +28,14 @@ type Tree struct {
 	Children []*Tree
 
 	IsLeaf bool
+
+	// Err marks an error node produced by recovery: an interior node whose
+	// production was abandoned or synthesized (its children cover skipped
+	// or partially parsed spans), or a leaf whose token was inserted by a
+	// repair and is not present in the input. Err trees never validate
+	// against the grammar; Validate rejects them like any other
+	// non-derivation shape.
+	Err bool
 }
 
 // Leaf constructs a leaf for token t.
@@ -36,6 +44,54 @@ func Leaf(t grammar.Token) *Tree { return &Tree{IsLeaf: true, Token: t} }
 // Node constructs an interior node for nonterminal nt over children.
 func Node(nt string, children ...*Tree) *Tree {
 	return &Tree{NT: nt, Children: children}
+}
+
+// ErrLabel is the node label recovery uses for error nodes that group
+// skipped tokens and belong to no grammar nonterminal.
+const ErrLabel = "error"
+
+// ErrorLeaf constructs a leaf for a terminal synthesized by recovery; its
+// token is not part of the input word.
+func ErrorLeaf(t grammar.Token) *Tree { return &Tree{IsLeaf: true, Token: t, Err: true} }
+
+// ErrorNode constructs a recovery error node labeled nt covering children
+// (skipped-token leaves and/or partially parsed subtrees).
+func ErrorNode(nt string, children ...*Tree) *Tree {
+	return &Tree{NT: nt, Children: children, Err: true}
+}
+
+// HasErr reports whether any node in the tree is an error node.
+func (v *Tree) HasErr() bool {
+	found := false
+	v.Walk(func(t *Tree) bool {
+		if t.Err {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// YieldSource returns the input tokens at the leaves of v, left to right,
+// excluding tokens synthesized by recovery (Err leaves). On a recovered
+// tree this is exactly the consumed-plus-skipped input word, so it
+// partitions the source even though the tree is not a derivation.
+func (v *Tree) YieldSource() []grammar.Token {
+	var w []grammar.Token
+	v.appendYieldSource(&w)
+	return w
+}
+
+func (v *Tree) appendYieldSource(w *[]grammar.Token) {
+	if v.IsLeaf {
+		if !v.Err {
+			*w = append(*w, v.Token)
+		}
+		return
+	}
+	for _, c := range v.Children {
+		c.appendYieldSource(w)
+	}
 }
 
 // Symbol returns the grammar symbol at the root of the tree.
@@ -94,7 +150,7 @@ func (v *Tree) Equal(o *Tree) bool {
 	if v == nil || o == nil {
 		return v == o
 	}
-	if v.IsLeaf != o.IsLeaf {
+	if v.IsLeaf != o.IsLeaf || v.Err != o.Err {
 		return false
 	}
 	if v.IsLeaf {
@@ -123,6 +179,11 @@ type hasher interface {
 }
 
 func (v *Tree) hashInto(h hasher) {
+	// Error nodes hash a marker byte; ordinary trees write exactly the
+	// bytes they always have, so pre-recovery hashes are unchanged.
+	if v.Err {
+		h.Write([]byte{3})
+	}
 	if v.IsLeaf {
 		h.Write([]byte{0})
 		h.Write([]byte(v.Token.Terminal))
@@ -150,10 +211,16 @@ func (v *Tree) String() string {
 
 func (v *Tree) writeSexp(b *strings.Builder) {
 	if v.IsLeaf {
+		if v.Err {
+			b.WriteByte('!')
+		}
 		fmt.Fprintf(b, "%s:%q", v.Token.Terminal, v.Token.Literal)
 		return
 	}
 	b.WriteByte('(')
+	if v.Err {
+		b.WriteByte('!')
+	}
 	b.WriteString(v.NT)
 	for _, c := range v.Children {
 		b.WriteByte(' ')
@@ -174,10 +241,17 @@ func (v *Tree) pretty(b *strings.Builder, depth int) {
 		b.WriteString("  ")
 	}
 	if v.IsLeaf {
-		fmt.Fprintf(b, "%s %q\n", v.Token.Terminal, v.Token.Literal)
+		if v.Err {
+			fmt.Fprintf(b, "%s %q (inserted)\n", v.Token.Terminal, v.Token.Literal)
+		} else {
+			fmt.Fprintf(b, "%s %q\n", v.Token.Terminal, v.Token.Literal)
+		}
 		return
 	}
 	b.WriteString(v.NT)
+	if v.Err {
+		b.WriteString(" (error)")
+	}
 	b.WriteByte('\n')
 	for _, c := range v.Children {
 		c.pretty(b, depth+1)
@@ -238,6 +312,9 @@ func ForestEqual(a, b []*Tree) bool {
 func Validate(g *grammar.Grammar, s grammar.Symbol, v *Tree, w []grammar.Token) error {
 	if v == nil {
 		return fmt.Errorf("tree: nil tree for symbol %s", s)
+	}
+	if v.Err {
+		return fmt.Errorf("tree: error node at symbol %s is not a derivation", s)
 	}
 	if s.IsT() {
 		if !v.IsLeaf {

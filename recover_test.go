@@ -1,0 +1,236 @@
+package costar
+
+// The recovery differential suite: for every bundled language, generated
+// inputs are mutated at the token level (delete one token, insert a
+// duplicate, swap two adjacent tokens) and parsed twice — recover-off and
+// recover-on. The contract under test:
+//
+//  1. Recover-off is bit-identical to a session that has never heard of
+//     recovery: same kind, same tree, same reason/expected decoration.
+//  2. On inputs that stay in the language, recover-on is bit-identical to
+//     recover-off (recovery only activates after a would-be Reject).
+//  3. On rejected inputs, recover-on yields Recovered: a partial tree whose
+//     source yield partitions the input exactly, plus at least one
+//     positioned, sorted diagnostic.
+//  4. Recovery never manufactures a clean accept for a rejected input.
+
+import (
+	"math/rand"
+	"testing"
+
+	"costar/internal/diag"
+	"costar/internal/languages/dotlang"
+	"costar/internal/languages/jsonlang"
+	"costar/internal/languages/pylang"
+	"costar/internal/languages/xmllang"
+)
+
+type recoverLang struct {
+	name     string
+	grammar  func() *Grammar
+	tokenize func(string) ([]Token, error)
+	generate func(seed int64, target int) string
+}
+
+var recoverLangs = []recoverLang{
+	{"json", jsonlang.Grammar, jsonlang.Tokenize, jsonlang.Generate},
+	{"xml", xmllang.Grammar, xmllang.Tokenize, xmllang.Generate},
+	{"dot", dotlang.Grammar, dotlang.Tokenize, dotlang.Generate},
+	{"python", pylang.Grammar, pylang.Tokenize, pylang.Generate},
+}
+
+// mutate produces token-level corruptions of w: op 0 deletes the token at
+// i, op 1 inserts a copy of another input token at i, op 2 swaps i and i+1.
+// Mutating at the token level keeps every literal in the language's lexical
+// alphabet, so the corruption exercises the parser, not the lexer.
+func mutate(w []Token, op, i int, rng *rand.Rand) ([]Token, bool) {
+	out := make([]Token, 0, len(w)+1)
+	switch op {
+	case 0:
+		if len(w) < 2 {
+			return nil, false
+		}
+		i %= len(w)
+		out = append(append(out, w[:i]...), w[i+1:]...)
+	case 1:
+		i %= len(w) + 1
+		extra := w[rng.Intn(len(w))]
+		out = append(append(append(out, w[:i]...), extra), w[i:]...)
+	case 2:
+		if len(w) < 2 {
+			return nil, false
+		}
+		i %= len(w) - 1
+		if w[i] == w[i+1] {
+			return nil, false
+		}
+		out = append(out, w...)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return out, true
+}
+
+func resultsIdentical(a, b Result) bool {
+	if a.Kind != b.Kind || a.Reason != b.Reason || a.Steps != b.Steps || a.Consumed != b.Consumed {
+		return false
+	}
+	if (a.Tree == nil) != (b.Tree == nil) || (a.Tree != nil && !a.Tree.Equal(b.Tree)) {
+		return false
+	}
+	if len(a.Expected) != len(b.Expected) {
+		return false
+	}
+	for i := range a.Expected {
+		if a.Expected[i] != b.Expected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecoverDifferential(t *testing.T) {
+	for _, lang := range recoverLangs {
+		lang := lang
+		t.Run(lang.name, func(t *testing.T) {
+			t.Parallel()
+			g := lang.grammar()
+			plain := MustNewParser(g, Options{})
+			off := MustNewParser(g, Options{Recover: false})
+			on := MustNewParser(g, Options{Recover: true})
+			rng := rand.New(rand.NewSource(7))
+			for seed := int64(1); seed <= 4; seed++ {
+				src := lang.generate(seed, 60)
+				w, err := lang.tokenize(src)
+				if err != nil {
+					t.Fatalf("seed %d does not lex: %v", seed, err)
+				}
+				if res := plain.Parse(w); res.Kind != Unique && res.Kind != Ambig {
+					t.Fatalf("seed %d does not parse: %v", seed, res)
+				}
+				for op := 0; op < 3; op++ {
+					for trial := 0; trial < 6; trial++ {
+						m, ok := mutate(w, op, rng.Intn(len(w)+1), rng)
+						if !ok {
+							continue
+						}
+						base := plain.Parse(m)
+						got := off.Parse(m)
+						// 1. A Recover:false session is the plain session.
+						if !resultsIdentical(base, got) {
+							t.Fatalf("op %d: recover-off diverges from plain session:\n  plain: %v\n  off:   %v", op, base, got)
+						}
+						rec := on.Parse(m)
+						switch base.Kind {
+						case Unique, Ambig:
+							// 2. In-language mutations: recovery must not
+							// engage, results stay bit-identical.
+							if !resultsIdentical(base, rec) {
+								t.Fatalf("op %d: recover-on diverges on accepted input:\n  plain: %v\n  on:    %v", op, base, rec)
+							}
+							if len(rec.Diags) != 0 {
+								t.Fatalf("op %d: diagnostics on an accepted input: %v", op, rec.Diags)
+							}
+						case Reject:
+							// 3. The mutation broke the input: recovery must
+							// produce a partial tree + positioned diagnostics.
+							if rec.Kind != Recovered {
+								t.Fatalf("op %d: recover-on gave %v for a rejected input (reason %q)", op, rec.Kind, base.Reason)
+							}
+							if rec.Tree == nil {
+								t.Fatalf("op %d: Recovered without a tree", op)
+							}
+							ys := rec.Tree.YieldSource()
+							if len(ys) != len(m) {
+								t.Fatalf("op %d: YieldSource %d tokens, input %d\n tree: %s", op, len(ys), len(m), rec.Tree)
+							}
+							for i := range ys {
+								if ys[i] != m[i] {
+									t.Fatalf("op %d: YieldSource[%d] = %v, input %v", op, i, ys[i], m[i])
+								}
+							}
+							if len(rec.Diags) == 0 {
+								t.Fatalf("op %d: Recovered without diagnostics", op)
+							}
+							if !diag.Sorted(rec.Diags) {
+								t.Fatalf("op %d: diagnostics not sorted: %v", op, rec.Diags)
+							}
+							for _, d := range rec.Diags {
+								if d.Pos.Token < 0 || d.Pos.Token > len(m) {
+									t.Fatalf("op %d: diagnostic position %d outside input [0,%d]: %v", op, d.Pos.Token, len(m), d)
+								}
+							}
+						default:
+							t.Fatalf("op %d: mutation produced an engine error: %v", op, base.Err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverCleanInputsAllLanguages pins contract 2 in its strongest form:
+// on every clean generated input, a recovering session returns a tree
+// deep-equal to the non-recovering one and no diagnostics.
+func TestRecoverCleanInputsAllLanguages(t *testing.T) {
+	for _, lang := range recoverLangs {
+		lang := lang
+		t.Run(lang.name, func(t *testing.T) {
+			t.Parallel()
+			g := lang.grammar()
+			off := MustNewParser(g, Options{})
+			on := MustNewParser(g, Options{Recover: true})
+			for seed := int64(10); seed < 16; seed++ {
+				src := lang.generate(seed, 120)
+				w, err := lang.tokenize(src)
+				if err != nil {
+					t.Fatalf("seed %d does not lex: %v", seed, err)
+				}
+				a, b := off.Parse(w), on.Parse(w)
+				if !resultsIdentical(a, b) || len(b.Diags) != 0 {
+					t.Fatalf("seed %d: recover-on diverges on clean input:\n  off: %v\n  on:  %v (diags %v)", seed, a, b, b.Diags)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverSingleTokenMutationEveryLanguage is the acceptance check from
+// the issue: one single-token mutation per language must come back
+// Recovered with a span-partitioning tree and at least one positioned
+// diagnostic.
+func TestRecoverSingleTokenMutationEveryLanguage(t *testing.T) {
+	for _, lang := range recoverLangs {
+		lang := lang
+		t.Run(lang.name, func(t *testing.T) {
+			g := lang.grammar()
+			on := MustNewParser(g, Options{Recover: true})
+			plain := MustNewParser(g, Options{})
+			rng := rand.New(rand.NewSource(99))
+			w, err := lang.tokenize(lang.generate(3, 40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Find a deleting mutation that actually breaks the input.
+			for i := 0; i < len(w); i++ {
+				m, ok := mutate(w, 0, i, rng)
+				if !ok {
+					t.Skip("input too short to mutate")
+				}
+				if plain.Parse(m).Kind != Reject {
+					continue
+				}
+				rec := on.Parse(m)
+				if rec.Kind != Recovered || len(rec.Diags) == 0 {
+					t.Fatalf("delete at %d: %v (diags %v)", i, rec.Kind, rec.Diags)
+				}
+				ys := rec.Tree.YieldSource()
+				if len(ys) != len(m) {
+					t.Fatalf("delete at %d: YieldSource %d != input %d", i, len(ys), len(m))
+				}
+				return
+			}
+			t.Fatal("no single-token deletion rejected; corpus too forgiving")
+		})
+	}
+}

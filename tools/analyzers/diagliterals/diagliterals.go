@@ -1,0 +1,85 @@
+// Package diagliterals flags composite literals of the pre-diag error
+// types — machine.Error, lexer.Error, grammarlint.Diagnostic — outside
+// their home packages.
+//
+// Those structs are transport: each layer raises its own failure shape and
+// converts it to a diag.Diagnostic at the boundary (the Diag methods own
+// the position math and the snippet-copy lifetime contract). A literal
+// built anywhere else bypasses that conversion — it fabricates a failure
+// the owning layer never raised, with coordinates nobody computed — and it
+// is how positioned-but-wrong errors crept in before the unified
+// diagnostics layer existed. Consumers should construct diag.Diagnostic
+// values (diag.New / diag.Errorf) directly instead.
+//
+// Test files are exempt: tests legitimately build these literals to
+// exercise conversion and rendering.
+package diagliterals
+
+import (
+	"go/ast"
+	"strings"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// owned maps a package qualifier to the error type it owns. Matching is
+// syntactic (pkgname.Type composite literals); the qualifiers are the
+// packages' declared names, which every importer in the repo uses
+// unrenamed — the analyzer's tests pin that down for the literal sites
+// that exist today, and an import renamed to dodge the lint would not
+// survive review.
+var owned = map[string]string{
+	"machine":     "Error",
+	"lexer":       "Error",
+	"grammarlint": "Diagnostic",
+}
+
+// Analyzer is the exported instance for multichecker bundling.
+var Analyzer = &analyzerkit.Analyzer{
+	Name: "diagliterals",
+	Doc: "flag composite literals of pre-diag error types outside their home packages\n\n" +
+		"machine.Error, lexer.Error, and grammarlint.Diagnostic are raised by their own\n" +
+		"layers and converted to diag.Diagnostic at the boundary; constructing them\n" +
+		"elsewhere bypasses the unified diagnostics layer and its position/snippet\n" +
+		"lifetime contracts.",
+	Run: run,
+}
+
+func run(pass *analyzerkit.Pass) error {
+	if _, isOwner := owned[pass.PkgName]; isOwner {
+		// Inside a home package the type is unqualified, so qualified
+		// literals cannot refer to it anyway — but skip early for clarity.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			typ := lit.Type
+			// A slice/array literal with elided element types
+			// ([]lexer.Error{{...}}) fabricates the same values; flag it
+			// once at the composite.
+			if arr, ok := typ.(*ast.ArrayType); ok {
+				typ = arr.Elt
+			}
+			sel, ok := typ.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || owned[pkg.Name] != sel.Sel.Name {
+				return true
+			}
+			if strings.HasSuffix(pass.Filename(lit.Pos()), "_test.go") {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"composite literal of %s.%s outside its home package: these error shapes are raised by their own layer and converted via Diag(); build a diag.Diagnostic (diag.New / diag.Errorf) instead",
+				pkg.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

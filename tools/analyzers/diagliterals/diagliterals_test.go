@@ -1,0 +1,95 @@
+package diagliterals
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// check parses the named sources as one package and runs the analyzer.
+func check(t *testing.T, files map[string]string) []analyzerkit.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	var diags []analyzerkit.Diagnostic
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+	pass := &analyzerkit.Pass{
+		Analyzer: Analyzer,
+		Fset:     fset,
+		Files:    parsed,
+		PkgName:  parsed[0].Name.Name,
+		PkgPath:  "test",
+	}
+	pass.SetReport(func(d analyzerkit.Diagnostic) { diags = append(diags, d) })
+	if err := Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestFlagsForeignLiterals(t *testing.T) {
+	diags := check(t, map[string]string{
+		"fabricate.go": `package parser
+func evil() {
+	_ = machine.Error{Reason: "made up"}
+	_ = &lexer.Error{Line: 1, Col: 1, Snippet: "fake"}
+	ds := []grammarlint.Diagnostic{{Rule: "x"}, grammarlint.Diagnostic{Rule: "y"}}
+	_ = ds
+}`,
+	})
+	// Four: the two struct literals, the slice literal (elided element
+	// types fabricate the same values), and the explicit element.
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "diag.Diagnostic") {
+			t.Errorf("diagnostic lacks the redirect to the diag layer: %s", d)
+		}
+	}
+}
+
+func TestAllowsHomePackagesAndTests(t *testing.T) {
+	diags := check(t, map[string]string{
+		// Home package: unqualified literal of its own type.
+		"machine.go": `package machine
+func raise() error { return &Error{Reason: "mine"} }`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("false positives in home package: %v", diags)
+	}
+	diags = check(t, map[string]string{
+		// Test file: fabrication is how conversion gets exercised.
+		"conv_test.go": `package parser
+func fixture() { _ = lexer.Error{Line: 1} }`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("false positives in test file: %v", diags)
+	}
+}
+
+func TestIgnoresUnrelatedSelectors(t *testing.T) {
+	diags := check(t, map[string]string{
+		"fine.go": `package cli
+func ok() {
+	_ = diag.Diagnostic{Message: "the unified layer is for everyone"}
+	_ = other.Error{}
+	_ = machine.Options{}
+	var e machine.Error // declaration without a literal: zero value, no fabricated position
+	_ = e
+}`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("false positives: %v", diags)
+	}
+}
