@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate bench-recover recover-gate alloc-guard fuzz-smoke vet lint vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate bench-recover recover-gate alloc-guard fuzz-smoke vet lint lint-baseline vet-grammars
 
 all: build test race
 
@@ -99,14 +99,27 @@ fuzz-smoke:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analyzers (tools/analyzers) bundled in cmd/costar-lint,
-# run through the standard `go vet -vettool` protocol: immutablecompiled
-# (no writes to compiled grammar/analysis tables outside their constructors),
-# cowedges (the shared SLL DFA cache is copy-on-write only), and diagliterals
-# (no pre-diag error literals outside their home packages).
+# Repo-specific static analyzers (tools/analyzers) bundled in cmd/costar-lint:
+# the syntactic table guards (immutablecompiled, cowedges, diagliterals) and
+# the typed contract checkers (scratchescape, windowalias, governortick,
+# lockorder) that prove the DESIGN.md §5 lifetime/aliasing/tick/lock
+# invariants. Two passes: the standalone run is the strict gate (full source
+# type resolution, baseline-filtered, exits non-zero on any fresh finding);
+# the `go vet -vettool` pass exercises the unitchecker protocol CI editors
+# use. The checked-in lint.baseline must stay empty — fix or
+# `//costar:allow <analyzer> -- <why>` new findings instead of baselining
+# them (lint-baseline exists for incremental adoption of future analyzers).
 lint:
 	$(GO) build -o bin/costar-lint ./cmd/costar-lint
-	$(GO) vet -vettool=$(CURDIR)/bin/costar-lint ./...
+	./bin/costar-lint -baseline=lint.baseline ./...
+	COSTAR_LINT_BASELINE=$(CURDIR)/lint.baseline $(GO) vet -vettool=$(CURDIR)/bin/costar-lint ./...
+
+# Regenerate lint.baseline from current findings. For bootstrapping a new
+# analyzer only; the committed baseline is expected to be empty and CI
+# guards that.
+lint-baseline:
+	$(GO) build -o bin/costar-lint ./cmd/costar-lint
+	./bin/costar-lint -baseline=lint.baseline -write-baseline ./...
 
 # Statically verify every bundled grammar: the four built-in languages and
 # the example grammars must all be diagnostic-free and certify.

@@ -4,20 +4,32 @@
 //	costar-lint ./internal/...                  # standalone, prints findings
 //	go vet -vettool=$(which costar-lint) ./...  # as a vet backend (CI)
 //
-// Analyzers: immutablecompiled (no writes to compiled grammar / analysis
-// tables outside their constructors), cowedges (no direct mutation of
-// shared DFA edge maps outside the copy-on-write path), and diagliterals
-// (no composite literals of pre-diag error types outside their home
-// packages — consumers build diag.Diagnostic values instead).
+// Syntactic table guards: immutablecompiled (no writes to compiled
+// grammar / analysis tables outside their constructors), cowedges (no
+// direct mutation of shared DFA edge maps outside the copy-on-write
+// path), diagliterals (no composite literals of pre-diag error types
+// outside their home packages).
+//
+// Typed contract checkers (DESIGN.md §5i): scratchescape (pooled scratch
+// never escapes into Results or the shared DFA cache uncopied),
+// windowalias (zero-copy input windows never stored outside their home
+// packages uncloned), governortick (input-proportional loops tick the
+// governor on every path), lockorder (COW publication and stats accesses
+// follow the mutex discipline).
+//
+// Standalone flags: -json for machine-readable output, -baseline=FILE to
+// filter known findings (fingerprints are line-number-free, so unrelated
+// edits don't invalidate them), -write-baseline to regenerate the file.
+// Under `go vet`, where cmd/go owns the command line, the baseline path
+// comes from COSTAR_LINT_BASELINE. `make lint` runs the standalone mode
+// against lint.baseline, which ships empty and must stay empty.
 package main
 
 import (
 	"costar/tools/analyzers/analyzerkit"
-	"costar/tools/analyzers/cowedges"
-	"costar/tools/analyzers/diagliterals"
-	"costar/tools/analyzers/immutablecompiled"
+	"costar/tools/analyzers/registry"
 )
 
 func main() {
-	analyzerkit.Main(immutablecompiled.Analyzer, cowedges.Analyzer, diagliterals.Analyzer)
+	analyzerkit.Main(registry.All()...)
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"costar/tools/analyzers/analyzerkit/kittest"
+	"costar/tools/analyzers/registry"
+)
+
+// TestEveryAnalyzerHasFixtures pins the bundling contract: each analyzer
+// in the registry ships at least one fixture package under its own
+// testdata, and the fixtures include at least one `// want` annotation —
+// so every bundled check demonstrably catches a violation (the want
+// lines) and accepts correct code (the unannotated rest). Adding an
+// analyzer to the registry without fixtures fails here, in CI.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, an := range registry.All() {
+		dir := filepath.Join("..", "..", "tools", "analyzers", an.Name, "testdata")
+		fixtures, err := kittest.Fixtures(dir)
+		if err != nil {
+			t.Errorf("analyzer %s: reading %s: %v", an.Name, dir, err)
+			continue
+		}
+		if len(fixtures) == 0 {
+			t.Errorf("analyzer %s has no fixture packages under %s", an.Name, dir)
+			continue
+		}
+		wants := 0
+		for _, fx := range fixtures {
+			names, err := filepath.Glob(filepath.Join(fx, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range names {
+				src, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants += bytes.Count(src, []byte(`// want "`))
+			}
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s fixtures carry no // want annotations: nothing proves it catches a violation", an.Name)
+		}
+	}
+}

@@ -173,6 +173,7 @@ func (s NTSet) Members() []grammar.NTID {
 // words are skipped so equal sets always serialize identically.
 func (s NTSet) AppendWords(buf []byte) []byte {
 	end := len(s.hi)
+	//costar:allow governortick -- bounded by len(s.hi): a word count fixed at grammar-compile time (nonterminal count / 64), independent of input size
 	for end > 0 && s.hi[end-1] == 0 {
 		end--
 	}

@@ -530,6 +530,7 @@ func (r *recovery) forceClose(st *State, steps int) Result {
 	p, s := st.Prefix, st.Suffix
 	pending := leaves
 	var carry *tree.Tree
+	//costar:allow governortick -- bounded by the suffix stack depth at the halt, already accounted by StepTick's stackDepth argument during the parse that built it
 	for s != nil && s.Below != nil {
 		kids := m.forestInOrderIn(p.F)
 		if len(pending) > 0 {

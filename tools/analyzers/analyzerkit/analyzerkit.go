@@ -1,22 +1,27 @@
 // Package analyzerkit is a dependency-free miniature of the
 // golang.org/x/tools/go/analysis framework: an Analyzer inspects the parsed
-// (not type-checked) files of one package through a Pass and reports
-// positioned diagnostics. The driver half (driver.go) runs analyzers either
-// standalone over package directories or as a `go vet -vettool` backend.
+// files of one package through a Pass and reports positioned diagnostics.
+// The driver half (driver.go) runs analyzers either standalone over package
+// directories or as a `go vet -vettool` backend.
 //
-// The repo's analyzers guard unexported invariants — writes to
-// grammar.Compiled tables, mutation of shared DFA edge maps — so a
-// syntactic analysis is sound here: the protected fields are unexported,
-// which confines potential writes to their owning packages, and within one
-// package a field name identifies the field up to intra-package aliasing
-// that the analyzers' allowlists account for.
+// Two tiers of analysis coexist. Syntactic analyzers inspect the parsed
+// ASTs only — sound for invariants over unexported fields, which confines
+// potential writes to their owning packages. Typed analyzers (NeedTypes)
+// additionally receive go/types resolution (Pass.Pkg / Pass.Info) from the
+// kit's Loader (types.go), which imports dependencies from vet-provided
+// export data or straight from source; on top of that, flow.go provides an
+// intra-procedural taint/escape walker with per-package call summaries, and
+// paths.go an every-path must-analysis — the machinery the contract
+// checkers (scratchescape, windowalias, governortick, lockorder) build on.
 package analyzerkit
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
+	"strings"
 )
 
 // Analyzer is one static check, mirroring the x/tools analysis.Analyzer
@@ -30,6 +35,15 @@ type Analyzer struct {
 	// pass.Reportf. A returned error aborts the whole run (it means the
 	// analyzer itself failed, not that the code has findings).
 	Run func(pass *Pass) error
+	// NeedTypes requests go/types resolution: the driver populates
+	// Pass.Pkg and Pass.Info before Run. Type-checking is paid only for
+	// packages some requesting analyzer Matches.
+	NeedTypes bool
+	// Match, when non-nil, gates the analyzer to packages it cares about
+	// (by declared package name and import/directory path). A nil Match
+	// runs everywhere. Matching cheaply up front is what keeps typed
+	// analysis from taxing every `go vet` invocation.
+	Match func(pkgName, pkgPath string) bool
 }
 
 // Pass carries one package's parsed files to an analyzer.
@@ -44,7 +58,18 @@ type Pass struct {
 	// standalone mode. Diagnostics should not depend on which.
 	PkgPath string
 
+	// Pkg and Info carry go/types resolution for NeedTypes analyzers
+	// (nil/empty otherwise, or when the driver could not type-check —
+	// see TypesErr). Info has Types, Defs, Uses, and Selections filled.
+	Pkg  *types.Package
+	Info *types.Info
+	// TypesErr records why type resolution is unavailable or partial.
+	// Typed analyzers should degrade rather than crash: with a nil Info
+	// they may fall back to syntactic matching or return nil.
+	TypesErr error
+
 	report func(Diagnostic)
+	allows map[string]map[int]allow // filename → line → suppression
 }
 
 // Diagnostic is one finding, already resolved to a file position.
@@ -65,13 +90,86 @@ func (d Diagnostic) String() string {
 // findings in memory.
 func (p *Pass) SetReport(fn func(Diagnostic)) { p.report = fn }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos — unless the finding's line (or the
+// line above it) carries a justified suppression comment for this analyzer:
+//
+//	//costar:allow <analyzer>[,<analyzer>...] -- <why this is sound>
+//
+// The justification after " -- " is mandatory; an allow comment without one
+// is itself reported, so every suppression in the tree documents its
+// reasoning.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if a, ok := p.allowAt(position); ok {
+		if a.reason == "" {
+			p.report(Diagnostic{
+				Pos:      relPosition(position),
+				Message:  "costar:allow suppression without a justification (add ` -- <reason>`)",
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+		return
+	}
 	p.report(Diagnostic{
-		Pos:      p.Fset.Position(pos),
+		Pos:      relPosition(position),
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
 	})
+}
+
+// allow is one parsed //costar:allow directive.
+type allow struct {
+	analyzers map[string]bool
+	reason    string
+}
+
+// allowAt reports whether a suppression for the running analyzer covers the
+// given position (same line or the line immediately above).
+func (p *Pass) allowAt(position token.Position) (allow, bool) {
+	if p.allows == nil {
+		p.allows = map[string]map[int]allow{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					a, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					byLine := p.allows[cp.Filename]
+					if byLine == nil {
+						byLine = map[int]allow{}
+						p.allows[cp.Filename] = byLine
+					}
+					byLine[cp.Line] = a
+				}
+			}
+		}
+	}
+	byLine := p.allows[position.Filename]
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		if a, ok := byLine[line]; ok && a.analyzers[p.Analyzer.Name] {
+			return a, true
+		}
+	}
+	return allow{}, false
+}
+
+// parseAllow parses a `//costar:allow names -- reason` comment.
+func parseAllow(text string) (allow, bool) {
+	rest, ok := strings.CutPrefix(text, "//costar:allow")
+	if !ok {
+		return allow{}, false
+	}
+	rest = strings.TrimSpace(rest)
+	names, reason, _ := strings.Cut(rest, " -- ")
+	a := allow{analyzers: map[string]bool{}, reason: strings.TrimSpace(reason)}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			a.analyzers[n] = true
+		}
+	}
+	return a, len(a.analyzers) > 0
 }
 
 // Filename returns the base name of the file containing pos — what
@@ -127,4 +225,111 @@ func SelectorsIn(e ast.Expr) []*ast.SelectorExpr {
 		return true
 	})
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Typed helpers shared by the contract analyzers
+// ---------------------------------------------------------------------------
+
+// Deref strips pointers off t.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// IsNamed reports whether t (possibly behind pointers) is the named type
+// pkgName.typeName. Matching is by declared package name rather than full
+// import path so that analyzer fixtures — self-contained replicas of the
+// guarded packages under testdata — exercise the same spec the real
+// packages are held to.
+func IsNamed(t types.Type, pkgName, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == typeName &&
+		obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// ReceiverOf resolves the method called by a selector call expression and
+// returns the receiver's named type name and package name ("" when the call
+// target is not a resolvable method). Both value and pointer receivers
+// resolve to the same name.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) (pkgName, typeName, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || info == nil {
+		return "", "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", ""
+	}
+	n, ok := Deref(sig.Recv().Type()).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", "", ""
+	}
+	return n.Obj().Pkg().Name(), n.Obj().Name(), fn.Name()
+}
+
+// FieldOf resolves a selector expression to the named struct type declaring
+// the selected field. It returns ("", "", "") when sel is not a field
+// selection or the base type is unresolvable.
+func FieldOf(info *types.Info, sel *ast.SelectorExpr) (pkgName, typeName, field string) {
+	if info == nil {
+		return "", "", ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", "", ""
+	}
+	// Resolve against the type that actually declares the field (walking
+	// the embedding path), so promoted fields still name their owner.
+	t := selection.Recv()
+	for _, idx := range selection.Index() {
+		s, ok := Deref(t).Underlying().(*types.Struct)
+		if !ok || idx >= s.NumFields() {
+			return "", "", ""
+		}
+		f := s.Field(idx)
+		if f.Name() == sel.Sel.Name {
+			n, ok := Deref(t).(*types.Named)
+			if !ok || n.Obj().Pkg() == nil {
+				return "", "", ""
+			}
+			return n.Obj().Pkg().Name(), n.Obj().Name(), f.Name()
+		}
+		t = f.Type()
+	}
+	return "", "", ""
+}
+
+// CalleeOf resolves the function or method invoked by call ("" when the
+// callee is dynamic or unresolvable). Methods report their bare name;
+// package functions likewise — pair with ReceiverOf to disambiguate.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }

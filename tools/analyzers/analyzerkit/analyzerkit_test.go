@@ -66,7 +66,7 @@ func b() {}`)
 			return nil
 		},
 	}
-	diags, err := runPackage(fset, []*ast.File{f}, "p", []*Analyzer{an})
+	diags, err := runPackage(fset, []*ast.File{f}, "p", []*Analyzer{an}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

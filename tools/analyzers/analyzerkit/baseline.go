@@ -1,0 +1,94 @@
+package analyzerkit
+
+// Baseline files let a new analyzer land before every pre-existing finding
+// is burned down: known findings are recorded with stable fingerprints and
+// filtered from output until fixed. A fingerprint deliberately excludes
+// line/column — edits elsewhere in a file must not invalidate the
+// baseline — and duplicate findings are matched by occurrence count.
+//
+// The format is one tab-separated line per finding:
+//
+//	analyzer<TAB>file<TAB>message
+//
+// sorted, with '#'-prefixed comment lines ignored. The repo ships an empty
+// baseline (every real finding was fixed or annotated); the mechanism
+// exists so future analyzers can be introduced incrementally.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fingerprint is the stable identity of one diagnostic.
+func fingerprint(d Diagnostic) string {
+	file := filepath.ToSlash(d.Pos.Filename)
+	// Message text goes in verbatim — analyzers phrase messages around
+	// stable facts (type, field, function names), not positions.
+	return d.Analyzer + "\t" + file + "\t" + strings.ReplaceAll(d.Message, "\t", " ")
+}
+
+// loadBaseline reads a baseline file into fingerprint → allowed count.
+// A missing file is an empty baseline.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]int{}, nil
+		}
+		return nil, err
+	}
+	counts := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline line (want analyzer<TAB>file<TAB>message)", path, i+1)
+		}
+		counts[line]++
+	}
+	return counts, nil
+}
+
+// filterBaseline removes baselined findings (by fingerprint, up to the
+// recorded occurrence count) and returns the survivors plus the number
+// of baseline entries that no longer match anything (stale entries).
+func filterBaseline(diags []Diagnostic, counts map[string]int) (fresh []Diagnostic, stale int) {
+	remaining := make(map[string]int, len(counts))
+	for k, v := range counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		fp := fingerprint(d)
+		if remaining[fp] > 0 {
+			remaining[fp]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, v := range remaining {
+		stale += v
+	}
+	return fresh, stale
+}
+
+// writeBaseline regenerates a baseline file from the given findings.
+func writeBaseline(path string, diags []Diagnostic) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, fingerprint(d))
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# costar-lint baseline: known findings filtered from output until fixed.\n")
+	b.WriteString("# Regenerate with `make lint-baseline`. The checked-in baseline must stay empty.\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o666)
+}

@@ -1,0 +1,105 @@
+package analyzerkit
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Message:  msg,
+		Pos:      token.Position{Filename: file, Line: 7},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	diags := []Diagnostic{
+		diag("governortick", "internal/machine/step.go", "loop without tick"),
+		diag("governortick", "internal/machine/step.go", "loop without tick"),
+		diag("windowalias", "internal/gviz/dot.go", "window stored"),
+	}
+	if err := writeBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := filterBaseline(diags, counts)
+	if len(fresh) != 0 || stale != 0 {
+		t.Fatalf("round trip: fresh=%d stale=%d, want 0/0", len(fresh), stale)
+	}
+}
+
+func TestBaselineCountsOccurrencesAndStaleness(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	recorded := []Diagnostic{
+		diag("governortick", "a.go", "loop without tick"),
+		diag("governortick", "a.go", "loop without tick"),
+		diag("lockorder", "gone.go", "stats without statsMu"),
+	}
+	if err := writeBaseline(path, recorded); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three current findings against a baseline holding two occurrences:
+	// one survives; the lockorder entry no longer matches anything.
+	current := []Diagnostic{
+		diag("governortick", "a.go", "loop without tick"),
+		diag("governortick", "a.go", "loop without tick"),
+		diag("governortick", "a.go", "loop without tick"),
+	}
+	fresh, stale := filterBaseline(current, counts)
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %d, want 1 (occurrence counting)", len(fresh))
+	}
+	if stale != 1 {
+		t.Fatalf("stale = %d, want 1 (the gone.go entry)", stale)
+	}
+}
+
+func TestBaselineLineNumbersDoNotMatter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	old := diag("windowalias", "x.go", "window stored")
+	if err := writeBaseline(path, []Diagnostic{old}); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := old
+	moved.Pos.Line = 99 // the file was edited above the finding
+	fresh, stale := filterBaseline([]Diagnostic{moved}, counts)
+	if len(fresh) != 0 || stale != 0 {
+		t.Fatalf("edit-stability: fresh=%d stale=%d, want 0/0", len(fresh), stale)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	counts, err := loadBaseline(filepath.Join(t.TempDir(), "absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Fatalf("missing baseline loaded %d entries, want 0", len(counts))
+	}
+}
+
+func TestBaselineRejectsMalformedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte("# comment\nnot a fingerprint\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v, want malformed-line error", err)
+	}
+}

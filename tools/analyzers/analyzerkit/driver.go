@@ -8,6 +8,21 @@ package analyzerkit
 // line, cfg parsing, facts-file creation, diagnostics on stderr with exit
 // code 2 — is everything cmd/go requires from a vet tool that neither
 // exports nor imports facts.
+//
+// Typed analyzers (NeedTypes) get go/types resolution in both modes: from
+// the unit's export data under vet, from source standalone (types.go).
+// Standalone is the strict gate — `make lint` runs it over the repo — so
+// the vet path degrades gracefully (Pass.TypesErr) when export data is
+// missing rather than failing builds that `go vet` itself accepts.
+//
+// Diagnostics print as file:line:col with paths relativized to the
+// current directory, identically in both modes, so baselines and editor
+// jump-to-position behave the same however the tool is invoked. The
+// -json flag (standalone) switches to one machine-readable array on
+// stdout, mirroring `costar -format json` conventions. Baselines
+// (-baseline=FILE standalone, COSTAR_LINT_BASELINE under vet, where
+// cmd/go owns the command line) filter known findings; -write-baseline
+// regenerates the file from the current findings.
 
 import (
 	"encoding/json"
@@ -43,6 +58,15 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// options are the driver flags (standalone mode; vet mode reads the
+// baseline path from COSTAR_LINT_BASELINE because cmd/go owns the
+// command line there).
+type options struct {
+	json          bool
+	baselinePath  string
+	writeBaseline bool
+}
+
 // Main is the entry point for an analyzer bundle binary. It never returns:
 // the process exits 0 on a clean run, 1 on driver errors, 2 on findings
 // (the exit code `go vet` interprets as "diagnostics were reported").
@@ -53,17 +77,37 @@ func Main(analyzers ...*Analyzer) {
 	for _, a := range args {
 		switch a {
 		case "-V=full", "-V":
-			fmt.Printf("%s version 1 (analyzerkit)\n", filepath.Base(os.Args[0]))
+			fmt.Printf("%s version 2 (analyzerkit)\n", filepath.Base(os.Args[0]))
 			os.Exit(0)
 		case "-flags":
 			// cmd/go asks the tool which flags it supports and forwards the
-			// matching subset of the vet command line; this driver takes none.
+			// matching subset of the vet command line; this driver takes
+			// none there (standalone flags are parsed below instead).
 			fmt.Println("[]")
 			os.Exit(0)
 		}
 	}
-	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: %s [package-dir | ./... | unit.cfg]...\n\nanalyzers:\n", filepath.Base(os.Args[0]))
+	var opts options
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-json":
+			opts.json = true
+		case strings.HasPrefix(a, "-baseline="):
+			opts.baselinePath = strings.TrimPrefix(a, "-baseline=")
+		case a == "-write-baseline":
+			opts.writeBaseline = true
+		case strings.HasPrefix(a, "-") && !strings.HasSuffix(a, ".cfg"):
+			fatal(fmt.Errorf("unknown flag %s (supported: -json, -baseline=FILE, -write-baseline)", a))
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if opts.writeBaseline && opts.baselinePath == "" {
+		fatal(fmt.Errorf("-write-baseline requires -baseline=FILE"))
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-baseline=FILE [-write-baseline]] [package-dir | ./... | unit.cfg]...\n\nanalyzers:\n", filepath.Base(os.Args[0]))
 		for _, an := range analyzers {
 			doc := an.Doc
 			if i := strings.IndexByte(doc, '\n'); i >= 0 {
@@ -73,15 +117,16 @@ func Main(analyzers ...*Analyzer) {
 		}
 		os.Exit(1)
 	}
-	if strings.HasSuffix(args[0], ".cfg") {
-		runVetUnit(args[0], analyzers)
+	if strings.HasSuffix(patterns[0], ".cfg") {
+		runVetUnit(patterns[0], analyzers)
 		return
 	}
-	runStandalone(args, analyzers)
+	runStandalone(patterns, analyzers, opts)
 }
 
 // runVetUnit handles one unitchecker invocation: parse the unit's files,
-// run the analyzers, write the (empty) facts file, report to stderr.
+// type-check against the unit's export data, run the analyzers, write the
+// (empty) facts file, report to stderr.
 func runVetUnit(cfgPath string, analyzers []*Analyzer) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -114,9 +159,17 @@ func runVetUnit(cfgPath string, analyzers []*Analyzer) {
 		}
 		files = append(files, f)
 	}
-	diags, err := runPackage(fset, files, cfg.ImportPath, analyzers)
+	loader := newVetLoader(fset, &cfg)
+	diags, err := runPackage(fset, files, cfg.ImportPath, analyzers, loader)
 	if err != nil {
 		fatal(err)
+	}
+	if path := os.Getenv("COSTAR_LINT_BASELINE"); path != "" {
+		counts, err := loadBaseline(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, _ = filterBaseline(diags, counts)
 	}
 	if len(diags) > 0 {
 		for _, d := range diags {
@@ -128,15 +181,21 @@ func runVetUnit(cfgPath string, analyzers []*Analyzer) {
 }
 
 // runStandalone analyzes package directories named directly or via Go's
-// "dir/..." wildcard, grouping each directory's files into one pass.
-func runStandalone(patterns []string, analyzers []*Analyzer) {
+// "dir/..." wildcard, grouping each directory's files into one pass. One
+// FileSet and one source Loader span the whole run so type-checked
+// dependencies are shared across packages.
+func runStandalone(patterns []string, analyzers []*Analyzer, opts options) {
 	dirs, err := expandPatterns(patterns)
 	if err != nil {
 		fatal(err)
 	}
+	fset := token.NewFileSet()
+	var loader *Loader
+	if len(dirs) > 0 {
+		loader = newSourceLoader(fset, dirs[0])
+	}
 	var all []Diagnostic
 	for _, dir := range dirs {
-		fset := token.NewFileSet()
 		pkgs := map[string][]*ast.File{}
 		names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 		if err != nil {
@@ -158,15 +217,38 @@ func runStandalone(patterns []string, analyzers []*Analyzer) {
 		}
 		sort.Strings(pkgNames)
 		for _, name := range pkgNames {
-			diags, err := runPackage(fset, pkgs[name], dir, analyzers)
+			diags, err := runPackage(fset, pkgs[name], dir, analyzers, loader)
 			if err != nil {
 				fatal(err)
 			}
 			all = append(all, diags...)
 		}
 	}
-	for _, d := range all {
-		fmt.Println(d)
+	if opts.writeBaseline {
+		if err := writeBaseline(opts.baselinePath, all); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d finding(s) to %s\n", len(all), opts.baselinePath)
+		os.Exit(0)
+	}
+	var stale int
+	if opts.baselinePath != "" {
+		counts, err := loadBaseline(opts.baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		all, stale = filterBaseline(all, counts)
+	}
+	if opts.json {
+		emitJSON(all)
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d stale baseline entr%s no longer match any finding (regenerate with -write-baseline)\n",
+			stale, map[bool]string{true: "y", false: "ies"}[stale == 1])
 	}
 	if len(all) > 0 {
 		os.Exit(2)
@@ -174,23 +256,70 @@ func runStandalone(patterns []string, analyzers []*Analyzer) {
 	os.Exit(0)
 }
 
+// jsonDiagnostic mirrors the costar CLI's lowercase-key JSON conventions.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emitJSON writes every finding as one JSON array on stdout.
+func emitJSON(diags []Diagnostic) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
 // runPackage applies every analyzer to one parsed package and returns the
-// findings sorted by position.
-func runPackage(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// findings sorted by position. Type resolution is computed once, and only
+// when some matching analyzer asks for it.
+func runPackage(fset *token.FileSet, files []*ast.File, pkgPath string, analyzers []*Analyzer, loader *Loader) ([]Diagnostic, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
+	pkgName := files[0].Name.Name
+	matched := func(an *Analyzer) bool {
+		return an.Match == nil || an.Match(pkgName, filepath.ToSlash(pkgPath))
+	}
+	pass := &Pass{
+		Fset:    fset,
+		Files:   files,
+		PkgName: pkgName,
+		PkgPath: pkgPath,
+	}
+	for _, an := range analyzers {
+		if an.NeedTypes && matched(an) {
+			if loader == nil {
+				pass.TypesErr = fmt.Errorf("no type information available in this mode")
+				break
+			}
+			pass.Pkg, pass.Info, pass.TypesErr = loader.Check(pkgPath, files)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, an := range analyzers {
-		pass := &Pass{
-			Analyzer: an,
-			Fset:     fset,
-			Files:    files,
-			PkgName:  files[0].Name.Name,
-			PkgPath:  pkgPath,
+		if !matched(an) {
+			continue
 		}
-		pass.SetReport(func(d Diagnostic) { diags = append(diags, d) })
-		if err := an.Run(pass); err != nil {
+		p := *pass
+		p.Analyzer = an
+		p.SetReport(func(d Diagnostic) { diags = append(diags, d) })
+		if err := an.Run(&p); err != nil {
 			return nil, fmt.Errorf("%s: %w", an.Name, err)
 		}
 	}
@@ -250,6 +379,35 @@ func expandPatterns(patterns []string) ([]string, error) {
 		}
 	}
 	return dirs, nil
+}
+
+// repoRoot anchors path relativization: diagnostics print module-relative
+// paths identically whether the tool runs standalone (cwd = repo root) or
+// under `go vet` (cwd and file names chosen by cmd/go), so editor links,
+// baselines, and CI logs agree across modes.
+var repoRoot = func() string {
+	root, _ := findModule(".")
+	return root
+}()
+
+// relPosition rewrites an absolute filename to a module-relative one when
+// the file lives under the repo; anything else is left alone.
+func relPosition(p token.Position) token.Position {
+	if p.Filename == "" || repoRoot == "" {
+		return p
+	}
+	abs := p.Filename
+	if !filepath.IsAbs(abs) {
+		a, err := filepath.Abs(abs)
+		if err != nil {
+			return p
+		}
+		abs = a
+	}
+	if r, err := filepath.Rel(repoRoot, abs); err == nil && !strings.HasPrefix(r, "..") {
+		p.Filename = filepath.ToSlash(r)
+	}
+	return p
 }
 
 func fatal(err error) {

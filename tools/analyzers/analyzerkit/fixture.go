@@ -1,0 +1,50 @@
+package analyzerkit
+
+// AnalyzeDir runs one analyzer over the single package in dir with full
+// source type-checking — the entry point the kittest fixture harness (and
+// any ad-hoc debugging) uses, mirroring what the standalone driver does
+// for real packages. Match gating applies: a fixture whose package name
+// the analyzer does not Match produces no findings, which the harness
+// surfaces as unfulfilled expectations rather than silently passing.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// AnalyzeDir parses, type-checks (when the analyzer needs it), and runs
+// an on the package in dir, returning its sorted findings.
+func AnalyzeDir(an *Analyzer, dir string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if files[0].Name == nil {
+		return nil, fmt.Errorf("unnamed package in %s", dir)
+	}
+	for _, f := range files[1:] {
+		if f.Name.Name != files[0].Name.Name {
+			return nil, fmt.Errorf("%s holds multiple packages (%s, %s); fixtures are one package per directory",
+				dir, files[0].Name.Name, f.Name.Name)
+		}
+	}
+	loader := newSourceLoader(fset, dir)
+	return runPackage(fset, files, dir, []*Analyzer{an}, loader)
+}

@@ -1,0 +1,446 @@
+package analyzerkit
+
+// A lightweight intra-procedural taint walker over go/types-resolved ASTs,
+// with per-package function summaries so facts propagate across calls
+// within a package. It is deliberately modest — flow-insensitive within a
+// function (a fixpoint over assignments, so loops and reassignment chains
+// converge), field-insensitive on local structs, and silent about calls it
+// cannot resolve — which is the right bias for a contract checker: the
+// specs (TaintSpec) name the handful of scratch sources and deep-copy
+// sanitizers precisely, and the Type filter stops taint from bleeding
+// through value types that cannot alias pooled memory.
+//
+// Taint is tracked as a bitmask: bit 0 means "derived from a Source", bit
+// i+1 means "derived from parameter i of the enclosing function". The
+// parameter bits exist only to compute call summaries — for a function
+// whose return value carries bit i+1, callers substitute the mask of
+// argument i at each call site — so source taint crosses intra-package
+// call boundaries in both directions (returned scratch, and scratch
+// laundered through a helper).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintMask is a taint lattice element; see the package comment above.
+type taintMask uint64
+
+const sourceBit taintMask = 1
+
+// maxTrackedParams bounds how many leading parameters get their own bit.
+const maxTrackedParams = 16
+
+func paramBit(i int) taintMask {
+	if i >= maxTrackedParams {
+		return 0
+	}
+	return 1 << (i + 1)
+}
+
+// TaintSpec configures a Flow engine. All hooks may assume Pass.Info is
+// non-nil (Flow refuses to build without type information).
+type TaintSpec struct {
+	// Source reports whether evaluating e introduces fresh taint. It is
+	// consulted for call expressions and selector (field read)
+	// expressions.
+	Source func(p *Pass, e ast.Expr) bool
+	// Sanitizer reports whether call's result is clean regardless of its
+	// arguments — the recognized deep-copy functions.
+	Sanitizer func(p *Pass, call *ast.CallExpr) bool
+	// Propagate, when it returns (expr, true), makes call's result
+	// inherit expr's taint — for known alias-preserving helpers (e.g.
+	// substring-returning strings functions, arena allocation methods).
+	// Consulted after Sanitizer and Source.
+	Propagate func(p *Pass, call *ast.CallExpr) (ast.Expr, bool)
+	// Type reports whether a value of type t can carry taint at all.
+	// Returning false cuts propagation: copying a scalar or a
+	// by-value element out of tainted structure yields a clean value.
+	// nil means every type can carry taint.
+	Type func(t types.Type) bool
+}
+
+// summary describes one package function: the taint mask of its return
+// values, expressed over the source bit and its own parameter bits.
+type summary struct {
+	returns taintMask
+}
+
+// Flow is the per-package taint engine. Build one with NewFlow (which
+// computes call summaries for every function declaration in the package),
+// then Analyze a function and query Tainted on expressions inside it.
+type Flow struct {
+	pass      *Pass
+	spec      TaintSpec
+	summaries map[*types.Func]summary
+	decls     map[*types.Func]*ast.FuncDecl
+
+	// Per-Analyze state.
+	tainted map[types.Object]taintMask
+	params  map[types.Object]int
+}
+
+// NewFlow builds the engine and runs the package-level summary fixpoint.
+// Returns nil when pass has no type information.
+func NewFlow(pass *Pass, spec TaintSpec) *Flow {
+	if pass.Info == nil {
+		return nil
+	}
+	f := &Flow{
+		pass:      pass,
+		spec:      spec,
+		summaries: map[*types.Func]summary{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				f.decls[fn] = fd
+			}
+		}
+	}
+	// Fixpoint: re-summarize until no summary changes. Package call
+	// graphs are shallow; this converges in a handful of rounds.
+	for range [8]struct{}{} {
+		changed := false
+		for fn, fd := range f.decls {
+			s := f.summarize(fn, fd)
+			if s != f.summaries[fn] {
+				f.summaries[fn] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return f
+}
+
+// summarize computes one function's summary with parameters seeded to
+// their own bits.
+func (f *Flow) summarize(fn *types.Func, fd *ast.FuncDecl) summary {
+	f.seed(fn, fd, true)
+	f.propagate(fd.Body)
+	var ret taintMask
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure's returns are not fn's returns
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				ret |= f.eval(res)
+			}
+		}
+		return true
+	})
+	return summary{returns: ret}
+}
+
+// Analyze runs the local fixpoint for fd with parameters clean, after
+// which Tainted answers queries for expressions within fd.
+func (f *Flow) Analyze(fd *ast.FuncDecl) {
+	if f == nil || fd.Body == nil {
+		return
+	}
+	fn, _ := f.pass.Info.Defs[fd.Name].(*types.Func)
+	f.seed(fn, fd, false)
+	f.propagate(fd.Body)
+}
+
+// Tainted reports whether e derives from a Source in the function last
+// given to Analyze.
+func (f *Flow) Tainted(e ast.Expr) bool {
+	if f == nil {
+		return false
+	}
+	return f.eval(e)&sourceBit != 0
+}
+
+// seed resets per-function state; withParamBits seeds each parameter with
+// its own bit (summary mode) instead of clean (analysis mode).
+func (f *Flow) seed(fn *types.Func, fd *ast.FuncDecl, withParamBits bool) {
+	f.tainted = map[types.Object]taintMask{}
+	f.params = map[types.Object]int{}
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		f.params[p] = i
+		if withParamBits {
+			f.tainted[p] = paramBit(i)
+		}
+	}
+}
+
+// propagate runs the assignment fixpoint over body.
+func (f *Flow) propagate(body *ast.BlockStmt) {
+	for range [16]struct{}{} {
+		if !f.sweep(body) {
+			return
+		}
+	}
+}
+
+// sweep makes one pass over every statement, returning whether any
+// object's mask grew.
+func (f *Flow) sweep(body *ast.BlockStmt) bool {
+	changed := false
+	taint := func(obj types.Object, m taintMask) {
+		if obj == nil || m == 0 {
+			return
+		}
+		if old := f.tainted[obj]; old|m != old {
+			f.tainted[obj] = old | m
+			changed = true
+		}
+	}
+	// taintTarget attributes a mask to the object ultimately written
+	// through: storing taint into x.f, x[i], or *x taints x itself
+	// (the local container now reaches tainted memory).
+	var taintTarget func(e ast.Expr, m taintMask)
+	taintTarget = func(e ast.Expr, m taintMask) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			taint(f.objOf(e), m)
+		case *ast.ParenExpr:
+			taintTarget(e.X, m)
+		case *ast.StarExpr:
+			taintTarget(e.X, m)
+		case *ast.SelectorExpr:
+			taintTarget(e.X, m)
+		case *ast.IndexExpr:
+			taintTarget(e.X, m)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// Multi-value: every lhs gets the rhs mask.
+				m := f.eval(n.Rhs[0])
+				for _, lhs := range n.Lhs {
+					taintTarget(lhs, m)
+				}
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					taintTarget(lhs, f.eval(n.Rhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					taint(f.objOf(name), f.eval(n.Values[i]))
+				} else if len(n.Values) == 1 {
+					taint(f.objOf(name), f.eval(n.Values[0]))
+				}
+			}
+		case *ast.RangeStmt:
+			m := f.eval(n.X)
+			taintTarget(n.Key, m)
+			if n.Value != nil {
+				taintTarget(n.Value, f.filter(m, n.Value))
+			}
+		case *ast.CallExpr:
+			// copy(dst, src) aliases src's elements into dst.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				taintTarget(n.Args[0], f.eval(n.Args[1]))
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// objOf resolves an identifier to its object (nil for blank or unresolved).
+func (f *Flow) objOf(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj, ok := f.pass.Info.Defs[id]; ok {
+		return obj
+	}
+	return f.pass.Info.Uses[id]
+}
+
+// filter applies the spec's Type gate to a mask for expression e.
+func (f *Flow) filter(m taintMask, e ast.Expr) taintMask {
+	if m == 0 || f.spec.Type == nil {
+		return m
+	}
+	if tv, ok := f.pass.Info.Types[e]; ok && tv.Type != nil {
+		if !f.spec.Type(tv.Type) {
+			return 0
+		}
+	}
+	return m
+}
+
+// eval computes the taint mask of an expression.
+func (f *Flow) eval(e ast.Expr) taintMask {
+	return f.filter(f.evalRaw(e), e)
+}
+
+func (f *Flow) evalRaw(e ast.Expr) taintMask {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return f.tainted[f.objOf(e)]
+	case *ast.ParenExpr:
+		return f.eval(e.X)
+	case *ast.StarExpr:
+		return f.eval(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return f.eval(e.X)
+		}
+		return 0 // <-ch, !b, -n: fresh or scalar values
+	case *ast.SelectorExpr:
+		if f.spec.Source != nil && f.spec.Source(f.pass, e) {
+			return sourceBit
+		}
+		// A field of a tainted base is tainted (field-insensitive);
+		// a package-qualified name is not an access at all.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := f.pass.Info.Uses[id].(*types.PkgName); isPkg {
+				return 0
+			}
+		}
+		return f.eval(e.X)
+	case *ast.IndexExpr:
+		return f.eval(e.X)
+	case *ast.SliceExpr:
+		return f.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return f.eval(e.X)
+	case *ast.CompositeLit:
+		var m taintMask
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= f.eval(kv.Value)
+			} else {
+				m |= f.eval(elt)
+			}
+		}
+		return m
+	case *ast.BinaryExpr:
+		// Binary ops yield fresh values (string concat allocates a new
+		// backing array; pointer arithmetic does not exist).
+		return 0
+	case *ast.CallExpr:
+		return f.evalCall(e)
+	}
+	return 0
+}
+
+func (f *Flow) evalCall(call *ast.CallExpr) taintMask {
+	// Conversions: converting to a basic type (notably string(b),
+	// []byte(s) handled below as composite of basic) copies; pointer
+	// and struct conversions preserve aliasing.
+	if tv, ok := f.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		t := tv.Type.Underlying()
+		if _, basic := t.(*types.Basic); basic {
+			return 0
+		}
+		if s, ok := t.(*types.Slice); ok {
+			if _, basic := s.Elem().Underlying().(*types.Basic); basic {
+				return 0 // []byte(string) copies
+			}
+		}
+		return f.eval(call.Args[0])
+	}
+	if f.spec.Sanitizer != nil && f.spec.Sanitizer(f.pass, call) {
+		return 0
+	}
+	if f.spec.Source != nil && f.spec.Source(f.pass, call) {
+		return sourceBit
+	}
+	if f.spec.Propagate != nil {
+		if from, ok := f.spec.Propagate(f.pass, call); ok {
+			return f.eval(from)
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "append":
+			// append may alias its first argument's backing array, and
+			// the appended elements are retained — but a spread of a
+			// slice whose *elements* cannot carry taint is a clean copy
+			// (append([]int(nil), scratchInts...) is a sanctioned
+			// deep-copy idiom).
+			m := f.eval(call.Args[0])
+			for i, a := range call.Args[1:] {
+				am := f.eval(a)
+				if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+					am = f.filterSliceElem(am, a)
+				}
+				m |= am
+			}
+			return m
+		case "new", "make", "len", "cap", "copy", "min", "max", "delete", "clear":
+			return 0
+		}
+	}
+	// Calls into the same package: substitute argument masks per the
+	// callee's summary.
+	if fn := CalleeOf(f.pass.Info, call); fn != nil {
+		if sum, ok := f.summaries[fn]; ok {
+			var m taintMask
+			if sum.returns&sourceBit != 0 {
+				m |= sourceBit
+			}
+			for i, a := range call.Args {
+				if sum.returns&paramBit(i) != 0 {
+					m |= f.eval(a)
+				}
+			}
+			// A method summary cannot track its receiver here; a
+			// method on a tainted receiver returning reachable state
+			// is covered by the Source hook instead.
+			return m
+		}
+	}
+	// Unresolved or extra-package method call: a method on a tainted
+	// receiver is assumed to return a view of it (the caller's eval
+	// filters the result by Type, so value-returning accessors stay
+	// clean); anything else allocates fresh memory. The specs name
+	// further exceptions via Sanitizer/Propagate.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if _, isSel := f.pass.Info.Selections[sel]; isSel {
+			return f.eval(sel.X)
+		}
+	}
+	return 0
+}
+
+// filterSliceElem zeroes a mask when e is a slice whose element type
+// cannot carry taint (its elements are copied by value).
+func (f *Flow) filterSliceElem(m taintMask, e ast.Expr) taintMask {
+	if m == 0 || f.spec.Type == nil {
+		return m
+	}
+	tv, ok := f.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return m
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return m
+	}
+	if !f.spec.Type(s.Elem()) {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+// Package kittest is the fixture-test harness for analyzerkit analyzers,
+// a miniature of x/tools' analysistest: each fixture is one package
+// directory under the analyzer's testdata, annotated with
+//
+//	someStatement() // want "regexp"
+//
+// comments. Run analyzes the package with full source type resolution and
+// fails the test on any finding without a matching want on its line, and
+// on any want left unmatched — so every fixture simultaneously proves a
+// violation is caught (positive lines) and a correct pattern is accepted
+// (the unannotated rest of the file).
+package kittest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the fixture package in dir with an and checks findings
+// against the fixture's want comments.
+func Run(t *testing.T, an *analyzerkit.Analyzer, dir string) {
+	t.Helper()
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analyzerkit.AnalyzeDir(an, dir)
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit expectation matching d and reports success.
+func claim(wants []*want, d analyzerkit.Diagnostic) bool {
+	for _, w := range wants {
+		if w.hit || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects every want comment in the fixture's files.
+func parseWants(dir string) ([]*want, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var wants []*want
+	fset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := unquoteWant(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", name, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern %q: %v", name, pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: name, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquoteWant undoes the \" escaping the wantRE capture allows.
+func unquoteWant(s string) (string, error) {
+	return strings.ReplaceAll(strings.ReplaceAll(s, `\"`, `"`), `\\`, `\`), nil
+}
+
+// Fixtures returns the fixture package directories under an analyzer's
+// testdata root — every subdirectory containing Go files — so tests can
+// range over them, and the meta-test in cmd/costar-lint can assert they
+// exist.
+func Fixtures(testdataDir string) ([]string, error) {
+	entries, err := os.ReadDir(testdataDir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(testdataDir, e.Name())
+		if m, _ := filepath.Glob(filepath.Join(dir, "*.go")); len(m) > 0 {
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,275 @@
+package analyzerkit
+
+// Every-path must-analysis over ast.Stmt trees: does every execution path
+// through a loop body that reaches the back edge (falls off the end, or
+// `continue`s) pass a statement satisfying a predicate? Paths that leave
+// the loop — return, break, panic — are exempt: a loop that exits without
+// ticking did bounded work.
+//
+// The walk is syntactic and deliberately conservative in two places:
+// nested loops are opaque (they may run zero iterations, so their ticks
+// don't count toward the outer loop), and a call is only credited when
+// the predicate recognizes it (analyzers extend the predicate with
+// package-local "this helper always ticks" summaries via FuncAlwaysCalls).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// pathOutcome is the set of ways control can leave one statement.
+type pathOutcome struct {
+	fallTicked   bool // falls through, predicate satisfied on that path
+	fallUnticked bool // falls through, predicate NOT yet satisfied
+	exits        bool // leaves the loop entirely (return/break/panic)
+	bad          bool // reached the back edge unticked (via continue)
+}
+
+func (o *pathOutcome) merge(p pathOutcome) {
+	o.fallTicked = o.fallTicked || p.fallTicked
+	o.fallUnticked = o.fallUnticked || p.fallUnticked
+	o.exits = o.exits || p.exits
+	o.bad = o.bad || p.bad
+}
+
+// pathCtx tracks what unlabeled break/continue mean at the current depth.
+type pathCtx struct {
+	// directLoop: an unlabeled continue/break targets the loop under
+	// analysis.
+	directLoop bool
+	// inSwitch: an unlabeled break targets an enclosing switch/select,
+	// i.e. it falls through rather than exiting the loop.
+	inSwitch bool
+	// label names the loop under analysis ("" when unlabeled), so
+	// `continue label` / `break label` resolve from nested constructs.
+	label string
+	// funcMode: analyzing a whole function body (FuncAlwaysCalls), where
+	// returns are the edges that must be covered rather than exemptions.
+	funcMode bool
+}
+
+// LoopTicksEveryPath reports whether every path through the body of a
+// loop (labeled `label`, "" if none) to its back edge satisfies pred for
+// some call expression. pred is consulted for every call on the path.
+func LoopTicksEveryPath(body *ast.BlockStmt, label string, pred func(*ast.CallExpr) bool) bool {
+	out := walkSeq(body.List, false, pathCtx{directLoop: true, label: label}, pred)
+	return !out.bad && !out.fallUnticked
+}
+
+// FuncAlwaysCalls reports whether every path from fn's entry to every
+// return (and to falling off the end) satisfies pred — the building block
+// for "this helper always ticks" call summaries. Computed with the same
+// machinery by treating returns as back edges.
+func FuncAlwaysCalls(body *ast.BlockStmt, pred func(*ast.CallExpr) bool) bool {
+	out := walkSeq(body.List, false, pathCtx{directLoop: false, label: "", funcMode: true}, pred)
+	return !out.bad && !out.fallUnticked
+}
+
+// walkSeq analyzes a statement sequence given the incoming ticked state.
+func walkSeq(stmts []ast.Stmt, ticked bool, ctx pathCtx, pred func(*ast.CallExpr) bool) pathOutcome {
+	// cur tracks which fall-through states are live entering the next
+	// statement; exits and bad accumulate.
+	cur := pathOutcome{fallTicked: ticked, fallUnticked: !ticked}
+	for _, s := range stmts {
+		if !cur.fallTicked && !cur.fallUnticked {
+			break // rest is unreachable on every fall path
+		}
+		next := pathOutcome{exits: cur.exits, bad: cur.bad}
+		if cur.fallTicked {
+			next.merge(walkStmt(s, true, ctx, pred))
+		}
+		if cur.fallUnticked {
+			next.merge(walkStmt(s, false, ctx, pred))
+		}
+		cur = next
+	}
+	return cur
+}
+
+// walkStmt analyzes one statement entered with the given ticked state.
+func walkStmt(s ast.Stmt, ticked bool, ctx pathCtx, pred func(*ast.CallExpr) bool) pathOutcome {
+	fall := func(t bool) pathOutcome {
+		return pathOutcome{fallTicked: t, fallUnticked: !t}
+	}
+	switch s := s.(type) {
+	case nil:
+		return fall(ticked)
+	case *ast.ReturnStmt:
+		if ctx.funcMode && !ticked && !containsPredCall(s, pred) {
+			return pathOutcome{exits: true, bad: true}
+		}
+		return pathOutcome{exits: true}
+	case *ast.BranchStmt:
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.CONTINUE:
+			if (name == "" && ctx.directLoop) || (name != "" && name == ctx.label) {
+				// Reached the back edge now.
+				return pathOutcome{exits: true, bad: !ticked}
+			}
+			// Targets a nested loop we are not inside of at this
+			// context (cannot happen syntactically) — treat as exit.
+			return pathOutcome{exits: true}
+		case token.BREAK:
+			if name == "" && ctx.inSwitch {
+				// Leaves the switch, stays in the loop.
+				return fall(ticked)
+			}
+			// Leaves the loop under analysis (or an outer one).
+			return pathOutcome{exits: true}
+		case token.GOTO:
+			// Rare; assume it may reach the back edge unticked.
+			return pathOutcome{exits: true, bad: !ticked}
+		}
+		return fall(ticked)
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			return pathOutcome{exits: true}
+		}
+		if !ticked && containsPredCall(s, pred) {
+			return fall(true)
+		}
+		return fall(ticked)
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeferStmt, *ast.GoStmt:
+		// Defer/go bodies do not run on this path, but the predicate
+		// decides what counts; plain statements tick if they contain a
+		// recognized call (e.g. `if err := gov.Tick(); ...` init).
+		if _, isDefer := s.(*ast.DeferStmt); isDefer {
+			return fall(ticked)
+		}
+		if _, isGo := s.(*ast.GoStmt); isGo {
+			return fall(ticked)
+		}
+		if !ticked && containsPredCall(s, pred) {
+			return fall(true)
+		}
+		return fall(ticked)
+	case *ast.BlockStmt:
+		return walkSeq(s.List, ticked, ctx, pred)
+	case *ast.LabeledStmt:
+		return walkStmt(s.Stmt, ticked, ctx, pred)
+	case *ast.IfStmt:
+		if !ticked && (containsPredCall(s.Init, pred) || containsPredCallExpr(s.Cond, pred)) {
+			ticked = true
+		}
+		out := walkSeq(s.Body.List, ticked, ctx, pred)
+		if s.Else != nil {
+			out.merge(walkStmt(s.Else, ticked, ctx, pred))
+		} else {
+			out.merge(pathOutcome{fallTicked: ticked, fallUnticked: !ticked})
+		}
+		return out
+	case *ast.SwitchStmt:
+		if !ticked && (containsPredCall(s.Init, pred) || containsPredCallExpr(s.Tag, pred)) {
+			ticked = true
+		}
+		return walkCases(s.Body, ticked, ctx, pred)
+	case *ast.TypeSwitchStmt:
+		if !ticked && (containsPredCall(s.Init, pred) || containsPredCall(s.Assign, pred)) {
+			ticked = true
+		}
+		return walkCases(s.Body, ticked, ctx, pred)
+	case *ast.SelectStmt:
+		inner := ctx
+		inner.inSwitch = true
+		out := pathOutcome{}
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			out.merge(walkSeq(comm.Body, ticked, inner, pred))
+		}
+		if len(s.Body.List) == 0 {
+			out.merge(pathOutcome{exits: true}) // select{} blocks forever
+		}
+		return out
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Nested loops are opaque: they may run zero iterations, so
+		// nothing inside them is guaranteed. Their own back-edge
+		// discipline is checked when the analyzer visits them directly.
+		return fall(ticked)
+	}
+	return fall(ticked)
+}
+
+// walkCases handles switch/type-switch bodies: each clause is a path, an
+// absent default adds an implicit fall-through path, and unlabeled breaks
+// inside leave the switch, not the loop.
+func walkCases(body *ast.BlockStmt, ticked bool, ctx pathCtx, pred func(*ast.CallExpr) bool) pathOutcome {
+	inner := ctx
+	inner.inSwitch = true
+	out := pathOutcome{}
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		t := ticked
+		if !t {
+			for _, e := range cc.List {
+				if containsPredCallExpr(e, pred) {
+					t = true
+				}
+			}
+		}
+		co := walkSeq(cc.Body, t, inner, pred)
+		// Fallthrough is handled implicitly: walkSeq treats it as a
+		// plain statement, and the next clause is analyzed with the
+		// same incoming state anyway (conservative merge).
+		out.merge(co)
+	}
+	if !hasDefault {
+		out.merge(pathOutcome{fallTicked: ticked, fallUnticked: !ticked})
+	}
+	return out
+}
+
+// containsPredCall reports whether any call inside stmt satisfies pred.
+func containsPredCall(s ast.Stmt, pred func(*ast.CallExpr) bool) bool {
+	if s == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // not executed here
+		case *ast.CallExpr:
+			if pred(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsPredCallExpr(e ast.Expr, pred func(*ast.CallExpr) bool) bool {
+	if e == nil {
+		return false
+	}
+	return containsPredCall(&ast.ExprStmt{X: e}, pred)
+}
+
+// isTerminalCall recognizes calls that never return: panic and os.Exit.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"))
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+// Fixture: pre-diag error shapes fabricated outside their home layers.
+// The analyzer is syntactic (qualified composite literals), so this
+// fixture only needs to parse; the identifiers deliberately mirror how a
+// consumer package would reference the real types.
+package cli
+
+func fabricate(pos int) any {
+	return machine.Error{Pos: pos} // want "outside its home package"
+}
+
+func fabricateSlice() any {
+	return []lexer.Error{{}} // want "outside its home package"
+}
+
+// allowed: consumers build unified diagnostics directly.
+func allowed(msg string) any {
+	return diag.Diagnostic{Message: msg}
+}

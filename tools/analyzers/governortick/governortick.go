@@ -1,0 +1,177 @@
+// Package governortick enforces the PR 5 tick-placement discipline from
+// DESIGN.md §5e: in internal/machine and internal/prediction, every loop
+// whose trip count can grow with the input or with closure size must
+// account its work to the resource governor on every path that reaches
+// the loop's back edge. A loop that can spin without ticking is exactly
+// the unbounded-work DoS the governor exists to prevent — limits and
+// context cancellation are only as good as the densest un-ticked cycle.
+//
+// Loop shapes are classified syntactically:
+//
+//   - `for { ... }` (no condition) and `for cond { ... }` (while-shape,
+//     no init/post) are input- or work-proportional until proven
+//     otherwise: they must tick on every path, or carry a
+//     `//costar:allow governortick -- <bound proof>` annotation.
+//   - `for i := 0; i < n; i++ { ... }` (three-clause) and `range` loops
+//     iterate already-materialized, already-accounted data; they are
+//     exempt.
+//
+// A "tick" is a call to a Governor tick method (StepTick, ClosureTick,
+// LookaheadTick, RepairTick, ctxTick — receiver type checked when type
+// information is available), or to a same-package function that itself
+// provably ticks on every path (a call-graph summary computed by
+// fixpoint, so helpers like a step function that always ticks satisfy
+// the loop that calls them). Every-path coverage uses analyzerkit's
+// must-analysis: paths that leave the loop (return, break, panic) are
+// exempt — they did bounded work — and nested loops are opaque (they may
+// run zero iterations).
+package governortick
+
+import (
+	"go/ast"
+	"strings"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// tickMethods are the Governor's accounting entry points.
+var tickMethods = map[string]bool{
+	"StepTick":      true,
+	"ClosureTick":   true,
+	"LookaheadTick": true,
+	"RepairTick":    true,
+	"ctxTick":       true,
+}
+
+// Analyzer is the exported instance for multichecker bundling.
+var Analyzer = &analyzerkit.Analyzer{
+	Name: "governortick",
+	Doc: "flag input-proportional loops that can reach their back edge without a governor tick\n\n" +
+		"Every `for {}` / `for cond {}` loop in the machine and prediction packages must\n" +
+		"call a Governor tick method (or a helper that provably always ticks) on every\n" +
+		"path, or carry a justified //costar:allow annotation proving its bound.",
+	Run:       run,
+	NeedTypes: true,
+	Match: func(pkgName, pkgPath string) bool {
+		return pkgName == "machine" || pkgName == "prediction"
+	},
+}
+
+func run(pass *analyzerkit.Pass) error {
+	// Phase 1: call-graph summaries — which same-package functions tick
+	// on every path from entry to return? Fixpoint because helpers may
+	// tick by calling other helpers.
+	always := alwaysTicking(pass)
+	pred := func(call *ast.CallExpr) bool { return isTick(pass, call, always) }
+
+	// Phase 2: classify and check every loop.
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, label := loopAndLabel(n)
+			if loop == nil {
+				return true
+			}
+			if !unboundedShape(loop) {
+				return true
+			}
+			if !analyzerkit.LoopTicksEveryPath(loop.Body, label, pred) {
+				pass.Reportf(loop.Pos(),
+					"input-proportional loop can reach its back edge without a governor tick: every path must call a *Tick method (or a helper that always ticks), or annotate a proven bound with //costar:allow governortick -- <why>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// loopAndLabel unwraps `label: for ...` so the must-analysis can resolve
+// labeled continue/break, returning the ForStmt (nil for non-loops and
+// range loops, which are exempt).
+func loopAndLabel(n ast.Node) (*ast.ForStmt, string) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n, ""
+	case *ast.LabeledStmt:
+		if inner, ok := n.Stmt.(*ast.ForStmt); ok {
+			return inner, n.Label.Name
+		}
+	}
+	return nil, ""
+}
+
+// unboundedShape reports whether the loop's shape is input- or
+// work-proportional: no condition at all, or a bare while-shape. A loop
+// with a post statement (`for ; s != nil; s = s.Below`) walks a
+// materialized structure and is exempt, as are range loops.
+func unboundedShape(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	return loop.Init == nil && loop.Post == nil
+}
+
+// isTick recognizes governor tick calls and calls to always-ticking
+// same-package helpers.
+func isTick(pass *analyzerkit.Pass, call *ast.CallExpr, always map[string]bool) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && tickMethods[sel.Sel.Name] {
+		if pass.Info != nil {
+			if pkg, typ, _ := analyzerkit.ReceiverOf(pass.Info, call); typ != "" {
+				return typ == "Governor" && pkg == "machine"
+			}
+		}
+		// Without type information (vet mode fallback): the method names
+		// are distinctive enough within the matched packages.
+		return true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return always[fun.Name]
+	case *ast.SelectorExpr:
+		// Method on a local type that always ticks (e.g. engine.move).
+		return always[fun.Sel.Name]
+	}
+	return false
+}
+
+// alwaysTicking computes, by fixpoint, the same-package functions and
+// methods guaranteed to tick on every path from entry to every return.
+func alwaysTicking(pass *analyzerkit.Pass) map[string]bool {
+	type fn struct {
+		name string
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fns = append(fns, fn{name: fd.Name.Name, body: fd.Body})
+		}
+	}
+	always := map[string]bool{}
+	for range [8]struct{}{} {
+		changed := false
+		for _, f := range fns {
+			if always[f.name] {
+				continue
+			}
+			pred := func(call *ast.CallExpr) bool { return isTick(pass, call, always) }
+			if analyzerkit.FuncAlwaysCalls(f.body, pred) {
+				always[f.name] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return always
+}

@@ -1,0 +1,96 @@
+// Fixture: §5e tick placement. While-shaped loops in the machine and
+// prediction packages must account their work to the governor on every
+// path that reaches the back edge; loops over already-materialized data
+// (three-clause, range) are exempt, and a proven bound can be recorded
+// with a //costar:allow annotation instead of a tick.
+package machine
+
+type Governor struct{ ticks int }
+
+func (g *Governor) StepTick(stackDepth int) error {
+	g.ticks += stackDepth
+	return nil
+}
+
+func (g *Governor) ClosureTick() error {
+	g.ticks++
+	return nil
+}
+
+// drainUnticked spins work-proportionally without accounting.
+func drainUnticked(g *Governor, work []int) {
+	for len(work) > 0 { // want "without a governor tick"
+		work = work[1:]
+	}
+	_ = g
+}
+
+// drainTicked ticks before every step; accepted.
+func drainTicked(g *Governor, work []int) {
+	for len(work) > 0 {
+		if err := g.StepTick(len(work)); err != nil {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// skipPath ticks on one branch but lets the continue path reach the back
+// edge unaccounted.
+func skipPath(g *Governor, work []int) {
+	for { // want "without a governor tick"
+		if len(work) == 0 {
+			return
+		}
+		if work[0] < 0 {
+			work = work[1:]
+			continue
+		}
+		if err := g.ClosureTick(); err != nil {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// step is an always-ticking helper: every path from entry to return
+// ticks, so callers inherit the tick through the call-graph summary.
+func step(g *Governor) bool {
+	if err := g.ClosureTick(); err != nil {
+		return false
+	}
+	return true
+}
+
+// drainViaHelper ticks through step; accepted.
+func drainViaHelper(g *Governor, work []int) {
+	for len(work) > 0 {
+		if !step(g) {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// boundedShapes iterate materialized, already-accounted data; exempt.
+func boundedShapes(work []int) int {
+	sum := 0
+	for i := 0; i < len(work); i++ {
+		sum += work[i]
+	}
+	for _, w := range work {
+		sum += w
+	}
+	return sum
+}
+
+// trimZeros carries a proven bound; the annotation suppresses the report
+// (and a missing reason would itself be flagged).
+func trimZeros(words []uint64) int {
+	end := len(words)
+	//costar:allow governortick -- fixture: bounded by len(words), a word count fixed at grammar-compile time
+	for end > 0 && words[end-1] == 0 {
+		end--
+	}
+	return end
+}

@@ -1,0 +1,24 @@
+package immutablecompiled
+
+import (
+	"path/filepath"
+	"testing"
+
+	"costar/tools/analyzers/analyzerkit/kittest"
+)
+
+func TestFixtures(t *testing.T) {
+	dirs, err := kittest.Fixtures("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			kittest.Run(t, Analyzer, dir)
+		})
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture: compile.go is the sanctioned constructor file — table writes
+// here are the construction path and are accepted.
+package grammar
+
+type Compiled struct {
+	termNames []string
+	ntNames   []string
+}
+
+func compile(terms []string) *Compiled {
+	c := &Compiled{}
+	c.termNames = append(c.termNames, terms...)
+	c.ntNames = []string{"S"}
+	return c
+}

@@ -1,0 +1,61 @@
+// Fixture: §5b COW publication discipline and the leaf-mutex rule in the
+// prediction package. edges/starts Stores need the owning mutex held —
+// except in the pre-publication constructors, where no reader can see the
+// struct yet — and the watched mutexes must never nest.
+package prediction
+
+import "sync"
+
+type atomicMap struct{ p any }
+
+func (m *atomicMap) Store(v any) { m.p = v }
+
+type cacheGen struct {
+	mu     sync.Mutex
+	starts atomicMap
+}
+
+type dfaState struct {
+	mu    sync.Mutex
+	edges atomicMap
+}
+
+// setEdgeLocked publishes under the owning mutex; accepted (the deferred
+// Unlock keeps it held to function end).
+func setEdgeLocked(st *dfaState, next map[int]*dfaState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.edges.Store(next)
+}
+
+// setEdgeRacy publishes without serializing writers.
+func setEdgeRacy(st *dfaState, next map[int]*dfaState) {
+	st.edges.Store(next) // want "without the owning mutex"
+}
+
+// newDFAState stores pre-publication: no reader can see st yet; accepted.
+func newDFAState() *dfaState {
+	st := &dfaState{}
+	st.edges.Store(map[int]*dfaState{})
+	return st
+}
+
+// nestMutexes acquires a cache mutex while already holding another
+// watched mutex — the leaf rule forbids any nesting.
+func nestMutexes(g *cacheGen, st *dfaState, next map[int]*dfaState) {
+	g.mu.Lock()
+	st.mu.Lock() // want "must never nest"
+	st.edges.Store(next)
+	st.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// sequentialLocks never holds two at once; accepted.
+func sequentialLocks(g *cacheGen, st *dfaState, starts, next map[int]*dfaState) {
+	g.mu.Lock()
+	g.starts.Store(starts)
+	g.mu.Unlock()
+	st.mu.Lock()
+	st.edges.Store(next)
+	st.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Fixture: the statsMu contract in the parser package — stats is written
+// by concurrent parses and read by Stats(); every access needs statsMu
+// acquired and not yet released.
+package parser
+
+import "sync"
+
+type Stats struct{ Parses int }
+
+type Parser struct {
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats snapshots under the mutex; accepted.
+func (p *Parser) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// peek reads the guarded field without the mutex.
+func (p *Parser) peek() int {
+	return p.stats.Parses // want "without statsMu held"
+}
+
+// accumulate writes under the mutex, released after the access; accepted.
+func (p *Parser) accumulate(n int) {
+	p.statsMu.Lock()
+	p.stats.Parses += n
+	p.statsMu.Unlock()
+}
+
+// lateRead releases the mutex before the read.
+func (p *Parser) lateRead() int {
+	p.statsMu.Lock()
+	p.statsMu.Unlock()
+	return p.stats.Parses // want "without statsMu held"
+}

@@ -1,0 +1,30 @@
+// Package registry is the single authoritative list of the repo's bundled
+// analyzers. cmd/costar-lint runs exactly this list; its meta-test walks
+// the same list to assert every analyzer ships fixture packages — adding
+// an analyzer here without fixtures fails CI.
+package registry
+
+import (
+	"costar/tools/analyzers/analyzerkit"
+	"costar/tools/analyzers/cowedges"
+	"costar/tools/analyzers/diagliterals"
+	"costar/tools/analyzers/governortick"
+	"costar/tools/analyzers/immutablecompiled"
+	"costar/tools/analyzers/lockorder"
+	"costar/tools/analyzers/scratchescape"
+	"costar/tools/analyzers/windowalias"
+)
+
+// All returns every bundled analyzer, syntactic table guards first, then
+// the typed contract checkers.
+func All() []*analyzerkit.Analyzer {
+	return []*analyzerkit.Analyzer{
+		immutablecompiled.Analyzer,
+		cowedges.Analyzer,
+		diagliterals.Analyzer,
+		scratchescape.Analyzer,
+		windowalias.Analyzer,
+		governortick.Analyzer,
+		lockorder.Analyzer,
+	}
+}

@@ -1,0 +1,69 @@
+// Fixture: the intern-copy fast path. The SLL DFA cache interns decision
+// scratch into dfaStates; newDFAState retains parameters 1 (cfgs) and 3
+// (haltedAlts), so raw scratch slices must be deep-copied before the
+// call, and dfaState field stores must hold copies too. Matching is by
+// declared package name, so this replica is held to the same spec as the
+// real internal/prediction.
+package prediction
+
+type config struct{ state, alt int }
+
+// scratch is the decision scratch: every field aliases pooled memory.
+type scratch struct {
+	stable []config
+	halted []int
+}
+
+type engine struct{ scr *scratch }
+
+// dfaState is cache-retained: it outlives every parse.
+type dfaState struct {
+	configs    []config
+	haltedAlts []int
+}
+
+// copyConfigs is the recognized deep copy for config slices.
+func copyConfigs(cfgs []config) []config {
+	out := make([]config, len(cfgs))
+	copy(out, cfgs)
+	return out
+}
+
+// newDFAState retains cfgs and haltedAlts (params 1 and 3) in the state
+// it returns; alts is only read.
+func newDFAState(key uint64, cfgs []config, alts []int, haltedAlts []int, anomalous bool) *dfaState {
+	_, _, _ = key, alts, anomalous
+	return &dfaState{configs: cfgs, haltedAlts: haltedAlts}
+}
+
+// internRaw hands scratch-aliasing slices straight to the cache: both
+// retained arguments are flagged.
+func internRaw(e *engine, key uint64, alts []int) *dfaState {
+	return newDFAState(key,
+		e.scr.stable, // want "retained by the DFA cache"
+		alts,
+		e.scr.halted, // want "retained by the DFA cache"
+		false)
+}
+
+// internCopied is the sanctioned fast path: copyConfigs for the configs,
+// an element-copying append for the halted alternatives (int elements
+// cannot alias pooled memory, so the fresh backing array is a deep copy).
+func internCopied(e *engine, key uint64, alts []int) *dfaState {
+	return newDFAState(key, copyConfigs(e.scr.stable), alts, append([]int(nil), e.scr.halted...), false)
+}
+
+// storeRaw writes scratch into an interned state after construction.
+func storeRaw(e *engine, st *dfaState) {
+	st.configs = e.scr.stable // want "cache-retained"
+}
+
+// storeCopied holds a deep copy; accepted.
+func storeCopied(e *engine, st *dfaState) {
+	st.configs = copyConfigs(e.scr.stable)
+}
+
+// readBack reads cache-owned data; nothing escapes.
+func readBack(st *dfaState) int {
+	return len(st.configs) + len(st.haltedAlts)
+}

@@ -1,0 +1,245 @@
+// Package windowalias enforces the zero-copy window ownership rule from
+// DESIGN.md §5h: the strings carved out of the scanner's input window —
+// grammar.Token.Literal and lexer.Error.Snippet — are views that die when
+// the streaming cursor advances. Outside their home packages they may be
+// read, compared, formatted, and passed along, but never *stored* into a
+// struct field or map without copying (strings.Clone, string([]byte(...)),
+// concatenation, fmt.Sprintf — anything that allocates a fresh backing
+// array). This is the generalized Diag() rule: lexer.Error.Diag clones its
+// snippet precisely because diag.Diagnostic outlives the window.
+//
+// Taint enters at reads of the two window fields, follows slicing and the
+// alias-preserving strings helpers (TrimSpace and friends return
+// substrings, not copies), and is reported at field and map stores. The
+// type gate limits carriers to strings, []byte, and the window-carrying
+// structs themselves, so derived values (lengths, hashes, parsed numbers)
+// stay clean. Suppress a provably-safe store in place with
+// `//costar:allow windowalias -- <why>`.
+//
+// Home packages (lexer, grammar — where windows are created and their
+// lifetime is managed) and test files are exempt. Whole Lexeme/Token
+// values moving through the streaming pipeline are the documented
+// transport and are not flagged; only the raw string escaping into
+// longer-lived structure is.
+package windowalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"costar/tools/analyzers/analyzerkit"
+)
+
+// windowFields are the zero-copy window sources: pkg → type → field.
+var windowFields = map[string]map[string]string{
+	"grammar": {"Token": "Literal"},
+	"lexer":   {"Error": "Snippet"},
+}
+
+// aliasPreserving lists strings/bytes helpers that return views of their
+// first argument rather than copies.
+var aliasPreserving = map[string]bool{
+	"TrimSpace": true, "Trim": true, "TrimLeft": true, "TrimRight": true,
+	"TrimPrefix": true, "TrimSuffix": true, "TrimFunc": true,
+	"Cut": true, "CutPrefix": true, "CutSuffix": true,
+	"Split": true, "SplitN": true, "SplitAfter": true, "SplitAfterN": true,
+	"Fields": true, "FieldsFunc": true,
+}
+
+// Analyzer is the exported instance for multichecker bundling.
+var Analyzer = &analyzerkit.Analyzer{
+	Name: "windowalias",
+	Doc: "flag zero-copy input windows stored outside their home packages\n\n" +
+		"grammar.Token.Literal and lexer.Error.Snippet are views into the scanner's\n" +
+		"input window, valid only until the cursor advances. Storing one into a struct\n" +
+		"field or map elsewhere pins freed or about-to-be-overwritten memory; copy\n" +
+		"first (strings.Clone — the Diag() rule).",
+	Run:       run,
+	NeedTypes: true,
+	Match: func(pkgName, pkgPath string) bool {
+		if _, home := windowFields[pkgName]; home {
+			return false
+		}
+		return !strings.HasSuffix(pkgName, "_test")
+	},
+}
+
+func spec() analyzerkit.TaintSpec {
+	return analyzerkit.TaintSpec{
+		Source: func(p *analyzerkit.Pass, e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			pkg, typ, field := analyzerkit.FieldOf(p.Info, sel)
+			return windowFields[pkg][typ] == field && field != ""
+		},
+		Sanitizer: func(p *analyzerkit.Pass, call *ast.CallExpr) bool {
+			// strings.Clone (and bytes.Clone) are the canonical copies.
+			fn := analyzerkit.CalleeOf(p.Info, call)
+			return fn != nil && fn.Name() == "Clone" && fn.Pkg() != nil &&
+				(fn.Pkg().Path() == "strings" || fn.Pkg().Path() == "bytes")
+		},
+		Propagate: func(p *analyzerkit.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+			fn := analyzerkit.CalleeOf(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+				return nil, false
+			}
+			if (fn.Pkg().Path() == "strings" || fn.Pkg().Path() == "bytes") && aliasPreserving[fn.Name()] {
+				return call.Args[0], true
+			}
+			return nil, false
+		},
+		Type: func(t types.Type) bool {
+			t = analyzerkit.Deref(t)
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				pkg, name := n.Obj().Pkg().Name(), n.Obj().Name()
+				if _, ok := windowFields[pkg][name]; ok {
+					return true // the window-carrying structs themselves
+				}
+				if pkg == "lexer" && name == "Lexeme" {
+					return true
+				}
+			}
+			switch u := t.Underlying().(type) {
+			case *types.Basic:
+				return u.Info()&types.IsString != 0
+			case *types.Slice:
+				eu, ok := u.Elem().Underlying().(*types.Basic)
+				if ok {
+					return eu.Kind() == types.Byte || eu.Info()&types.IsString != 0
+				}
+				return canCarryNamed(u.Elem())
+			case *types.Map:
+				return true // conservatively: maps of windows
+			}
+			return false
+		},
+	}
+}
+
+func canCarryNamed(t types.Type) bool {
+	n, ok := analyzerkit.Deref(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Name(), n.Obj().Name()
+	if _, ok := windowFields[pkg][name]; ok {
+		return true
+	}
+	return pkg == "lexer" && name == "Lexeme"
+}
+
+func run(pass *analyzerkit.Pass) error {
+	if pass.Info == nil {
+		return nil // no type resolution in this mode; see Pass.TypesErr
+	}
+	flow := analyzerkit.NewFlow(pass, spec())
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			flow.Analyze(fd)
+			checkFunc(pass, flow, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc reports window-aliasing strings stored into struct fields or
+// maps anywhere in fd.
+func checkFunc(pass *analyzerkit.Pass, flow *analyzerkit.Flow, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if !isWindowString(pass, rhs) || !flow.Tainted(rhs) {
+					continue
+				}
+				switch target := lhs.(type) {
+				case *ast.SelectorExpr:
+					if pkg, typ, field := analyzerkit.FieldOf(pass.Info, target); pkg != "" {
+						pass.Reportf(n.Pos(),
+							"zero-copy input window stored into %s.%s.%s: the window dies when the cursor advances; copy first (strings.Clone — the Diag() rule)",
+							pkg, typ, field)
+					}
+				case *ast.IndexExpr:
+					if isMapStore(pass, target) {
+						pass.Reportf(n.Pos(),
+							"zero-copy input window stored into a map: the window dies when the cursor advances; copy first (strings.Clone — the Diag() rule)")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			checkComposite(pass, flow, n)
+		}
+		return true
+	})
+}
+
+// checkComposite flags window strings placed in struct literal fields —
+// a struct literal is a store the moment the struct outlives the window.
+func checkComposite(pass *analyzerkit.Pass, flow *analyzerkit.Flow, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	n, ok := analyzerkit.Deref(tv.Type).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// Window-carrier structs (building a grammar.Token from a window is
+	// the transport working as designed) are exempt.
+	if canCarryNamed(tv.Type) {
+		return
+	}
+	for i, elt := range lit.Elts {
+		field := ""
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field = id.Name
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i).Name()
+		}
+		if isWindowString(pass, value) && flow.Tainted(value) {
+			pass.Reportf(value.Pos(),
+				"zero-copy input window in %s.%s literal (field %s): copy first (strings.Clone — the Diag() rule)",
+				n.Obj().Pkg().Name(), n.Obj().Name(), field)
+		}
+	}
+}
+
+// isWindowString limits sink reporting to raw string values — moving a
+// whole Token/Lexeme is the documented transport, only the bare window
+// string escaping is an aliasing bug.
+func isWindowString(pass *analyzerkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isMapStore(pass *analyzerkit.Pass, idx *ast.IndexExpr) bool {
+	tv, ok := pass.Info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
