@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate bench-recover recover-gate alloc-guard fuzz-smoke vet lint lint-baseline vet-grammars
+.PHONY: all build test race short-race stress bench bench-parallel bench-stream bench-mem bench-cold cold-gate bench-recover recover-gate bench-serve serve-gate serve-smoke alloc-guard fuzz-smoke vet lint lint-baseline vet-grammars
 
 all: build test race
 
@@ -27,8 +27,8 @@ short-race:
 # detector with aggressive GOMAXPROCS (DESIGN.md §5e).
 stress:
 	GOMAXPROCS=16 $(GO) test -race -count=2 \
-		-run 'Fault|Cancel|Context|Limits|Panic|Sticky|Governor|Drain' \
-		. ./internal/faultinject ./internal/machine ./internal/parser ./internal/source
+		-run 'Fault|Cancel|Context|Limits|Panic|Sticky|Governor|Drain|Admission' \
+		. ./internal/faultinject ./internal/machine ./internal/parser ./internal/source ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -69,6 +69,24 @@ bench-recover:
 # ns/token on clean inputs (paired best-of-trials; self-skips under -race).
 recover-gate:
 	$(GO) test ./internal/bench -run TestRecoverOverheadGate -count=1 -v
+
+# The serve saturation figure behind BENCH_serve.json: throughput, p50/p99,
+# and shed rate at 1x/4x/16x of the admission gate's concurrency (see
+# DESIGN.md §5j).
+bench-serve:
+	$(GO) run ./cmd/costar-bench -fig serve
+	$(GO) test ./internal/bench -run TestServeSaturationGate -count=1 -v
+
+# The serve CI gate alone: saturation must never produce a false Reject,
+# an untyped response, or a shed-ledger mismatch (self-skips under -short).
+serve-gate:
+	$(GO) test ./internal/bench -run TestServeSaturationGate -count=1 -v
+
+# End-to-end daemon smoke: boot the real binary on a compiled artifact,
+# fire concurrent clean + broken + oversized requests, assert the
+# health/metrics surface, and verify SIGTERM drains to exit 0.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Allocation-regression guards: warm parses must stay under their fixed
 # allocs/token ceilings (plain build), and the pooled-reuse lifetime tests

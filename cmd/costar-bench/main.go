@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, mem, cold, recover, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 8, 9, 10, 11, par, mem, cold, recover, serve, all")
 		full       = flag.Bool("full", false, "paper-scale corpora (slower)")
 		files      = flag.Int("files", 0, "files per language (overrides preset)")
 		minTok     = flag.Int("min", 0, "smallest file target in tokens")
@@ -174,8 +174,17 @@ func run(fig string, cfg bench.Config, maxWorkers int) error {
 		bench.PrintFigRecover(out, rows)
 		fmt.Fprintln(out)
 	}
+	if want("serve") {
+		ran = true
+		rows, err := bench.FigServe(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigServe(out, rows)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, mem, cold, recover, all)", fig)
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, par, mem, cold, recover, serve, all)", fig)
 	}
 	return nil
 }

@@ -69,6 +69,8 @@ func main() {
 			os.Exit(runVet(os.Args[2:]))
 		case "compile":
 			os.Exit(runCompile(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
 		}
 	}
 	var (

@@ -10,9 +10,11 @@
 //     unreachable (e.g. the tree arena referenced, transitively, by a
 //     parser.Result). The garbage collector releases every slab at once.
 //   - Pooled: the arena lives in a per-session pool and is Reset between
-//     parses. Reset zeroes the used prefix of the current slab and drops
-//     references to full slabs, so pooled scratch never pins the previous
-//     parse's trees or input buffers while idle in the pool.
+//     parses. Reset zeroes the used prefix of every touched slab and rewinds
+//     to the first, retaining the slabs themselves — a warm arena serves the
+//     next parse of similar size with zero slab allocations, while pinning
+//     no value from the parse it last served (pointers are cleared; only
+//     bare capacity is held, and the pool itself is droppable by the GC).
 //
 // Arenas are single-goroutine values. Publishing an element pointer to
 // another goroutine is safe under the usual Go memory model (distinct
@@ -32,9 +34,11 @@ const (
 // Arena is a bump allocator for single elements of type T.
 // The zero value is ready to use.
 type Arena[T any] struct {
-	buf  []T // current slab; buf[:off] are live
-	off  int
-	next int // capacity of the next slab
+	buf   []T   // active slab (aliases slabs[cur]); buf[:off] are live
+	off   int
+	slabs [][]T // every slab ever allocated, reused in order after Reset
+	cur   int   // index of the active slab within slabs
+	next  int   // capacity of the next slab to allocate
 }
 
 // New allocates a slot, stores v in it, and returns its address. The
@@ -52,12 +56,24 @@ func (a *Arena[T]) New(v T) *T {
 }
 
 func (a *Arena[T]) grow() {
+	if a.cur+1 < len(a.slabs) {
+		// A retained slab from an earlier, larger parse: reuse it.
+		a.cur++
+		a.buf = a.slabs[a.cur]
+		a.off = 0
+		return
+	}
 	n := a.next
 	if n < minSlab {
 		n = minSlab
 	}
 	a.buf = make([]T, n)
 	a.off = 0
+	if a.slabs == nil {
+		a.slabs = make([][]T, 0, 8)
+	}
+	a.slabs = append(a.slabs, a.buf)
+	a.cur = len(a.slabs) - 1
 	if n < maxSlab {
 		a.next = n * 2
 	} else {
@@ -65,21 +81,30 @@ func (a *Arena[T]) grow() {
 	}
 }
 
-// Reset recycles the arena for a fresh parse: the used prefix of the
-// current slab is zeroed (so no stale pointers pin dead trees or input
-// buffers from the pool) and the bump offset rewinds. Earlier, full slabs
-// were already abandoned at grow time and are collected normally.
+// Reset recycles the arena for a fresh parse: the used prefix of every
+// touched slab is zeroed (so no stale pointers pin dead trees or input
+// buffers from the pool) and the allocator rewinds to the first slab. Slabs
+// are retained for reuse — a warm arena's steady state allocates nothing.
 func (a *Arena[T]) Reset() {
+	for i := 0; i < a.cur; i++ {
+		clear(a.slabs[i])
+	}
 	clear(a.buf[:a.off])
 	a.off = 0
+	if len(a.slabs) > 0 {
+		a.cur = 0
+		a.buf = a.slabs[0]
+	}
 }
 
 // Slab is a bump allocator for []T spans.
 // The zero value is ready to use.
 type Slab[T any] struct {
-	buf  []T
-	off  int
-	next int
+	buf   []T
+	off   int
+	slabs [][]T
+	cur   int
+	next  int
 }
 
 // Make returns a span with length 0 and capacity exactly n, carved from the
@@ -99,6 +124,13 @@ func (s *Slab[T]) Make(n int) []T {
 }
 
 func (s *Slab[T]) grow(n int) {
+	if s.cur+1 < len(s.slabs) && len(s.slabs[s.cur+1]) >= n {
+		// Reuse the next retained slab when it is big enough for the span.
+		s.cur++
+		s.buf = s.slabs[s.cur]
+		s.off = 0
+		return
+	}
 	c := s.next
 	if c < minSlab {
 		c = minSlab
@@ -108,6 +140,18 @@ func (s *Slab[T]) grow(n int) {
 	}
 	s.buf = make([]T, c)
 	s.off = 0
+	if s.cur+1 < len(s.slabs) {
+		// The retained slab was too small for this span: replace it (the
+		// rare shape change between parses; later grows recheck sizes).
+		s.slabs[s.cur+1] = s.buf
+		s.cur++
+	} else {
+		if s.slabs == nil {
+			s.slabs = make([][]T, 0, 8)
+		}
+		s.slabs = append(s.slabs, s.buf)
+		s.cur = len(s.slabs) - 1
+	}
 	if c < maxSlab {
 		s.next = c * 2
 	} else {
@@ -115,9 +159,18 @@ func (s *Slab[T]) grow(n int) {
 	}
 }
 
-// Reset recycles the slab allocator, zeroing the used prefix of the
-// current slab so pooled scratch cannot pin previously returned spans.
+// Reset recycles the slab allocator: the used prefix of every touched slab
+// is zeroed so pooled scratch cannot pin previously returned spans, and the
+// allocator rewinds to the first slab, retaining capacity for the next
+// parse.
 func (s *Slab[T]) Reset() {
+	for i := 0; i < s.cur; i++ {
+		clear(s.slabs[i])
+	}
 	clear(s.buf[:s.off])
 	s.off = 0
+	if len(s.slabs) > 0 {
+		s.cur = 0
+		s.buf = s.slabs[0]
+	}
 }

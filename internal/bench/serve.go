@@ -1,0 +1,258 @@
+package bench
+
+// The serve load experiment behind `costar-bench -fig serve` and
+// BENCH_serve.json: what does the parse service do under saturation? An
+// in-process server with a deliberately small admission gate is hammered at
+// 1x, 4x, and 16x its concurrency, and the figure reports throughput,
+// latency percentiles, and the shed rate at each load. The claims the CI
+// gate enforces are behavioural, not absolute-speed: under any overload,
+// clean inputs never come back Reject (overload has its own typed
+// vocabulary), and the server's own shed accounting matches what clients
+// observed — no response is unaccounted for.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costar/internal/parser"
+	"costar/internal/serve"
+)
+
+// ServeRow is one load level's summary.
+type ServeRow struct {
+	Load       int     // load multiplier over the admission gate's size
+	Workers    int     // concurrent client goroutines
+	Requests   int     // requests issued
+	OK         int     // 200 with a parse verdict
+	Shed       int     // typed 429/503 refusals
+	Rejects    int     // 422 Reject responses — must be 0 on a clean corpus
+	Errors     int     // anything else (transport failures included)
+	Throughput float64 // verdict-carrying responses per second
+	P50Ms      float64 // median latency over all responses, ms
+	P99Ms      float64 // p99 latency over all responses, ms
+	ShedRate   float64 // Shed / Requests
+
+	// ServerShed and ClientShed reconcile the two ledgers: the server's
+	// costar_shed_total across the whole run so far versus every typed
+	// refusal any client received. The gate requires them to match.
+	ServerShed int64
+	ClientShed int64
+}
+
+// FigServe boots an in-process hardened server and drives it at increasing
+// saturation with a clean json corpus. The returned rows carry both the
+// performance summary and the accounting reconciliation the gate checks.
+func FigServe(cfg Config) ([]ServeRow, error) {
+	// A clean corpus of mid-size documents: every parse verdict on these
+	// must be Unique, so any Reject under load is the server's lie.
+	files, err := Corpus(langByName("json"), cfg)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([]string, len(files))
+	avgBytes := 0
+	for i, f := range files {
+		bodies[i] = f.Source
+		avgBytes += len(f.Source)
+	}
+	avgBytes /= len(bodies)
+
+	// Size the gate from the corpus: two average requests fit at once, two
+	// more may queue. The baseline (1x) load matches that concurrency, so
+	// 4x and 16x are genuine saturation and must shed — anything the gate
+	// absorbs silently at 16x would mean it is not actually bounding work.
+	const baseline = 2
+	gateCap := int64(baseline) * int64(avgBytes/4+1)
+	reg := serve.NewRegistry()
+	if _, err := reg.AddLanguage("json", parser.Options{}); err != nil {
+		return nil, err
+	}
+	s := serve.New(serve.Config{
+		Addr:          "127.0.0.1:0",
+		MaxCost:       gateCap,
+		MaxQueue:      baseline,
+		DefaultBudget: 10 * time.Second, // saturation must shed, not time out
+	}, reg)
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	defer s.Drain()
+
+	perLoad := 60 * cfg.Trials // requests per worker, scaled by the preset
+
+	var clientShed atomic.Int64
+	rows := make([]ServeRow, 0, 3)
+	for _, load := range []int{1, 4, 16} {
+		workers := baseline * load
+		row, err := serveLoad(s, bodies, load, workers, perLoad, &clientShed)
+		if err != nil {
+			return nil, err
+		}
+		// Reconcile the ledgers cumulatively: every typed refusal any
+		// client has seen so far must appear in the server's shed counters.
+		row.ServerShed = scrapeShedTotal(s)
+		row.ClientShed = clientShed.Load()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func langByName(name string) Lang {
+	for _, l := range Languages() {
+		if l.Name == name {
+			return l
+		}
+	}
+	panic("bench: unknown language " + name)
+}
+
+// trickleBody delivers a request body in two installments with a pause
+// between them, the way a real network interleaves delivery with parsing.
+// The pause matters beyond realism: it makes the parse block on a body read
+// while holding its admission grant, so on a single-CPU host — where a
+// CPU-bound parse would otherwise monopolize the scheduler and feed the
+// gate one request at a time — competing requests genuinely pile up at the
+// gate and saturation is observable.
+type trickleBody struct {
+	data  string
+	pos   int
+	pause time.Duration
+	sent  bool // the pause fires once, before the second installment
+}
+
+func (b *trickleBody) Read(p []byte) (int, error) {
+	if b.pos >= len(b.data) {
+		return 0, io.EOF
+	}
+	limit := len(b.data)
+	if !b.sent {
+		if b.pos >= len(b.data)/4 {
+			b.sent = true
+			time.Sleep(b.pause)
+		} else {
+			limit = len(b.data) / 4
+		}
+	}
+	n := copy(p, b.data[b.pos:limit])
+	b.pos += n
+	return n, nil
+}
+
+func serveLoad(s *serve.Server, bodies []string, load, workers, perWorker int, clientShed *atomic.Int64) (ServeRow, error) {
+	type outcome struct {
+		status  int
+		kind    string
+		latency time.Duration
+	}
+	outcomes := make([]outcome, workers*perWorker)
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: workers, // keep-alive across the burst
+	}}
+	url := fmt.Sprintf("http://%s/parse/json", s.Addr())
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := bodies[(w*perWorker+i)%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequest("POST", url, &trickleBody{data: body, pause: 2 * time.Millisecond})
+				if err != nil {
+					outcomes[w*perWorker+i] = outcome{status: -1, latency: time.Since(t0)}
+					continue
+				}
+				req.Header.Set("Content-Type", "text/plain")
+				req.ContentLength = int64(len(body)) // declared size drives the admission weight
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				o := outcome{latency: lat}
+				if err != nil {
+					o.status = -1
+				} else {
+					o.status = resp.StatusCode
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if i := strings.Index(string(raw), `"kind":"`); i >= 0 {
+						rest := string(raw[i+len(`"kind":"`):])
+						o.kind = rest[:strings.Index(rest, `"`)]
+					}
+				}
+				outcomes[w*perWorker+i] = o
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	row := ServeRow{Load: load, Workers: workers, Requests: len(outcomes)}
+	lats := make([]time.Duration, 0, len(outcomes))
+	for _, o := range outcomes {
+		lats = append(lats, o.latency)
+		switch {
+		case o.status == http.StatusOK:
+			row.OK++
+		case o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable ||
+			o.status == http.StatusRequestEntityTooLarge:
+			row.Shed++
+			clientShed.Add(1)
+		case o.status == http.StatusUnprocessableEntity || o.kind == "Reject":
+			row.Rejects++
+		default:
+			row.Errors++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	row.P50Ms = pct(0.50)
+	row.P99Ms = pct(0.99)
+	row.Throughput = float64(row.OK) / elapsed.Seconds()
+	row.ShedRate = float64(row.Shed) / float64(row.Requests)
+	return row, nil
+}
+
+// scrapeShedTotal sums costar_shed_total across reasons from the server's
+// own /metrics endpoint — the ledger the clients' observations must match.
+func scrapeShedTotal(s *serve.Server) int64 {
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	var total int64
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "costar_shed_total{") {
+			var v int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err == nil {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// PrintFigServe renders the saturation table.
+func PrintFigServe(w io.Writer, rows []ServeRow) {
+	fmt.Fprintln(w, "Serve saturation (clean json corpus against a small admission gate; shed is typed 429/503, never a false Reject)")
+	fmt.Fprintf(w, "%-5s %8s %9s %7s %6s %8s %7s %10s %9s %9s %10s\n",
+		"load", "workers", "requests", "ok", "shed", "rejects", "errors", "thru r/s", "p50 ms", "p99 ms", "shed rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5d %8d %9d %7d %6d %8d %7d %10.1f %9.2f %9.2f %9.1f%%\n",
+			r.Load, r.Workers, r.Requests, r.OK, r.Shed, r.Rejects, r.Errors,
+			r.Throughput, r.P50Ms, r.P99Ms, r.ShedRate*100)
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+// The saturation gate behind BENCH_serve.json: overload must stay typed.
+// Driving the serve figure's small admission gate at 16x concurrency with a
+// clean corpus, the gate requires (1) zero Reject responses — an overloaded
+// server says 429/503, never "your input is wrong" — and (2) the server's
+// shed ledger to equal the clients': every refusal a client saw is in
+// costar_shed_total, and none is invented.
+
+import "testing"
+
+func TestServeSaturationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve saturation gate fires thousands of HTTP requests; skipped in -short")
+	}
+	cfg := Quick()
+	cfg.Trials = 1
+	rows, err := FigServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d load levels, want 3", len(rows))
+	}
+	sawShed := false
+	for _, r := range rows {
+		t.Logf("load %2dx: %d workers, %d requests, %d ok, %d shed (%.1f%%), %d rejects, %d errors, p50 %.2fms p99 %.2fms",
+			r.Load, r.Workers, r.Requests, r.OK, r.Shed, r.ShedRate*100, r.Rejects, r.Errors, r.P50Ms, r.P99Ms)
+		if r.Rejects != 0 {
+			t.Errorf("load %dx: %d clean-corpus requests came back Reject — overload must never masquerade as a verdict", r.Load, r.Rejects)
+		}
+		if r.Errors != 0 {
+			t.Errorf("load %dx: %d responses were neither verdicts nor typed sheds", r.Load, r.Errors)
+		}
+		if r.ServerShed != r.ClientShed {
+			t.Errorf("load %dx: shed accounting mismatch: server ledger %d, clients observed %d",
+				r.Load, r.ServerShed, r.ClientShed)
+		}
+		if r.OK == 0 {
+			t.Errorf("load %dx: no request succeeded — shedding everything is not admission control", r.Load)
+		}
+		if r.Shed > 0 {
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Error("no load level shed anything: the experiment never saturated its gate")
+	}
+}

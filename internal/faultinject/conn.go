@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// ErrConnClosed is the sticky error a Conn returns after CloseAfterWrite
+// has fired: the peer that tore the connection down knows why further
+// writes fail even though the kernel would report a generic EPIPE.
+var ErrConnClosed = &net.OpError{Op: "write", Net: "tcp", Err: errClosedByFault{}}
+
+type errClosedByFault struct{}
+
+func (errClosedByFault) Error() string { return "faultinject: connection closed by fault schedule" }
+
+// ConnOption configures a fault-injecting Conn.
+type ConnOption func(*Conn)
+
+// Trickle caps every Write at chunk bytes and sleeps delay between chunks —
+// the slow-loris client. A request whose headers or body trickle in at this
+// rate must be bounded by the server's read deadlines, never by a parse
+// verdict.
+func Trickle(chunk int, delay time.Duration) ConnOption {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return func(c *Conn) { c.chunk, c.delay = chunk, delay }
+}
+
+// CloseAfterWrite tears the connection down (a real close, observable as an
+// unexpected EOF by the peer) once offset bytes have been written — the
+// mid-body disconnect. Bytes before the offset flow through; the fault is
+// sticky.
+func CloseAfterWrite(offset int64) ConnOption {
+	return func(c *Conn) { c.closeAt = offset }
+}
+
+// StallWritesAt blocks the Write that reaches offset until ctx is done,
+// then returns ctx.Err() — from the server's perspective, a client that
+// sent a partial body and went silent while keeping the connection open.
+func StallWritesAt(offset int64, ctx context.Context) ConnOption {
+	return func(c *Conn) { c.stallAt, c.stallCtx = offset, ctx }
+}
+
+// Conn wraps a net.Conn with a deterministic fault schedule on the write
+// side — the client half of the server fault suite. Reads pass through
+// untouched (the suite asserts on what the server sends back). Not safe for
+// concurrent writers, like the streams it injects faults into.
+type Conn struct {
+	net.Conn
+	off      int64
+	chunk    int
+	delay    time.Duration
+	closeAt  int64
+	stallAt  int64
+	stallCtx context.Context
+	sticky   error
+}
+
+// WrapConn wraps c. Offsets default to "never" when their option is absent.
+func WrapConn(c net.Conn, opts ...ConnOption) *Conn {
+	f := &Conn{Conn: c, closeAt: -1, stallAt: -1}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// WroteBytes reports how many bytes have been written so far.
+func (f *Conn) WroteBytes() int64 { return f.off }
+
+func (f *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if f.sticky != nil {
+			return total, f.sticky
+		}
+		if f.stallAt >= 0 && f.off >= f.stallAt {
+			<-f.stallCtx.Done()
+			f.sticky = f.stallCtx.Err()
+			return total, f.sticky
+		}
+		if f.closeAt >= 0 && f.off >= f.closeAt {
+			f.Conn.Close()
+			f.sticky = ErrConnClosed
+			return total, f.sticky
+		}
+		// Clip the chunk so the next fault offset lands exactly on a Write
+		// boundary, byte-precise under any caller buffer size.
+		max := len(p)
+		if f.chunk > 0 && max > f.chunk {
+			max = f.chunk
+		}
+		for _, at := range []int64{f.closeAt, f.stallAt} {
+			if at >= 0 && at > f.off && int64(max) > at-f.off {
+				max = int(at - f.off)
+			}
+		}
+		n, err := f.Conn.Write(p[:max])
+		f.off += int64(n)
+		total += n
+		p = p[n:]
+		if err != nil {
+			f.sticky = err
+			return total, err
+		}
+		if f.delay > 0 && len(p) > 0 {
+			time.Sleep(f.delay)
+		}
+	}
+	return total, nil
+}

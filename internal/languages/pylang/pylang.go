@@ -145,7 +145,11 @@ type layoutState struct {
 }
 
 func newLayoutState() *layoutState {
-	return &layoutState{indents: []int{0}}
+	// Pre-size the indent stack: generated corpora nest a handful of levels
+	// deep, and 16 absorbs any realistic hand-written nesting without a
+	// single growth reallocation on the streaming path.
+	s := &layoutState{indents: make([]int, 1, 16)}
+	return s
 }
 
 // feed processes one raw lexeme, appending any tokens it produces to out.
@@ -227,7 +231,9 @@ func Layout(lexs []lexer.Lexeme) ([]grammar.Token, error) {
 func StreamLayout(next func() (lexer.Lexeme, bool, error)) func() (grammar.Token, bool, error) {
 	st := newLayoutState()
 	var (
-		queue  []grammar.Token
+		// One feed can emit at most a DEDENT burst plus the token itself, so
+		// a small pre-sized queue reaches steady state with no growth.
+		queue  = make([]grammar.Token, 0, 16)
 		head   int // queue[head:] is pending; queue[:head] already handed out
 		done   bool
 		sticky error

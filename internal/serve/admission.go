@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errSaturated is acquire's answer when the bounded waiter queue is full:
+// the server is past its configured concurrency *and* its queue depth, so
+// the only honest response is an immediate typed shed (429) — queuing
+// further would convert overload into unbounded memory growth and silent
+// latency, the two failure shapes the admission gate exists to prevent.
+var errSaturated = errors.New("serve: admission queue full")
+
+// admission is a weighted semaphore with a bounded FIFO waiter queue. The
+// capacity is denominated in cost units (~tokens, derived from Limits and
+// Content-Length in Server.costOf), so one huge request and many small ones
+// compete for the same budget rather than for an arbitrary request count.
+//
+// Hand-rolled rather than x/sync/semaphore to stay stdlib-only; the
+// protocol is the same: FIFO grants (no starvation of heavy waiters by a
+// stream of light ones), and a waiter whose context fires during the grant
+// race returns its grant before reporting the context error.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64
+	maxQueue int
+	inuse    int64
+	waiting  int // live (non-canceled) waiters
+	waiters  []*waiter
+}
+
+type waiter struct {
+	weight   int64
+	ready    chan struct{} // closed when granted
+	canceled bool
+}
+
+func newAdmission(capacity int64, maxQueue int) *admission {
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire takes weight units, waiting in FIFO order behind earlier
+// arrivals. It returns nil on a grant, errSaturated when the waiter queue
+// is already full (shed immediately, no timer burned), or ctx.Err() when
+// the caller's budget expired while queued — time spent waiting for
+// admission is charged to the caller's deadline, never hidden.
+func (a *admission) acquire(ctx context.Context, weight int64) error {
+	if weight > a.capacity {
+		weight = a.capacity // a request can cost the whole gate, never more
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	if a.waiting == 0 && a.inuse+weight <= a.capacity {
+		a.inuse += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waiting >= a.maxQueue {
+		a.mu.Unlock()
+		return errSaturated
+	}
+	wt := &waiter{weight: weight, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, wt)
+	a.waiting++
+	a.mu.Unlock()
+	select {
+	case <-wt.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	a.mu.Lock()
+	select {
+	case <-wt.ready:
+		// Granted in the race window between ctx firing and the lock: hand
+		// the grant straight back and wake whoever it now fits.
+		a.inuse -= wt.weight
+		a.grantLocked()
+	default:
+		wt.canceled = true // grantLocked skips and drops it
+		a.waiting--
+	}
+	a.mu.Unlock()
+	return ctx.Err()
+}
+
+// release returns weight units and grants queued waiters in FIFO order.
+// The weight must match the acquire (the handler passes the same value).
+func (a *admission) release(weight int64) {
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	a.inuse -= weight
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+func (a *admission) grantLocked() {
+	for len(a.waiters) > 0 {
+		wt := a.waiters[0]
+		if wt.canceled {
+			a.waiters = a.waiters[1:]
+			continue
+		}
+		if a.inuse+wt.weight > a.capacity {
+			break // FIFO: a heavy head waiter is never jumped by a light one
+		}
+		a.inuse += wt.weight
+		a.waiting--
+		close(wt.ready)
+		a.waiters = a.waiters[1:]
+	}
+	if len(a.waiters) == 0 {
+		a.waiters = nil // unpin the consumed prefix of the backing array
+	}
+}
+
+// snapshot reports the gate's state for the metrics scrape.
+func (a *admission) snapshot() (capacity, inuse int64, waiting int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity, a.inuse, a.waiting
+}

@@ -1,0 +1,239 @@
+package serve
+
+// The drain/restart regression suite: SIGTERM mid-batch completes in-flight
+// parses, /readyz flips false immediately (while the grace window keeps the
+// listener open for pollers), new parse requests get the typed 503 shed,
+// stragglers past the drain deadline are hard-canceled through the context
+// plumbing, Run returns nil (the process exits 0), and the goroutine count
+// returns to its pre-boot baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"costar/internal/languages/jsonlang"
+	"costar/internal/parser"
+)
+
+// bootRun starts a server under Run with an injectable signal channel and
+// waits until it answers /readyz.
+func bootRun(t *testing.T, cfg Config) (*Server, chan os.Signal, chan error) {
+	t.Helper()
+	reg := NewRegistry()
+	if _, err := reg.AddLanguage("json", parser.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	s := New(cfg, reg)
+	sig := make(chan os.Signal, 1)
+	ran := make(chan error, 1)
+	go func() { ran <- s.Run(context.Background(), sig) }()
+	select {
+	case <-s.Started():
+	case err := <-ran:
+		t.Fatalf("server never started: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for getStatus(t, s, "/readyz") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s, sig, ran
+}
+
+func getStatus(t *testing.T, s *Server, path string) int {
+	t.Helper()
+	// A fresh transport per probe: drain closes pooled keep-alive
+	// connections, and a stale pooled conn would turn the probe into a
+	// transport error instead of a status code.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+	if err != nil {
+		return -1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestDrainCompletesInFlight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s, sig, ran := bootRun(t, Config{DrainGrace: 400 * time.Millisecond, DrainTimeout: 5 * time.Second})
+
+	// Put a parse in flight and hold it there: the body arrives through a
+	// pipe, so the demand-driven cursor blocks mid-parse until we finish.
+	doc := jsonlang.Generate(9, 500)
+	pr, pw := io.Pipe()
+	inflight := make(chan struct {
+		status int
+		kind   string
+	}, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", fmt.Sprintf("http://%s/parse/json", s.Addr()), pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- struct {
+				status int
+				kind   string
+			}{-1, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		var env response
+		json.NewDecoder(resp.Body).Decode(&env)
+		inflight <- struct {
+			status int
+			kind   string
+		}{resp.StatusCode, env.Kind}
+	}()
+	if _, err := pw.Write([]byte(doc[:len(doc)/2])); err != nil {
+		t.Fatal(err)
+	}
+	waitInflight(t, s, 1)
+
+	// SIGTERM mid-batch.
+	sig <- syscall.SIGTERM
+
+	// /readyz flips false immediately (the grace window keeps the listener
+	// open so the poller can see it); parse requests shed with typed 503.
+	flipDeadline := time.Now().Add(2 * time.Second)
+	for getStatus(t, s, "/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(flipDeadline) {
+			t.Fatal("/readyz never flipped to 503 after SIGTERM")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status, env := drainProbeParse(t, s)
+	if status != http.StatusServiceUnavailable || env.Kind != "Shed" {
+		t.Fatalf("parse during drain got %d %q, want 503 Shed", status, env.Kind)
+	}
+
+	// The in-flight request is still being waited for: finish its body and
+	// it must complete with a full 200, not a cancellation.
+	if _, err := pw.Write([]byte(doc[len(doc)/2:])); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	got := <-inflight
+	if got.status != http.StatusOK || got.kind != "Unique" {
+		t.Fatalf("in-flight request during drain got %d %q, want 200 Unique", got.status, got.kind)
+	}
+
+	// Run returns nil — the daemon exits 0 on a clean drain.
+	select {
+	case err := <-ran:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+	if got := s.met.shed[shedDrain].Load(); got == 0 {
+		t.Error("drain shed not counted")
+	}
+	if got := s.met.verdicts[vReject].Load(); got != 0 {
+		t.Errorf("drain produced a false Reject (%d)", got)
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+func TestDrainHardCancelsStragglers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// A short drain deadline and a straggler that never finishes its body:
+	// the drain must hard-cancel the parse through the context plumbing and
+	// still return cleanly.
+	s, sig, ran := bootRun(t, Config{DrainTimeout: 300 * time.Millisecond})
+
+	doc := jsonlang.Generate(9, 500)
+	pr, pw := io.Pipe()
+	inflight := make(chan struct {
+		status int
+		kind   string
+	}, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", fmt.Sprintf("http://%s/parse/json", s.Addr()), pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- struct {
+				status int
+				kind   string
+			}{-1, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		var env response
+		json.NewDecoder(resp.Body).Decode(&env)
+		inflight <- struct {
+			status int
+			kind   string
+		}{resp.StatusCode, env.Kind}
+	}()
+	if _, err := pw.Write([]byte(doc[:len(doc)/2])); err != nil {
+		t.Fatal(err)
+	}
+	waitInflight(t, s, 1)
+
+	sig <- syscall.SIGTERM
+	// Never finish the body. The straggler is canceled at the drain
+	// deadline and answers with a structured error — never a Reject, never
+	// a dropped connection.
+	got := <-inflight
+	if got.status == http.StatusOK || got.kind == "Reject" {
+		t.Fatalf("straggler got %d %q — hard-cancel must surface a typed error, not a verdict", got.status, got.kind)
+	}
+	if got.status != http.StatusServiceUnavailable && got.status != 499 &&
+		got.status != http.StatusGatewayTimeout && got.status != http.StatusBadRequest {
+		t.Fatalf("straggler got %d %q, want a typed cancel status", got.status, got.kind)
+	}
+	select {
+	case err := <-ran:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil after hard-cancel drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after hard-cancel drain")
+	}
+	pw.Close()
+	if got := s.met.verdicts[vReject].Load(); got != 0 {
+		t.Errorf("hard-cancel drain produced a false Reject (%d)", got)
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+// waitInflight polls until the server reports n in-flight requests.
+func waitInflight(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.inflight.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d in-flight requests", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// drainProbeParse posts a parse during drain over a fresh connection.
+func drainProbeParse(t *testing.T, s *Server) (int, response) {
+	t.Helper()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Post(fmt.Sprintf("http://%s/parse/json", s.Addr()),
+		"text/plain", strings.NewReader(`{"probe": 1}`))
+	if err != nil {
+		t.Fatalf("parse probe during grace window: %v", err)
+	}
+	defer resp.Body.Close()
+	var env response
+	json.NewDecoder(resp.Body).Decode(&env)
+	return resp.StatusCode, env
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"costar/internal/machine"
+)
+
+// Verdict labels for costar_requests_total: what the client was told. A
+// Recovered parse served without ?recover=1 counts as "reject" — the wire
+// verdict, not the internal one — so the no-false-Reject gates measure
+// exactly what callers observe.
+const (
+	vUnique = iota
+	vAmbig
+	vRecovered
+	vReject
+	vError
+	nVerdicts
+)
+
+var verdictNames = [nVerdicts]string{"unique", "ambig", "recovered", "reject", "error"}
+
+// Shed reasons for costar_shed_total: every path that refuses work without
+// a parse verdict. Admission (429), oversized body (413), and drain (503)
+// are the only three — anything else the server says about a request is a
+// typed parse outcome.
+const (
+	shedAdmission = iota
+	shedBody
+	shedDrain
+	nShedReasons
+)
+
+var shedNames = [nShedReasons]string{"admission", "body", "drain"}
+
+// Usage high-water-mark gauges, one per machine.Usage field.
+const (
+	umSteps = iota
+	umTokens
+	umStack
+	umClosure
+	umNodes
+	umWindow
+	umRepairs
+	nUsageMax
+)
+
+var usageMaxNames = [nUsageMax]string{"steps", "tokens", "stack", "closure", "nodes", "window", "repairs"}
+
+// metrics is the server's hand-rolled counter set: lock-free atomics
+// updated on the request path, rendered in the Prometheus text exposition
+// format on scrape. Session-level statistics (cache sizes, SLL hit rates)
+// are not mirrored here — they are read live from the registry at scrape
+// time, so the two views cannot drift.
+type metrics struct {
+	verdicts  [nVerdicts]atomic.Int64
+	shed      [nShedReasons]atomic.Int64
+	inflight  atomic.Int64
+	panics    atomic.Int64
+	deadlines atomic.Int64 // parses abandoned because the caller's budget expired
+	canceled  atomic.Int64 // parses abandoned because the caller went away or drain hard-canceled
+	limits    atomic.Int64 // parses refused by the per-request resource governor
+	parseNS   atomic.Int64 // cumulative wall time inside Session.Parse
+	tokens    atomic.Int64 // cumulative tokens consumed by parses
+	usageMax  [nUsageMax]atomic.Int64
+}
+
+func (m *metrics) observe(verdict int, u machine.Usage, ns int64) {
+	m.verdicts[verdict].Add(1)
+	m.parseNS.Add(ns)
+	m.tokens.Add(int64(u.Tokens))
+	for i, v := range [nUsageMax]int{u.Steps, u.Tokens, u.StackDepth, u.ClosureWork, u.TreeNodes, u.PeakWindow, u.Repairs} {
+		maxUpdate(&m.usageMax[i], int64(v))
+	}
+}
+
+// maxUpdate raises g to v if v is larger (lock-free high-water mark).
+func maxUpdate(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// totalShed sums the shed counters — the number the bench gate reconciles
+// against client-observed 413/429/503 responses.
+func (m *metrics) totalShed() int64 {
+	var t int64
+	for i := range m.shed {
+		t += m.shed[i].Load()
+	}
+	return t
+}
+
+// writeProm renders the scrape. Hand-rolled on purpose: the exposition
+// format is a few Fprintf calls, and staying stdlib-only keeps the daemon's
+// dependency surface identical to the library's.
+func (s *Server) writeProm(w io.Writer) {
+	m := s.met
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintln(w, "# HELP costar_requests_total Parse requests by wire verdict.")
+	fmt.Fprintln(w, "# TYPE costar_requests_total counter")
+	for i, n := range verdictNames {
+		fmt.Fprintf(w, "costar_requests_total{verdict=%q} %d\n", n, m.verdicts[i].Load())
+	}
+	fmt.Fprintln(w, "# HELP costar_shed_total Requests refused without a parse verdict.")
+	fmt.Fprintln(w, "# TYPE costar_shed_total counter")
+	for i, n := range shedNames {
+		fmt.Fprintf(w, "costar_shed_total{reason=%q} %d\n", n, m.shed[i].Load())
+	}
+	fmt.Fprintln(w, "# TYPE costar_inflight gauge")
+	fmt.Fprintf(w, "costar_inflight %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# TYPE costar_ready gauge")
+	fmt.Fprintf(w, "costar_ready %d\n", b01(s.ready.Load()))
+	fmt.Fprintln(w, "# TYPE costar_draining gauge")
+	fmt.Fprintf(w, "costar_draining %d\n", b01(s.draining.Load()))
+	fmt.Fprintln(w, "# HELP costar_parse_ns_total Cumulative wall time inside parses; divide by costar_parse_tokens_total for ns/token.")
+	fmt.Fprintln(w, "# TYPE costar_parse_ns_total counter")
+	fmt.Fprintf(w, "costar_parse_ns_total %d\n", m.parseNS.Load())
+	fmt.Fprintln(w, "# TYPE costar_parse_tokens_total counter")
+	fmt.Fprintf(w, "costar_parse_tokens_total %d\n", m.tokens.Load())
+	fmt.Fprintln(w, "# HELP costar_deadline_exhaustions_total Parses abandoned because the caller's deadline budget expired.")
+	fmt.Fprintln(w, "# TYPE costar_deadline_exhaustions_total counter")
+	fmt.Fprintf(w, "costar_deadline_exhaustions_total %d\n", m.deadlines.Load())
+	fmt.Fprintln(w, "# TYPE costar_canceled_total counter")
+	fmt.Fprintf(w, "costar_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintln(w, "# TYPE costar_limit_exhaustions_total counter")
+	fmt.Fprintf(w, "costar_limit_exhaustions_total %d\n", m.limits.Load())
+	fmt.Fprintln(w, "# HELP costar_panics_total Contained per-request panics (the process survived every one).")
+	fmt.Fprintln(w, "# TYPE costar_panics_total counter")
+	fmt.Fprintf(w, "costar_panics_total %d\n", m.panics.Load())
+	fmt.Fprintln(w, "# HELP costar_usage_max Per-parse resource high-water marks (machine.Usage).")
+	fmt.Fprintln(w, "# TYPE costar_usage_max gauge")
+	for i, n := range usageMaxNames {
+		fmt.Fprintf(w, "costar_usage_max{resource=%q} %d\n", n, m.usageMax[i].Load())
+	}
+	cap, inuse, waiting := s.adm.snapshot()
+	fmt.Fprintln(w, "# HELP costar_admission_capacity Admission gate size in cost units (~tokens).")
+	fmt.Fprintln(w, "# TYPE costar_admission_capacity gauge")
+	fmt.Fprintf(w, "costar_admission_capacity %d\n", cap)
+	fmt.Fprintln(w, "# TYPE costar_admission_inuse gauge")
+	fmt.Fprintf(w, "costar_admission_inuse %d\n", inuse)
+	fmt.Fprintln(w, "# TYPE costar_admission_waiting gauge")
+	fmt.Fprintf(w, "costar_admission_waiting %d\n", waiting)
+	// Session statistics, read live so scrape and registry cannot drift.
+	fmt.Fprintln(w, "# HELP costar_session_cache_hits_total SLL DFA cache hits; with misses, the cache hit rate.")
+	fmt.Fprintln(w, "# TYPE costar_session_cache_hits_total counter")
+	sessions := s.reg.Sessions()
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "costar_session_cache_hits_total{grammar=%q} %d\n", sess.Name(), sess.Parser().Stats().CacheHits)
+	}
+	fmt.Fprintln(w, "# TYPE costar_session_cache_misses_total counter")
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "costar_session_cache_misses_total{grammar=%q} %d\n", sess.Name(), sess.Parser().Stats().CacheMisses)
+	}
+	fmt.Fprintln(w, "# TYPE costar_session_ll_fallbacks_total counter")
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "costar_session_ll_fallbacks_total{grammar=%q} %d\n", sess.Name(), sess.Parser().Stats().LLFallbacks)
+	}
+	fmt.Fprintln(w, "# TYPE costar_session_budget_exhaustions_total counter")
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "costar_session_budget_exhaustions_total{grammar=%q} %d\n", sess.Name(), sess.Parser().Stats().BudgetExhaustions)
+	}
+	fmt.Fprintln(w, "# HELP costar_session_cache_states Interned DFA states in the session's SLL cache.")
+	fmt.Fprintln(w, "# TYPE costar_session_cache_states gauge")
+	for _, sess := range sessions {
+		_, states := sess.Parser().CacheSize()
+		fmt.Fprintf(w, "costar_session_cache_states{grammar=%q} %d\n", sess.Name(), states)
+	}
+	fmt.Fprintln(w, "# TYPE costar_session_certified gauge")
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "costar_session_certified{grammar=%q} %d\n", sess.Name(), b01(sess.Certified()))
+	}
+}

@@ -1,0 +1,101 @@
+#!/bin/sh
+# serve-smoke: end-to-end smoke of the hardened parse daemon, as CI runs it.
+# Boots `costar serve` on a freshly compiled artifact, fires concurrent
+# clean + broken + oversized requests, asserts the health/metrics surface,
+# and verifies a SIGTERM drain exits 0. Everything here goes through the
+# real binary and a real TCP port — no test harness shortcuts.
+set -eu
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- serve log ---" >&2
+    cat "$work/serve.log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building costar"
+go build -o "$work/costar" ./cmd/costar
+
+echo "serve-smoke: compiling a warmed json artifact"
+"$work/costar" compile -lang json -warm 4 -o "$work/json.csar"
+
+# A small body bound so the oversized request is cheap to construct.
+"$work/costar" serve -artifact "$work/json.csar" -addr 127.0.0.1:0 -max-body 4096 \
+    2>"$work/serve.log" &
+pid=$!
+
+# Wait for the daemon to log its picked port.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*listening on http://\([^ ]*\).*|\1|p' "$work/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+done
+[ -n "$addr" ] && echo "serve-smoke: daemon up on $addr" || fail "daemon never logged its address"
+
+# The artifact session's wire name, from the daemon's own catalog.
+grammar=$(curl -sS --max-time 10 "http://$addr/grammars" | sed -n 's/.*"name":"\([^"]*\)".*/\1/p')
+[ -n "$grammar" ] || fail "/grammars listed no sessions"
+
+post() { # post <body-file> <status-file> <response-file> [query]
+    curl -sS --max-time 10 -o "$3" -w '%{http_code}' \
+        --data-binary @"$1" "http://$addr/parse/$grammar$4" >"$2"
+}
+
+# Concurrent clean + broken + oversized requests: each must come back with
+# its own typed verdict, none may disturb the others.
+printf '{"a": [1, 2], "b": {"c": true}}' >"$work/clean.json"
+printf '{"a": 1, ]' >"$work/broken.json"
+head -c 8192 /dev/zero | tr '\0' '7' >"$work/huge.json"
+post "$work/clean.json" "$work/clean.status" "$work/clean.resp" "" &
+p1=$!
+post "$work/broken.json" "$work/broken.status" "$work/broken.resp" "" &
+p2=$!
+post "$work/huge.json" "$work/huge.status" "$work/huge.resp" "" &
+p3=$!
+wait "$p1" "$p2" "$p3" || fail "a concurrent request transport-failed"
+
+[ "$(cat "$work/clean.status")" = 200 ] || fail "clean parse got $(cat "$work/clean.status"), want 200"
+grep -q '"kind":"Unique"' "$work/clean.resp" || fail "clean parse verdict was not Unique: $(cat "$work/clean.resp")"
+[ "$(cat "$work/broken.status")" = 422 ] || fail "broken parse got $(cat "$work/broken.status"), want 422"
+grep -q '"kind":"Reject"' "$work/broken.resp" || fail "broken parse verdict was not Reject: $(cat "$work/broken.resp")"
+[ "$(cat "$work/huge.status")" = 413 ] || fail "oversized body got $(cat "$work/huge.status"), want 413"
+grep -q '"kind":"Shed"' "$work/huge.resp" || fail "oversized body was not a typed Shed: $(cat "$work/huge.resp")"
+echo "serve-smoke: concurrent clean=200/Unique broken=422/Reject oversized=413/Shed"
+
+# Recovering mode over the wire: the broken input parses to a tree plus
+# positioned diagnostics when the caller opts in.
+post "$work/broken.json" "$work/rec.status" "$work/rec.resp" "?recover=1"
+[ "$(cat "$work/rec.status")" = 200 ] || fail "recover=1 got $(cat "$work/rec.status"), want 200"
+grep -q '"kind":"Recovered"' "$work/rec.resp" || fail "recover=1 verdict was not Recovered: $(cat "$work/rec.resp")"
+
+# Health and metrics surface.
+[ "$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' "http://$addr/healthz")" = 200 ] || fail "/healthz not 200"
+[ "$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' "http://$addr/readyz")" = 200 ] || fail "/readyz not 200"
+curl -sS --max-time 10 "http://$addr/metrics" >"$work/metrics"
+for family in costar_requests_total costar_shed_total costar_ready costar_admission_capacity costar_session_cache_hits_total; do
+    grep -q "^$family" "$work/metrics" || fail "/metrics missing $family"
+done
+grep -q '^costar_requests_total{verdict="unique"} [1-9]' "$work/metrics" || fail "unique verdict not counted"
+grep -q '^costar_shed_total{reason="body"} [1-9]' "$work/metrics" || fail "oversized shed not counted"
+echo "serve-smoke: health and metrics surface intact"
+
+# Clean drain: SIGTERM must exit 0 after finishing in-flight work.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" = 0 ] || fail "SIGTERM drain exited $rc, want 0"
+grep -q "drained cleanly" "$work/serve.log" || fail "daemon never logged a clean drain"
+echo "serve-smoke: PASS (clean drain, exit 0)"
